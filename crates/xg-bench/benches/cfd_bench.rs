@@ -1,0 +1,90 @@
+//! Criterion benches for the CFD solver: mesh generation (the serial
+//! phase of Fig. 7), the pressure Poisson solve, one full projection step,
+//! and thread-count scaling of a step (the real-solver half of Fig. 7's
+//! strong-scaling story, bounded by the host's cores).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use xg_cfd::boundary::BoundarySpec;
+use xg_cfd::field::Field3;
+use xg_cfd::poisson;
+use xg_cfd::prelude::*;
+
+fn mesh_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfd_mesh");
+    group.sample_size(20);
+    for (name, cells) in [
+        ("coarse_24x20x6", [24usize, 20, 6]),
+        ("fine_48x40x10", [48, 40, 10]),
+    ] {
+        group.bench_function(name, |b| {
+            let spec = DomainSpec::cups_default().with_cells(cells[0], cells[1], cells[2]);
+            b.iter(|| Mesh::generate(&spec))
+        });
+    }
+    group.finish();
+}
+
+fn poisson_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfd_poisson");
+    group.sample_size(15);
+    group.bench_function("jacobi_120it_36x30x8", |b| {
+        let mut rhs = Field3::zeros(36, 30, 8);
+        for (i, v) in rhs.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f64) * 0.37).sin();
+        }
+        let mean = rhs.mean();
+        rhs.as_mut_slice().iter_mut().for_each(|x| *x -= mean);
+        b.iter_batched(
+            || Field3::zeros(36, 30, 8),
+            |mut p| poisson::solve(&mut p, &rhs, [2.5, 2.5, 1.0], 120, 0.0),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn solver_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfd_step");
+    group.sample_size(15);
+    group.bench_function("step_36x30x8", |b| {
+        let mesh = Mesh::generate(&DomainSpec::cups_default().with_cells(36, 30, 8));
+        let mut sim = Simulation::new(
+            mesh,
+            BoundarySpec::intact(5.0, 270.0, 22.0),
+            SolverConfig::default(),
+        );
+        sim.run(10); // warm flow
+        b.iter(|| sim.step())
+    });
+
+    // Thread scaling of the step (meaningful only on multi-core hosts, but
+    // harmless everywhere).
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut threads = 1usize;
+    while threads <= host {
+        group.bench_function(format!("step_36x30x8_threads{threads}"), |b| {
+            let t = threads;
+            b.iter_batched(
+                || {
+                    let mesh = Mesh::generate(&DomainSpec::cups_default().with_cells(36, 30, 8));
+                    let mut sim = Simulation::new(
+                        mesh,
+                        BoundarySpec::intact(5.0, 270.0, 22.0),
+                        SolverConfig::default(),
+                    );
+                    sim.run(5);
+                    sim
+                },
+                |mut sim| run_with_threads(t, move || sim.step()),
+                BatchSize::SmallInput,
+            )
+        });
+        threads *= 2;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mesh_generation, poisson_solve, solver_step);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion benches for the CSPOT runtime: local append cost (the atomic
+//! sequence-number path), dedup lookup overhead, handler dispatch, and the
+//! two-phase vs size-cached remote protocol (the §4.2 ablation, measured
+//! here as implementation cost; the latency ablation is in
+//! `table1_cspot_latency`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+use xg_cspot::prelude::*;
+
+fn local_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cspot_local");
+    group.sample_size(30);
+    let payload = vec![7u8; 1024];
+
+    group.bench_function("append_1kb", |b| {
+        let node = CspotNode::in_memory("UCSB");
+        node.create_log("l", 1024, 1_000_000).unwrap();
+        b.iter(|| node.put("l", &payload).unwrap())
+    });
+
+    group.bench_function("append_1kb_with_token", |b| {
+        let node = CspotNode::in_memory("UCSB");
+        node.create_log("l", 1024, 1_000_000).unwrap();
+        let mut token = 0u128;
+        b.iter(|| {
+            token += 1;
+            node.put_with_token("l", token, &payload).unwrap()
+        })
+    });
+
+    group.bench_function("append_1kb_with_handler", |b| {
+        let node = CspotNode::in_memory("UCSB");
+        node.create_log("l", 1024, 1_000_000).unwrap();
+        node.register_handler("l", Arc::new(|_, _, _, _| {}));
+        b.iter(|| node.put("l", &payload).unwrap())
+    });
+
+    group.bench_function("get_random", |b| {
+        let node = CspotNode::in_memory("UCSB");
+        node.create_log("l", 1024, 100_000).unwrap();
+        for _ in 0..10_000 {
+            node.put("l", &payload).unwrap();
+        }
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq = seq % 10_000 + 1;
+            node.get("l", seq).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn remote_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cspot_remote");
+    group.sample_size(20);
+    let payload = vec![7u8; 1024];
+    let topo = Topology::paper();
+    for (name, cache) in [("two_phase", false), ("size_cached", true)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let server = CspotNode::in_memory("UCSB");
+                    server.create_log("l", 1024, 100_000).unwrap();
+                    let cfg = RemoteConfig {
+                        use_size_cache: cache,
+                        ..Default::default()
+                    };
+                    let appender = RemoteAppender::new(
+                        SimClock::new(),
+                        topo.route("UNL", "UCSB").unwrap().clone(),
+                        cfg,
+                        1,
+                    );
+                    (server, appender)
+                },
+                |(server, mut appender)| {
+                    for _ in 0..32 {
+                        appender.append(&server, "l", &payload).unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, local_append, remote_append);
+criterion_main!(benches);

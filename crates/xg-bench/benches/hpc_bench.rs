@@ -1,0 +1,100 @@
+//! Criterion benches for the HPC substrate: discrete-event cluster
+//! advancement under load, pilot-controller stepping, and multi-site
+//! routing decisions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use xg_hpc::cluster::{ClusterSim, JobRequest};
+use xg_hpc::multisite::MultiSiteController;
+use xg_hpc::pilot::{PilotController, PilotControllerConfig, PilotStrategy};
+use xg_hpc::site::SiteProfile;
+
+fn cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpc_cluster");
+    group.sample_size(20);
+
+    group.bench_function("advance_1h_busy_32node", |b| {
+        b.iter_batched(
+            || ClusterSim::new(32).with_background_load(300.0, 5400.0, 8, 7),
+            |mut cluster| {
+                cluster.advance_to(3600.0);
+                cluster
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("submit_and_schedule_100_jobs", |b| {
+        b.iter_batched(
+            || ClusterSim::new(64),
+            |mut cluster| {
+                for i in 0..100u32 {
+                    cluster.submit(JobRequest {
+                        nodes: 1 + i % 8,
+                        walltime_s: 1800.0,
+                        runtime_s: 1200.0,
+                    });
+                }
+                cluster.advance_to(48.0 * 3600.0);
+                cluster
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn pilot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpc_pilot");
+    group.sample_size(20);
+
+    group.bench_function("controller_8h_with_hourly_triggers", |b| {
+        b.iter_batched(
+            || {
+                let mut cfg = PilotControllerConfig::paper_default(32);
+                cfg.strategy = PilotStrategy::Adaptive { warm_nodes: 2 };
+                PilotController::new(
+                    ClusterSim::new(32).with_background_load(900.0, 5400.0, 8, 3),
+                    cfg,
+                )
+            },
+            |mut ctl| {
+                for hour in 1..=8 {
+                    ctl.advance_to(hour as f64 * 3600.0);
+                    ctl.on_data(2048.0);
+                    ctl.submit_task(1, 420.0);
+                }
+                ctl
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("multisite_routing_12_tasks", |b| {
+        b.iter_batched(
+            || {
+                MultiSiteController::new(
+                    vec![
+                        (SiteProfile::notre_dame_crc(), true),
+                        (SiteProfile::anvil(), false),
+                        (SiteProfile::stampede3(), true),
+                    ],
+                    5,
+                )
+            },
+            |mut ctl| {
+                ctl.advance_to(1800.0);
+                for hour in 1..=6 {
+                    ctl.advance_to(1800.0 + hour as f64 * 3600.0);
+                    ctl.submit_task(1, 420.0);
+                    ctl.submit_task(1, 420.0);
+                }
+                ctl.completed_total()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cluster, pilot);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion benches for the Laminar runtime: deployment, injection with
+//! cascade firing, and crash-recovery replay.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+use xg_cspot::CspotNode;
+use xg_laminar::prelude::*;
+
+/// A 3-stage pipeline graph: (a, b) -> sum -> scaled -> negated.
+fn pipeline_graph() -> Graph {
+    let mut g = GraphBuilder::new("bench");
+    let a = g.source("a", TypeTag::F64).unwrap();
+    let b = g.source("b", TypeTag::F64).unwrap();
+    let sum = g
+        .op(
+            "sum",
+            vec![TypeTag::F64, TypeTag::F64],
+            TypeTag::F64,
+            ops::add2(),
+        )
+        .unwrap();
+    let scaled = g
+        .op("scaled", vec![TypeTag::F64], TypeTag::F64, ops::scale(2.0))
+        .unwrap();
+    let neg = g
+        .op("neg", vec![TypeTag::F64], TypeTag::F64, ops::neg())
+        .unwrap();
+    g.connect(a, sum, 0);
+    g.connect(b, sum, 1);
+    g.connect(sum, scaled, 0);
+    g.connect(scaled, neg, 0);
+    g.build().unwrap()
+}
+
+fn laminar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laminar");
+    group.sample_size(30);
+
+    group.bench_function("deploy_5_node_graph", |b| {
+        b.iter_batched(
+            || Arc::new(CspotNode::in_memory("X")),
+            |node| LaminarRuntime::deploy(pipeline_graph(), node).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("inject_with_3_stage_cascade", |b| {
+        b.iter_batched(
+            || {
+                (
+                    LaminarRuntime::deploy(pipeline_graph(), Arc::new(CspotNode::in_memory("X")))
+                        .unwrap(),
+                    0u64,
+                )
+            },
+            |(rt, _)| {
+                for e in 1..=16u64 {
+                    rt.inject("a", e, Value::F64(e as f64)).unwrap();
+                    rt.inject("b", e, Value::F64(1.0)).unwrap();
+                }
+                rt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("recover_16_epochs", |b| {
+        b.iter_batched(
+            || {
+                // Inputs written without handlers: everything replays in
+                // recover().
+                let node = Arc::new(CspotNode::in_memory("X"));
+                let g = pipeline_graph();
+                let cfg = DeployConfig::default();
+                for id in g.topo_order() {
+                    node.open_log(&g.log_name(*id), cfg.element_size, cfg.history)
+                        .unwrap();
+                }
+                let a = g.node_id("a").unwrap();
+                let bsrc = g.node_id("b").unwrap();
+                for e in 1..=16u64 {
+                    let mut entry = vec![0u8; cfg.element_size];
+                    entry[..8].copy_from_slice(&e.to_le_bytes());
+                    let enc = Value::F64(e as f64).encode();
+                    entry[8..8 + enc.len()].copy_from_slice(&enc);
+                    node.put(&g.log_name(a), &entry).unwrap();
+                    node.put(&g.log_name(bsrc), &entry).unwrap();
+                }
+                LaminarRuntime::deploy(pipeline_graph(), node).unwrap()
+            },
+            |rt| rt.recover().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("change_graph_evaluate", |b| {
+        let rt = LaminarRuntime::deploy(
+            build_change_graph("bench_change", ChangeDetector::default()).unwrap(),
+            Arc::new(CspotNode::in_memory("X")),
+        )
+        .unwrap();
+        let prev = Value::F64Vec(vec![3.0, 3.1, 2.9, 3.05, 2.95, 3.0]);
+        let recent = Value::F64Vec(vec![7.0, 7.1, 6.9, 7.05, 6.95, 7.0]);
+        let mut epoch = 0u64;
+        b.iter(|| {
+            epoch += 1;
+            rt.inject("prev_window", epoch, prev.clone()).unwrap();
+            rt.inject("recent_window", epoch, recent.clone()).unwrap();
+            rt.read("detect", epoch).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, laminar);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion benches for the RAN simulator: the cost of simulating one
+//! second of uplink under different cell configurations, and the MAC
+//! scheduler disciplines in isolation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use xg_net::mac::{MacScheduler, SchedulerKind, UlRequest};
+use xg_net::prelude::*;
+
+fn sim_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ran_sim_second");
+    group.sample_size(20);
+
+    group.bench_function("5g_fdd20_1ue", |b| {
+        b.iter_batched(
+            || {
+                let mut sim =
+                    LinkSimulator::new(CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0)), 1);
+                sim.attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
+                    .unwrap();
+                sim
+            },
+            |mut sim| sim.run_second(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("5g_tdd40_2ue_sliced", |b| {
+        b.iter_batched(
+            || {
+                let cell = CellConfig::new(Rat::Nr5g, Duplex::tdd_default(), MHz(40.0))
+                    .with_slices(SliceConfig::complementary_pair(0.5).unwrap());
+                let mut sim = LinkSimulator::new(cell, 2);
+                for sd in [1, 2] {
+                    sim.attach_with(
+                        DeviceClass::RaspberryPi,
+                        Modem::Rm530nGl,
+                        Snssai::miot(sd),
+                        Default::default(),
+                    )
+                    .unwrap();
+                }
+                sim
+            },
+            |mut sim| sim.run_second(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mac_scheduler");
+    let requests: Vec<UlRequest> = (0..16)
+        .map(|ue| UlRequest {
+            ue,
+            inst_eff: 2.0 + (ue as f64) * 0.1,
+        })
+        .collect();
+    for kind in [SchedulerKind::RoundRobin, SchedulerKind::ProportionalFair] {
+        group.bench_function(format!("{kind:?}_16ue_106prb"), |b| {
+            let mut sched = MacScheduler::new(kind);
+            b.iter(|| {
+                let grants = sched.allocate(106, &requests);
+                for &(ue, prbs) in &grants {
+                    sched.observe(ue, prbs as f64 * 400.0);
+                }
+                grants
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_second, scheduler);
+criterion_main!(benches);

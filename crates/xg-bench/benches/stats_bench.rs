@@ -1,0 +1,39 @@
+//! Criterion benches for the statistical change-detection battery: the
+//! paper's Laminar program runs these every 30 minutes, so their cost is
+//! irrelevant end-to-end — these benches document that (nanoseconds vs a
+//! 1800 s duty cycle) and track regressions in the numerics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xg_laminar::stats::{ks_test, mann_whitney_u, vote_change, welch_t_test};
+
+fn battery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("change_detection");
+    let prev = [3.0, 3.2, 2.9, 3.1, 3.05, 2.95];
+    let recent = [4.0, 4.2, 3.9, 4.1, 4.05, 3.95];
+
+    group.bench_function("welch_t_6v6", |b| {
+        b.iter(|| welch_t_test(&prev, &recent).unwrap())
+    });
+    group.bench_function("mann_whitney_6v6", |b| {
+        b.iter(|| mann_whitney_u(&prev, &recent).unwrap())
+    });
+    group.bench_function("ks_6v6", |b| b.iter(|| ks_test(&prev, &recent).unwrap()));
+    group.bench_function("vote_battery_6v6", |b| {
+        b.iter(|| vote_change(&prev, &recent, 0.05, 2))
+    });
+
+    // Larger windows (an hour of 1-minute telemetry) stay trivially cheap.
+    let big_prev: Vec<f64> = (0..60)
+        .map(|i| 3.0 + (i as f64 * 0.7).sin() * 0.3)
+        .collect();
+    let big_recent: Vec<f64> = (0..60)
+        .map(|i| 3.4 + (i as f64 * 0.9).cos() * 0.3)
+        .collect();
+    group.bench_function("vote_battery_60v60", |b| {
+        b.iter(|| vote_change(&big_prev, &big_recent, 0.05, 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, battery);
+criterion_main!(benches);

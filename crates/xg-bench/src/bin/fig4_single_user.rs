@@ -1,0 +1,86 @@
+//! Figure 4: single-user uplink throughput across bandwidths, duplexing
+//! modes, and devices.
+//!
+//! Reproduces the paper's sweep: 4G FDD at 5/10/15/20 MHz, 5G FDD at
+//! 5/10/15/20 MHz, and 5G TDD at 10–50 MHz, for a laptop, a Raspberry Pi,
+//! and a smartphone, collecting 100 iperf3-style samples per point.
+//!
+//! Run: `cargo run -p xg-bench --release --bin fig4_single_user`
+
+use xg_bench::{cell, iperf_samples, sweeps, write_results};
+use xg_net::prelude::*;
+
+/// Paper anchor values (Mbps) for the printed comparison.
+const PAPER_ANCHORS: &[(&str, &str, f64)] = &[
+    ("4G FDD 20 MHz", "Smartphone", 43.83),
+    ("4G FDD 20 MHz", "Laptop", 10.41),
+    ("4G FDD 20 MHz", "RPi", 2.23),
+    ("5G FDD 20 MHz", "Smartphone", 58.89),
+    ("5G FDD 20 MHz", "RPi", 52.36),
+    ("5G FDD 20 MHz", "Laptop", 40.83),
+    ("5G TDD 50 MHz", "RPi", 65.97),
+    ("5G TDD 50 MHz", "Laptop", 58.31),
+    ("5G TDD 50 MHz", "Smartphone", 14.40),
+];
+
+fn main() {
+    let samples = iperf_samples();
+    let mut csv = String::from("config,device,n,mean_mbps,sd_mbps\n");
+    let mut rows: Vec<IperfSummary> = Vec::new();
+
+    let configs: Vec<(Rat, Duplex, Vec<f64>)> = vec![
+        (Rat::Lte4g, Duplex::Fdd, sweeps::LTE_FDD.to_vec()),
+        (Rat::Nr5g, Duplex::Fdd, sweeps::NR_FDD.to_vec()),
+        (Rat::Nr5g, Duplex::tdd_default(), sweeps::NR_TDD.to_vec()),
+    ];
+    println!("Figure 4 — single-user uplink throughput ({samples} samples/point)\n");
+    println!(
+        "{:<16} {:<12} {:>16}",
+        "config", "device", "mean ± sd (Mbps)"
+    );
+    for (rat, duplex, bws) in configs {
+        for &bw in &bws {
+            for device in DeviceClass::all() {
+                let modem = Modem::paper_default(device, rat);
+                let seed = 0xF164 ^ (bw as u64) << 8 ^ device as u64;
+                let mut sim =
+                    LinkSimulator::new(CellConfig::new(rat, duplex.clone(), MHz(bw)), seed);
+                let ue = sim.attach(device, modem).expect("modem matches RAT");
+                let run = sim.iperf_uplink(ue, samples);
+                let summary = run.summary();
+                println!(
+                    "{:<16} {:<12} {:>16}",
+                    summary.config,
+                    summary.device,
+                    cell(summary.mean_mbps, summary.sd_mbps)
+                );
+                csv.push_str(&summary.csv_row());
+                csv.push('\n');
+                rows.push(summary);
+            }
+        }
+    }
+
+    println!("\nPaper-vs-measured anchors:");
+    println!(
+        "{:<16} {:<12} {:>10} {:>10} {:>8}",
+        "config", "device", "paper", "measured", "ratio"
+    );
+    for &(config, device, paper) in PAPER_ANCHORS {
+        if let Some(row) = rows
+            .iter()
+            .find(|r| r.config == config && r.device == device)
+        {
+            println!(
+                "{:<16} {:<12} {:>10.2} {:>10.2} {:>8.2}",
+                config,
+                device,
+                paper,
+                row.mean_mbps,
+                row.mean_mbps / paper
+            );
+        }
+    }
+    let path = write_results("fig4_single_user.csv", &csv);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,99 @@
+//! Figure 5: two-user simultaneous uplink throughput across bandwidths,
+//! duplexing modes, and devices.
+//!
+//! Two identical devices run iperf3 uplink tests simultaneously at each
+//! configuration; the paper reports per-user and aggregate behaviour
+//! ("both FDD and TDD modes deliver high and evenly distributed uplink
+//! throughput"), the 4G 20 MHz drop it attributes to SDR sampling
+//! constraints, and the 5G TDD 50 MHz drop to SDR limits.
+//!
+//! Run: `cargo run -p xg-bench --release --bin fig5_two_user`
+
+use xg_bench::{cell, iperf_samples, sweeps, write_results};
+use xg_net::prelude::*;
+
+/// Paper anchors: (config, device, aggregate Mbps).
+const PAPER_ANCHORS: &[(&str, &str, f64)] = &[
+    ("4G FDD 15 MHz", "Smartphone", 35.5),
+    ("4G FDD 15 MHz", "Laptop", 36.1),
+    ("5G FDD 20 MHz", "Laptop", 45.7),
+    ("5G FDD 20 MHz", "RPi", 45.4),
+    ("5G TDD 40 MHz", "Laptop", 65.2),
+    ("5G TDD 40 MHz", "RPi", 53.8),
+];
+
+fn main() {
+    let samples = iperf_samples();
+    let mut csv = String::from("config,device,user,n,mean_mbps,sd_mbps,aggregate_mbps\n");
+    let mut aggregates: Vec<(String, String, f64)> = Vec::new();
+
+    let configs: Vec<(Rat, Duplex, Vec<f64>)> = vec![
+        (Rat::Lte4g, Duplex::Fdd, sweeps::LTE_FDD.to_vec()),
+        (Rat::Nr5g, Duplex::Fdd, sweeps::NR_FDD.to_vec()),
+        (Rat::Nr5g, Duplex::tdd_default(), sweeps::NR_TDD.to_vec()),
+    ];
+    println!("Figure 5 — two-user uplink throughput ({samples} samples/point)\n");
+    println!(
+        "{:<16} {:<12} {:>16} {:>16} {:>10}",
+        "config", "device", "user 1 (Mbps)", "user 2 (Mbps)", "aggregate"
+    );
+    for (rat, duplex, bws) in configs {
+        for &bw in &bws {
+            for device in DeviceClass::all() {
+                let modem = Modem::paper_default(device, rat);
+                let seed = 0xF165 ^ (bw as u64) << 8 ^ device as u64;
+                let mut sim =
+                    LinkSimulator::new(CellConfig::new(rat, duplex.clone(), MHz(bw)), seed);
+                sim.attach(device, modem).expect("modem matches RAT");
+                sim.attach(device, modem).expect("modem matches RAT");
+                let runs = sim.iperf_uplink_all(samples);
+                let s: Vec<IperfSummary> = runs.iter().map(|r| r.summary()).collect();
+                let aggregate: f64 = s.iter().map(|x| x.mean_mbps).sum();
+                println!(
+                    "{:<16} {:<12} {:>16} {:>16} {:>10.2}",
+                    s[0].config,
+                    s[0].device,
+                    cell(s[0].mean_mbps, s[0].sd_mbps),
+                    cell(s[1].mean_mbps, s[1].sd_mbps),
+                    aggregate
+                );
+                for (user, row) in s.iter().enumerate() {
+                    csv.push_str(&format!(
+                        "{},{},{},{},{:.2},{:.2},{:.2}\n",
+                        row.config,
+                        row.device,
+                        user + 1,
+                        row.n,
+                        row.mean_mbps,
+                        row.sd_mbps,
+                        aggregate
+                    ));
+                }
+                aggregates.push((s[0].config.clone(), s[0].device.clone(), aggregate));
+            }
+        }
+    }
+
+    println!("\nPaper-vs-measured aggregate anchors:");
+    println!(
+        "{:<16} {:<12} {:>10} {:>10} {:>8}",
+        "config", "device", "paper", "measured", "ratio"
+    );
+    for &(config, device, paper) in PAPER_ANCHORS {
+        if let Some((_, _, agg)) = aggregates
+            .iter()
+            .find(|(c, d, _)| c == config && d == device)
+        {
+            println!(
+                "{:<16} {:<12} {:>10.2} {:>10.2} {:>8.2}",
+                config,
+                device,
+                paper,
+                agg,
+                agg / paper
+            );
+        }
+    }
+    let path = write_results("fig5_two_user.csv", &csv);
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,146 @@
+//! Reliability study: delay-tolerant delivery through a flaky 5G link.
+//!
+//! The paper claims (§3.1) that CSPOT's log-based design turns "frequent
+//! network interruption" and power loss into mere delay: programs pause
+//! and resume, data parks in logs, and nothing is lost or duplicated.
+//! This study subjects the field gateway to a two-state outage process
+//! over a simulated week of 5-minute telemetry and reports delivery
+//! completeness, duplication, and the staleness distribution.
+//!
+//! Run: `cargo run -p xg-bench --release --bin reliability_study`
+
+use std::sync::Arc;
+use xg_bench::write_results;
+use xg_cspot::outage::{OutageConfig, OutageProcess};
+use xg_cspot::prelude::*;
+
+const REPORT_INTERVAL_S: f64 = 300.0;
+const DAYS: usize = 7;
+
+fn run_scenario(label: &str, config: OutageConfig, csv: &mut String) {
+    let local = Arc::new(CspotNode::in_memory("UNL"));
+    local.create_log("buf", 8, 100_000).expect("fresh buffer");
+    let repo = Arc::new(CspotNode::in_memory("UCSB"));
+    repo.create_log("telemetry", 8, 100_000).expect("fresh log");
+
+    let topo = Topology::paper();
+    let remote_cfg = RemoteConfig {
+        timeout_ms: 100.0,
+        // Fail fast; the gateway re-drains on the next report cycle.
+        max_attempts: 2,
+        ..Default::default()
+    };
+    let appender = RemoteAppender::new(
+        SimClock::new(),
+        topo.route("UNL-5G", "UCSB").expect("route").clone(),
+        remote_cfg,
+        17,
+    );
+    let mut gateway = Gateway::new(Arc::clone(&local), "buf", "telemetry", appender)
+        .expect("gateway over fresh logs");
+    let mut outage = OutageProcess::new(config, 23);
+
+    let reports = DAYS * 24 * 12;
+    let mut down_at_report = 0usize;
+    let mut max_backlog = 0usize;
+    let mut staleness_samples: Vec<f64> = Vec::new();
+    let mut pending_since: Vec<(u64, f64)> = Vec::new(); // (seq, t_buffered)
+    for r in 0..reports {
+        let t = (r + 1) as f64 * REPORT_INTERVAL_S;
+        outage.advance_to(t, gateway.route_mut());
+        if !outage.is_up() {
+            down_at_report += 1;
+        }
+        gateway
+            .buffer(&(r as u64).to_le_bytes())
+            .expect("local buffer always writable");
+        pending_since.push((r as u64 + 1, t));
+        let drained = gateway.drain(&repo);
+        // Staleness: delivery time minus buffering time for drained items.
+        for _ in 0..drained.relayed {
+            if let Some((_, buffered_at)) = pending_since.first().copied() {
+                pending_since.remove(0);
+                staleness_samples.push(t - buffered_at);
+            }
+        }
+        max_backlog = max_backlog.max(gateway.backlog());
+    }
+    // Final drain after the run (link eventually heals).
+    gateway.route_mut().set_partitioned(false);
+    let final_t = reports as f64 * REPORT_INTERVAL_S;
+    let last = gateway.drain(&repo);
+    for _ in 0..last.relayed {
+        if let Some((_, buffered_at)) = pending_since.first().copied() {
+            pending_since.remove(0);
+            staleness_samples.push(final_t - buffered_at);
+        }
+    }
+
+    let delivered = repo.log("telemetry").expect("exists").len();
+    let mean_staleness =
+        staleness_samples.iter().sum::<f64>() / staleness_samples.len().max(1) as f64;
+    let max_staleness = staleness_samples.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{label:<28} {:>6.2}% {:>10} {:>8} {:>12} {:>11.0} {:>11.0}",
+        config.availability() * 100.0,
+        delivered,
+        reports - delivered,
+        max_backlog,
+        mean_staleness,
+        max_staleness,
+    );
+    assert_eq!(delivered, reports, "delay tolerance must not lose data");
+    csv.push_str(&format!(
+        "{label},{:.4},{delivered},{max_backlog},{mean_staleness:.1},{max_staleness:.1}\n",
+        config.availability()
+    ));
+    let _ = down_at_report;
+}
+
+fn main() {
+    println!("Reliability study — one week of 5-minute telemetry through an interrupted 5G link\n");
+    println!(
+        "{:<28} {:>7} {:>10} {:>8} {:>12} {:>11} {:>11}",
+        "scenario", "avail", "delivered", "lost", "max backlog", "mean stale", "max stale"
+    );
+    println!(
+        "{:<28} {:>7} {:>10} {:>8} {:>12} {:>11} {:>11}",
+        "", "", "", "", "(msgs)", "(s)", "(s)"
+    );
+    let mut csv = String::from(
+        "scenario,availability,delivered,max_backlog,mean_staleness_s,max_staleness_s\n",
+    );
+    run_scenario(
+        "stable (MTBF 24h, MTTR 2m)",
+        OutageConfig {
+            mtbf_s: 24.0 * 3600.0,
+            mttr_s: 120.0,
+        },
+        &mut csv,
+    );
+    run_scenario(
+        "flaky (MTBF 2h, MTTR 4m)",
+        OutageConfig::flaky_5g(),
+        &mut csv,
+    );
+    run_scenario(
+        "hostile (MTBF 30m, MTTR 10m)",
+        OutageConfig {
+            mtbf_s: 1_800.0,
+            mttr_s: 600.0,
+        },
+        &mut csv,
+    );
+    run_scenario(
+        "storm (MTBF 20m, MTTR 1h)",
+        OutageConfig {
+            mtbf_s: 1_200.0,
+            mttr_s: 3_600.0,
+        },
+        &mut csv,
+    );
+    println!("\nEvery scenario delivers 100% of the telemetry exactly once; outages");
+    println!("surface as staleness, never as loss — the paper's §3.1 claim.");
+    let path = write_results("reliability_study.csv", &csv);
+    println!("\nwrote {}", path.display());
+}

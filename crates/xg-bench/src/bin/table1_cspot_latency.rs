@@ -1,0 +1,89 @@
+//! Table 1: CSPOT message latency for a 1 KB payload.
+//!
+//! Measures the time to deliver a 1 KB message payload, 30 times
+//! back-to-back, discarding the first sample (connection start-up
+//! penalty), over the paper's three paths:
+//!
+//! | Path                  | Paper mean | Paper SD |
+//! |-----------------------|-----------:|---------:|
+//! | UNL→UCSB (5G+Int.)    |     101 ms |    17 ms |
+//! | UNL→UCSB (Internet)   |      17 ms |   0.8 ms |
+//! | UCSB→ND  (Internet)   |      92 ms |     1 ms |
+//!
+//! Also reports the client-side size-cache variant the paper discusses
+//! ("this optimization effectively halves the message latency").
+//!
+//! Run: `cargo run -p xg-bench --release --bin table1_cspot_latency`
+
+use std::sync::Arc;
+use xg_bench::write_results;
+use xg_cspot::prelude::*;
+use xg_net::units::SampleStats;
+
+const MESSAGES: usize = 30;
+
+fn measure(route_from: &str, route_to: &str, use_cache: bool, seed: u64) -> SampleStats {
+    let topo = Topology::paper();
+    let server = Arc::new(CspotNode::in_memory(route_to));
+    server
+        .create_log("bench", 1024, 4096)
+        .expect("fresh server log");
+    let cfg = RemoteConfig {
+        use_size_cache: use_cache,
+        ..Default::default()
+    };
+    let mut appender = RemoteAppender::new(
+        SimClock::new(),
+        topo.route(route_from, route_to)
+            .expect("route exists")
+            .clone(),
+        cfg,
+        seed,
+    );
+    let payload = vec![0u8; 1024];
+    let series = appender
+        .measure_latency_series(&server, "bench", &payload, MESSAGES)
+        .expect("healthy path");
+    SampleStats::of(&series).expect("29 samples")
+}
+
+fn main() {
+    println!("Table 1 — CSPOT 1 KB message latency (30 back-to-back, first discarded)\n");
+    println!(
+        "{:<26} {:>12} {:>10} {:>12} {:>10}",
+        "path", "paper (ms)", "paper SD", "measured", "SD"
+    );
+    let rows = [
+        ("UNL->UCSB (5G+Int.)", "UNL-5G", "UCSB", 101.0, 17.0),
+        ("UNL->UCSB (Internet)", "UNL", "UCSB", 17.0, 0.8),
+        ("UCSB->ND (Internet)", "UCSB", "ND", 92.0, 1.0),
+    ];
+    let mut csv = String::from("path,paper_mean_ms,paper_sd_ms,measured_mean_ms,measured_sd_ms\n");
+    for (label, from, to, paper_mean, paper_sd) in rows {
+        let stats = measure(from, to, false, 0x7AB1E1);
+        println!(
+            "{:<26} {:>12.1} {:>10.1} {:>12.1} {:>10.1}",
+            label, paper_mean, paper_sd, stats.mean, stats.sd
+        );
+        csv.push_str(&format!(
+            "{label},{paper_mean},{paper_sd},{:.2},{:.2}\n",
+            stats.mean, stats.sd
+        ));
+    }
+
+    println!("\nSize-cache optimization (paper: \"effectively halves the message latency\"):");
+    let plain = measure("UCSB", "ND", false, 0x7AB1E2);
+    let cached = measure("UCSB", "ND", true, 0x7AB1E2);
+    println!(
+        "  UCSB->ND two-phase {:.1} ms  |  size-cached {:.1} ms  |  ratio {:.2}",
+        plain.mean,
+        cached.mean,
+        cached.mean / plain.mean
+    );
+    csv.push_str(&format!(
+        "UCSB->ND size-cached,-,-,{:.2},{:.2}\n",
+        cached.mean, cached.sd
+    ));
+    let path = write_results("table1_cspot_latency.csv", &csv);
+    println!("\nwrote {}", path.display());
+}

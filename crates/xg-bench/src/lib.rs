@@ -1,0 +1,98 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §3 for the index) and writes its data to the
+//! `results/` directory at the workspace root, printing a paper-vs-measured
+//! comparison to stdout.
+
+use std::path::PathBuf;
+
+/// Directory where figure data lands (`results/` under the workspace).
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    std::fs::create_dir_all(&dir).expect("results directory must be creatable");
+    dir
+}
+
+/// Locate the workspace root by walking up from the current directory to
+/// the first `Cargo.toml` containing `[workspace]`.
+pub fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd readable");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("cwd readable");
+        }
+    }
+}
+
+/// Write a results file, returning its path.
+pub fn write_results(name: &str, contents: &str) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents).expect("results file writable");
+    path
+}
+
+/// Write binary results (e.g. PGM images).
+pub fn write_results_bytes(name: &str, contents: &[u8]) -> PathBuf {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents).expect("results file writable");
+    path
+}
+
+/// Samples per iperf configuration. The paper collects 100; override with
+/// `XG_SAMPLES` for quick runs.
+pub fn iperf_samples() -> usize {
+    std::env::var("XG_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100)
+}
+
+/// The paper's bandwidth sweeps (MHz).
+pub mod sweeps {
+    /// 4G FDD bandwidths (Fig. 4/5).
+    pub const LTE_FDD: [f64; 4] = [5.0, 10.0, 15.0, 20.0];
+    /// 5G FDD bandwidths.
+    pub const NR_FDD: [f64; 4] = [5.0, 10.0, 15.0, 20.0];
+    /// 5G TDD bandwidths.
+    pub const NR_TDD: [f64; 6] = [10.0, 15.0, 20.0, 30.0, 40.0, 50.0];
+}
+
+/// Format a mean ± sd cell.
+pub fn cell(mean: f64, sd: f64) -> String {
+    format!("{mean:7.2} ±{sd:5.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_found() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").exists());
+    }
+
+    #[test]
+    fn results_roundtrip() {
+        let p = write_results("selftest.txt", "hello");
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "hello");
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn sample_env_default() {
+        // Without the env var the paper default applies.
+        if std::env::var("XG_SAMPLES").is_err() {
+            assert_eq!(iperf_samples(), 100);
+        }
+    }
+}

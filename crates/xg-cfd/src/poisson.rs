@@ -1,0 +1,211 @@
+//! Pressure Poisson solver.
+//!
+//! Solves `∇²p = rhs` with homogeneous Neumann boundaries (and the
+//! compatibility gauge fixed by subtracting the mean) using damped Jacobi
+//! iteration. Jacobi is chosen over Gauss–Seidel deliberately: with double
+//! buffering every sweep reads only the previous iterate, so the result is
+//! **bitwise identical for any thread count** — the determinism property
+//! the solver tests rely on.
+
+use crate::field::Field3;
+use rayon::prelude::*;
+
+/// Result of a Poisson solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonStats {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final max-abs residual.
+    pub residual: f64,
+}
+
+/// Solve `∇²p = rhs` in place (p is the initial guess and the result).
+///
+/// `d` are the cell sizes; iterates until `max_iters` or the max-abs
+/// update falls below `tol`.
+pub fn solve(
+    p: &mut Field3,
+    rhs: &Field3,
+    d: [f64; 3],
+    max_iters: usize,
+    tol: f64,
+) -> PoissonStats {
+    let (nx, ny, nz) = (p.nx, p.ny, p.nz);
+    let slab = nx * ny;
+    let (idx2, idy2, idz2) = (
+        1.0 / (d[0] * d[0]),
+        1.0 / (d[1] * d[1]),
+        1.0 / (d[2] * d[2]),
+    );
+    let denom = 2.0 * (idx2 + idy2 + idz2);
+    let mut next = p.clone();
+    let mut stats = PoissonStats {
+        iterations: 0,
+        residual: f64::INFINITY,
+    };
+    for it in 0..max_iters {
+        let cur = p.as_slice();
+        let rhs_s = rhs.as_slice();
+        // Parallel over z-slabs; each slab writes only its own chunk.
+        let max_delta = next
+            .as_mut_slice()
+            .par_chunks_mut(slab)
+            .enumerate()
+            .map(|(k, out)| {
+                let mut local_max: f64 = 0.0;
+                for j in 0..ny {
+                    for i in 0..nx {
+                        let c = (k * ny + j) * nx + i;
+                        // Neumann: mirror at boundaries (ghost = interior).
+                        let xm = if i > 0 { cur[c - 1] } else { cur[c] };
+                        let xp = if i + 1 < nx { cur[c + 1] } else { cur[c] };
+                        let ym = if j > 0 { cur[c - nx] } else { cur[c] };
+                        let yp = if j + 1 < ny { cur[c + nx] } else { cur[c] };
+                        let zm = if k > 0 { cur[c - slab] } else { cur[c] };
+                        let zp = if k + 1 < nz { cur[c + slab] } else { cur[c] };
+                        let val = ((xm + xp) * idx2 + (ym + yp) * idy2 + (zm + zp) * idz2
+                            - rhs_s[c])
+                            / denom;
+                        let o = j * nx + i;
+                        local_max = local_max.max((val - cur[c]).abs());
+                        out[o] = val;
+                    }
+                }
+                local_max
+            })
+            .reduce(|| 0.0f64, f64::max);
+        std::mem::swap(p, &mut next);
+        stats.iterations = it + 1;
+        stats.residual = max_delta;
+        if max_delta < tol {
+            break;
+        }
+    }
+    // Fix the Neumann gauge: zero-mean pressure.
+    let mean = p.mean();
+    p.as_mut_slice().iter_mut().for_each(|x| *x -= mean);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Apply the discrete Neumann Laplacian to a field.
+    fn laplacian(p: &Field3, d: [f64; 3]) -> Field3 {
+        let (nx, ny, nz) = (p.nx, p.ny, p.nz);
+        let mut out = Field3::zeros(nx, ny, nz);
+        let (idx2, idy2, idz2) = (
+            1.0 / (d[0] * d[0]),
+            1.0 / (d[1] * d[1]),
+            1.0 / (d[2] * d[2]),
+        );
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let c = p.at(i, j, k);
+                    let xm = if i > 0 { p.at(i - 1, j, k) } else { c };
+                    let xp = if i + 1 < nx { p.at(i + 1, j, k) } else { c };
+                    let ym = if j > 0 { p.at(i, j - 1, k) } else { c };
+                    let yp = if j + 1 < ny { p.at(i, j + 1, k) } else { c };
+                    let zm = if k > 0 { p.at(i, j, k - 1) } else { c };
+                    let zp = if k + 1 < nz { p.at(i, j, k + 1) } else { c };
+                    out.set(
+                        i,
+                        j,
+                        k,
+                        (xm + xp - 2.0 * c) * idx2
+                            + (ym + yp - 2.0 * c) * idy2
+                            + (zm + zp - 2.0 * c) * idz2,
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn solves_manufactured_problem() {
+        // rhs = ∇² of a known zero-mean field; the solver must recover a
+        // field whose Laplacian matches rhs.
+        let (nx, ny, nz) = (16, 12, 8);
+        let d = [1.0, 1.0, 1.0];
+        let mut truth = Field3::zeros(nx, ny, nz);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let x = i as f64 / nx as f64;
+                    let y = j as f64 / ny as f64;
+                    let z = k as f64 / nz as f64;
+                    truth.set(
+                        i,
+                        j,
+                        k,
+                        (std::f64::consts::PI * x).cos()
+                            * (std::f64::consts::PI * y).cos()
+                            * (0.5 * std::f64::consts::PI * z).cos(),
+                    );
+                }
+            }
+        }
+        let rhs = laplacian(&truth, d);
+        let mut p = Field3::zeros(nx, ny, nz);
+        let stats = solve(&mut p, &rhs, d, 20_000, 1e-12);
+        assert!(stats.residual < 1e-10, "residual {}", stats.residual);
+        // Laplacian of the answer matches rhs.
+        let lap = laplacian(&p, d);
+        let mut max_err = 0.0f64;
+        for (a, b) in lap.as_slice().iter().zip(rhs.as_slice()) {
+            max_err = max_err.max((a - b).abs());
+        }
+        assert!(max_err < 1e-8, "max laplacian error {max_err}");
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_mean_constant() {
+        let rhs = Field3::zeros(8, 8, 4);
+        let mut p = Field3::filled(8, 8, 4, 5.0);
+        solve(&mut p, &rhs, [1.0, 1.0, 1.0], 100, 1e-12);
+        // Constant field with the gauge removed: everything ~0.
+        assert!(p.max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let (nx, ny, nz) = (12, 10, 6);
+        let mut rhs = Field3::zeros(nx, ny, nz);
+        for (i, v) in rhs.as_mut_slice().iter_mut().enumerate() {
+            // Deterministic pseudo-random rhs.
+            *v = ((i as f64 * 0.7312).sin() * 10.0).fract();
+        }
+        // Zero-mean rhs for compatibility.
+        let mean = rhs.mean();
+        rhs.as_mut_slice().iter_mut().for_each(|x| *x -= mean);
+
+        let solve_with = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut p = Field3::zeros(nx, ny, nz);
+            let rhs = rhs.clone();
+            pool.install(|| solve(&mut p, &rhs, [1.0, 1.0, 1.0], 200, 0.0));
+            p
+        };
+        let p1 = solve_with(1);
+        let p4 = solve_with(4);
+        assert_eq!(
+            p1.as_slice(),
+            p4.as_slice(),
+            "Jacobi must be bitwise deterministic across thread counts"
+        );
+    }
+
+    #[test]
+    fn early_exit_on_tolerance() {
+        let rhs = Field3::zeros(8, 8, 4);
+        let mut p = Field3::zeros(8, 8, 4);
+        let stats = solve(&mut p, &rhs, [1.0, 1.0, 1.0], 1000, 1e-9);
+        assert!(stats.iterations < 10, "converged in {}", stats.iterations);
+    }
+}

@@ -1,0 +1,172 @@
+//! Physical validation of the CFD solver beyond unit level: conservation,
+//! direction, qualitative references, and resolution consistency.
+
+use xg_cfd::boundary::BoundarySpec;
+use xg_cfd::mesh::{DomainSpec, Mesh};
+use xg_cfd::solver::{Simulation, SolverConfig};
+
+fn open_box(cells: [usize; 3]) -> Mesh {
+    Mesh::generate(&DomainSpec {
+        size_m: [60.0, 50.0, 10.0],
+        cells,
+        canopy: vec![],
+    })
+}
+
+#[test]
+fn mass_balance_inflow_vs_outflow() {
+    // Steady west wind through an empty porous box: the inflow through the
+    // west boundary must roughly match the outflow through the east
+    // boundary once the flow develops (projection enforces interior
+    // continuity; boundaries follow).
+    let mesh = open_box([20, 16, 8]);
+    let bc = BoundarySpec::intact(5.0, 270.0, 20.0);
+    let mut sim = Simulation::new(mesh, bc, SolverConfig::default());
+    sim.run(150);
+    let (nx, ny, nz) = (sim.u.nx, sim.u.ny, sim.u.nz);
+    let mut inflow = 0.0;
+    let mut outflow = 0.0;
+    for k in 1..nz - 1 {
+        for j in 1..ny - 1 {
+            inflow += sim.u.at(0, j, k);
+            outflow += sim.u.at(nx - 1, j, k);
+        }
+    }
+    assert!(inflow > 0.0, "west face must admit flow");
+    let imbalance = (inflow - outflow).abs() / inflow.max(1e-9);
+    assert!(
+        imbalance < 0.35,
+        "in {inflow:.2} vs out {outflow:.2} (imbalance {imbalance:.2})"
+    );
+}
+
+#[test]
+fn flow_direction_follows_wind_for_all_cardinal_winds() {
+    for (dir, expect_u, expect_v) in [
+        (270.0, 1.0, 0.0), // from west -> +x
+        (90.0, -1.0, 0.0), // from east -> -x
+        (180.0, 0.0, 1.0), // from south -> +y
+        (0.0, 0.0, -1.0),  // from north -> -y
+    ] {
+        let mesh = open_box([16, 16, 6]);
+        let bc = BoundarySpec::intact(5.0, dir, 20.0);
+        let mut sim = Simulation::new(mesh, bc, SolverConfig::default());
+        sim.run(80);
+        let (i, j, k) = (sim.u.nx / 2, sim.u.ny / 2, sim.u.nz - 2);
+        let (u, v) = (sim.u.at(i, j, k), sim.v.at(i, j, k));
+        if expect_u != 0.0 {
+            assert!(
+                u * expect_u > 0.0,
+                "dir {dir}: u {u} should have sign {expect_u}"
+            );
+        }
+        if expect_v != 0.0 {
+            assert!(
+                v * expect_v > 0.0,
+                "dir {dir}: v {v} should have sign {expect_v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn canopy_slows_flow_relative_to_open_box() {
+    let spec_open = DomainSpec {
+        size_m: [60.0, 50.0, 10.0],
+        cells: [20, 16, 8],
+        canopy: vec![],
+    };
+    let mut spec_trees = spec_open.clone();
+    spec_trees.canopy = vec![xg_cfd::mesh::CanopyBlock {
+        min: [15.0, 5.0, 0.0],
+        max: [45.0, 45.0, 5.0],
+    }];
+    let bc = BoundarySpec::intact(5.0, 270.0, 20.0);
+    let mut open = Simulation::new(
+        Mesh::generate(&spec_open),
+        bc.clone(),
+        SolverConfig::default(),
+    );
+    let mut trees = Simulation::new(Mesh::generate(&spec_trees), bc, SolverConfig::default());
+    open.run(100);
+    trees.run(100);
+    assert!(
+        trees.mean_interior_wind() < open.mean_interior_wind(),
+        "canopy drag must slow the flow: {} vs {}",
+        trees.mean_interior_wind(),
+        open.mean_interior_wind()
+    );
+}
+
+#[test]
+fn resolution_consistency_of_interior_wind() {
+    // The mean interior wind should be grid-converged to within ~30%
+    // between a coarse and a refined mesh (first-order upwind converges
+    // slowly, but the bulk statistic must be stable).
+    let bc = BoundarySpec::intact(5.0, 270.0, 20.0);
+    let mut coarse = Simulation::new(open_box([14, 12, 6]), bc.clone(), SolverConfig::default());
+    let mut fine = Simulation::new(open_box([28, 24, 10]), bc, SolverConfig::default());
+    coarse.run(120);
+    fine.run(240); // same physical time at half the cell size => CFL-safe
+    let (a, b) = (coarse.mean_interior_wind(), fine.mean_interior_wind());
+    let rel = (a - b).abs() / b.max(1e-9);
+    assert!(rel < 0.35, "coarse {a:.3} vs fine {b:.3} (rel {rel:.2})");
+}
+
+#[test]
+fn energy_bounded_over_long_run() {
+    // No spurious energy injection: kinetic energy must stay bounded by
+    // the inflow scale over a long integration.
+    let mesh = open_box([16, 14, 6]);
+    let bc = BoundarySpec::intact(6.0, 270.0, 22.0);
+    let mut sim = Simulation::new(mesh, bc, SolverConfig::default());
+    let mut max_ke = 0.0f64;
+    for _ in 0..20 {
+        sim.run(25);
+        let ke: f64 = sim
+            .u
+            .as_slice()
+            .iter()
+            .zip(sim.v.as_slice())
+            .zip(sim.w.as_slice())
+            .map(|((u, v), w)| u * u + v * v + w * w)
+            .sum();
+        max_ke = max_ke.max(ke);
+        assert!(ke.is_finite());
+    }
+    let cells = sim.u.len() as f64;
+    // Mean speed bound: free stream 6 m/s (cell-mean KE << 6²).
+    assert!(
+        max_ke / cells < 36.0,
+        "cell-mean KE {} exceeds the inflow scale",
+        max_ke / cells
+    );
+}
+
+#[test]
+fn stronger_breach_stronger_signal() {
+    // Twin residual grows monotonically with breach size.
+    let spec = DomainSpec::cups_default().with_cells(20, 16, 6);
+    let base_bc = BoundarySpec::intact(6.0, 270.0, 22.0);
+    let mut intact = Simulation::new(
+        Mesh::generate(&spec),
+        base_bc.clone(),
+        SolverConfig::default(),
+    );
+    intact.run(60);
+    let reference = intact.mean_interior_wind();
+    let mut last = reference;
+    for porosity in [0.4, 0.7, 1.0] {
+        let mut bc = base_bc.clone();
+        bc.west.set_panel(6, porosity);
+        let mut sim = Simulation::new(Mesh::generate(&spec), bc, SolverConfig::default());
+        sim.run(60);
+        let wind = sim.mean_interior_wind();
+        assert!(
+            wind >= last * 0.98,
+            "interior wind should grow with breach size: {wind} after {last}"
+        );
+        last = wind;
+    }
+    assert!(last > reference * 1.02, "largest breach clearly visible");
+}

@@ -1,0 +1,267 @@
+//! The field gateway agent.
+//!
+//! §3.2: each Raspberry Pi runs "a software agent called CSPOT, which
+//! continuously forwards sensor data using standard IP networking
+//! protocols to external endpoints". The agent couples a **local durable
+//! buffer log** with a **drain loop** over the remote append protocol, so
+//! connectivity loss (frequent in remote 5G deployments, §3.1) never loses
+//! data: samples park in the local log and drain exactly once when the
+//! path heals.
+
+use crate::error::{CspotError, Result};
+use crate::node::CspotNode;
+use crate::protocol::{AppendOutcome, RemoteAppender};
+
+/// Cursor state: the gateway tracks the highest locally-buffered sequence
+/// number it has successfully relayed (persisted in its own meta log so a
+/// gateway restart resumes the drain).
+const CURSOR_LOG: &str = "gateway.cursor";
+
+/// A store-and-forward gateway from a local buffer log to a remote log.
+pub struct Gateway {
+    /// The field node holding the local buffer.
+    local: std::sync::Arc<CspotNode>,
+    /// Name of the local buffer log.
+    buffer_log: String,
+    /// Name of the remote destination log.
+    remote_log: String,
+    appender: RemoteAppender,
+}
+
+/// Result of one drain pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrainReport {
+    /// Elements relayed this pass.
+    pub relayed: usize,
+    /// Elements still waiting (path failed mid-drain).
+    pub remaining: usize,
+    /// Total virtual-time latency spent (ms).
+    pub latency_ms: f64,
+}
+
+impl Gateway {
+    /// Create a gateway. The buffer log must already exist on `local`;
+    /// the cursor log is created (or recovered) automatically.
+    pub fn new(
+        local: std::sync::Arc<CspotNode>,
+        buffer_log: &str,
+        remote_log: &str,
+        appender: RemoteAppender,
+    ) -> Result<Self> {
+        // Cursor entries are 8-byte little-endian sequence numbers.
+        local.open_log(CURSOR_LOG, 8, 64)?;
+        local.log(buffer_log)?; // validate existence
+        Ok(Gateway {
+            local,
+            buffer_log: buffer_log.to_string(),
+            remote_log: remote_log.to_string(),
+            appender,
+        })
+    }
+
+    /// Highest buffered sequence successfully relayed (0 = none).
+    pub fn cursor(&self) -> u64 {
+        self.local
+            .log(CURSOR_LOG)
+            .ok()
+            .and_then(|log| {
+                log.latest_seq().and_then(|seq| {
+                    log.get(seq)
+                        .ok()
+                        .map(|b| u64::from_le_bytes(b[..8].try_into().expect("8-byte cursor")))
+                })
+            })
+            .unwrap_or(0)
+    }
+
+    fn advance_cursor(&self, to: u64) -> Result<()> {
+        self.local.put(CURSOR_LOG, &to.to_le_bytes())?;
+        Ok(())
+    }
+
+    /// Buffer one sample locally (never touches the network).
+    pub fn buffer(&self, payload: &[u8]) -> Result<u64> {
+        self.local.put(&self.buffer_log, payload)
+    }
+
+    /// Elements buffered but not yet relayed.
+    pub fn backlog(&self) -> usize {
+        let log = match self.local.log(&self.buffer_log) {
+            Ok(l) => l,
+            Err(_) => return 0,
+        };
+        log.scan_from(self.cursor() + 1).len()
+    }
+
+    /// Drain the backlog to the remote node, stopping at the first
+    /// failure (e.g. an ongoing partition). Each element is relayed with
+    /// an idempotency token derived from its buffer sequence number, so a
+    /// drain interrupted after the remote append but before the cursor
+    /// update cannot duplicate on retry.
+    pub fn drain(&mut self, remote: &CspotNode) -> DrainReport {
+        let mut relayed = 0usize;
+        let mut latency_ms = 0.0;
+        let pending: Vec<(u64, Vec<u8>)> = match self.local.log(&self.buffer_log) {
+            Ok(log) => log.scan_from(self.cursor() + 1),
+            Err(_) => Vec::new(),
+        };
+        let total = pending.len();
+        for (seq, payload) in pending {
+            match self.relay_one(remote, seq, &payload) {
+                Ok(outcome) => {
+                    latency_ms += outcome.latency_ms;
+                    if self.advance_cursor(seq).is_err() {
+                        break;
+                    }
+                    relayed += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        DrainReport {
+            relayed,
+            remaining: total - relayed,
+            latency_ms,
+        }
+    }
+
+    fn relay_one(
+        &mut self,
+        remote: &CspotNode,
+        buffer_seq: u64,
+        payload: &[u8],
+    ) -> std::result::Result<AppendOutcome, CspotError> {
+        // Token namespace: gateway buffer sequence numbers, offset so they
+        // never collide with the appender's own token counter space.
+        let token = 0x6A7E_0000_0000_0000_u128 << 64 | buffer_seq as u128;
+        self.appender
+            .append_with_token(remote, &self.remote_log, payload, token)
+    }
+
+    /// Mutable access to the underlying route (partition injection).
+    pub fn route_mut(&mut self) -> &mut crate::netsim::RoutePath {
+        self.appender.route_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netsim::{PathModel, RoutePath, SimClock};
+    use crate::protocol::RemoteConfig;
+    use std::sync::Arc;
+
+    fn setup() -> (Gateway, Arc<CspotNode>) {
+        let local = Arc::new(CspotNode::in_memory("UNL"));
+        local.create_log("buf", 8, 1024).unwrap();
+        let remote = Arc::new(CspotNode::in_memory("UCSB"));
+        remote.create_log("telemetry", 8, 1024).unwrap();
+        let cfg = RemoteConfig {
+            timeout_ms: 20.0,
+            max_attempts: 3,
+            ..Default::default()
+        };
+        let appender = RemoteAppender::new(
+            SimClock::new(),
+            RoutePath::single(PathModel::wired(3.0, 0.2)),
+            cfg,
+            1,
+        );
+        let gw = Gateway::new(local, "buf", "telemetry", appender).unwrap();
+        (gw, remote)
+    }
+
+    #[test]
+    fn buffer_then_drain() {
+        let (mut gw, remote) = setup();
+        for i in 0..5u64 {
+            gw.buffer(&i.to_le_bytes()).unwrap();
+        }
+        assert_eq!(gw.backlog(), 5);
+        let report = gw.drain(&remote);
+        assert_eq!(report.relayed, 5);
+        assert_eq!(report.remaining, 0);
+        assert_eq!(gw.backlog(), 0);
+        assert_eq!(remote.latest_seq("telemetry").unwrap(), Some(5));
+        // Order preserved.
+        for i in 0..5u64 {
+            assert_eq!(remote.get("telemetry", i + 1).unwrap(), i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn drain_is_incremental() {
+        let (mut gw, remote) = setup();
+        gw.buffer(&1u64.to_le_bytes()).unwrap();
+        gw.drain(&remote);
+        gw.buffer(&2u64.to_le_bytes()).unwrap();
+        let report = gw.drain(&remote);
+        assert_eq!(report.relayed, 1, "only the new element relays");
+        assert_eq!(remote.log("telemetry").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn partition_parks_data_then_drains_exactly_once() {
+        let (mut gw, remote) = setup();
+        gw.route_mut().set_partitioned(true);
+        for i in 0..4u64 {
+            gw.buffer(&i.to_le_bytes()).unwrap();
+        }
+        let during = gw.drain(&remote);
+        assert_eq!(during.relayed, 0);
+        assert_eq!(during.remaining, 4);
+        assert_eq!(gw.backlog(), 4, "data parked locally");
+
+        gw.route_mut().set_partitioned(false);
+        let after = gw.drain(&remote);
+        assert_eq!(after.relayed, 4);
+        assert_eq!(remote.log("telemetry").unwrap().len(), 4, "exactly once");
+        // A second drain relays nothing.
+        assert_eq!(gw.drain(&remote).relayed, 0);
+    }
+
+    #[test]
+    fn empty_drain_is_noop() {
+        let (mut gw, remote) = setup();
+        let r = gw.drain(&remote);
+        assert_eq!(r.relayed, 0);
+        assert_eq!(r.remaining, 0);
+        assert_eq!(r.latency_ms, 0.0);
+    }
+
+    #[test]
+    fn gateway_restart_resumes_from_cursor() {
+        // Durable local node: the cursor survives a gateway power cycle.
+        let dir = std::env::temp_dir().join(format!("xg-gw-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let remote = Arc::new(CspotNode::in_memory("UCSB"));
+        remote.create_log("telemetry", 8, 1024).unwrap();
+        let mk_appender = || {
+            RemoteAppender::new(
+                SimClock::new(),
+                RoutePath::single(PathModel::wired(3.0, 0.2)),
+                RemoteConfig::default(),
+                1,
+            )
+        };
+        {
+            let local = Arc::new(CspotNode::durable("UNL", &dir));
+            local.create_log("buf", 8, 1024).unwrap();
+            let mut gw =
+                Gateway::new(Arc::clone(&local), "buf", "telemetry", mk_appender()).unwrap();
+            gw.buffer(&1u64.to_le_bytes()).unwrap();
+            gw.buffer(&2u64.to_le_bytes()).unwrap();
+            gw.drain(&remote);
+            gw.buffer(&3u64.to_le_bytes()).unwrap();
+            // Crash before draining element 3.
+        }
+        let local = Arc::new(CspotNode::durable("UNL", &dir));
+        local.open_log("buf", 8, 1024).unwrap();
+        let mut gw = Gateway::new(local, "buf", "telemetry", mk_appender()).unwrap();
+        assert_eq!(gw.cursor(), 2, "cursor recovered");
+        assert_eq!(gw.backlog(), 1);
+        let r = gw.drain(&remote);
+        assert_eq!(r.relayed, 1);
+        assert_eq!(remote.log("telemetry").unwrap().len(), 3, "no duplicates");
+    }
+}

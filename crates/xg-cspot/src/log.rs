@@ -1,0 +1,357 @@
+//! CSPOT logs ("WooFs"): fixed-element-size, sequence-numbered, circular
+//! append-only logs.
+//!
+//! Design constraints carried over from the paper (§3.4):
+//!
+//! * Only the assignment of a sequence number to an appended element is
+//!   atomic; reads proceed concurrently against immutable history.
+//! * There is **no lock API**. Internally a mutex protects sequence
+//!   assignment, but it is never held across anything that can block on the
+//!   network (appends to *remote* logs are composed in
+//!   [`crate::protocol`], outside this lock).
+//! * Logs are single-writer-ordered but multi-producer: any number of
+//!   threads may append; each append receives a unique, dense sequence
+//!   number.
+//! * Elements have a fixed size declared at creation (the remote protocol
+//!   fetches this size before sending data — the paper's two-phase append).
+//! * History is circular: a log retains its most recent `history` elements.
+
+use crate::error::{CspotError, Result};
+use crate::storage::{Record, StorageBackend};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+
+/// Static configuration of a log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogConfig {
+    /// Log name, unique within a node's namespace.
+    pub name: String,
+    /// Fixed element size in bytes. Appends of any other size are rejected.
+    pub element_size: usize,
+    /// Number of elements retained (circular history).
+    pub history: usize,
+}
+
+struct LogInner {
+    next_seq: u64,
+    entries: VecDeque<(u64, Vec<u8>)>,
+    /// Idempotency-token → sequence map for exactly-once retries.
+    dedup: HashMap<u128, u64>,
+    backend: Box<dyn StorageBackend>,
+}
+
+/// A CSPOT log.
+pub struct Log {
+    config: LogConfig,
+    inner: Mutex<LogInner>,
+}
+
+impl Log {
+    /// Create a log over the given backend, recovering any durable records
+    /// the backend already holds (crash recovery / restart).
+    pub fn create(config: LogConfig, mut backend: Box<dyn StorageBackend>) -> Result<Self> {
+        let records = backend.recover()?;
+        let mut entries = VecDeque::new();
+        let mut dedup = HashMap::new();
+        let mut next_seq = 1u64;
+        for r in records {
+            if r.token != 0 {
+                dedup.insert(r.token, r.seq);
+            }
+            entries.push_back((r.seq, r.payload));
+            if entries.len() > config.history {
+                entries.pop_front();
+            }
+            next_seq = r.seq + 1;
+        }
+        Ok(Log {
+            config,
+            inner: Mutex::new(LogInner {
+                next_seq,
+                entries,
+                dedup,
+                backend,
+            }),
+        })
+    }
+
+    /// The log's configuration.
+    pub fn config(&self) -> &LogConfig {
+        &self.config
+    }
+
+    /// The fixed element size (the datum the remote protocol's first phase
+    /// fetches).
+    pub fn element_size(&self) -> usize {
+        self.config.element_size
+    }
+
+    /// Append an element, returning its sequence number (1-based, dense).
+    pub fn append(&self, payload: &[u8]) -> Result<u64> {
+        self.append_with_token(0, payload)
+    }
+
+    /// Append with an idempotency token: if an element with this token was
+    /// already appended (a retry after a lost acknowledgment), the original
+    /// sequence number is returned and no duplicate is written.
+    ///
+    /// Token 0 means "no token" (no deduplication).
+    pub fn append_with_token(&self, token: u128, payload: &[u8]) -> Result<u64> {
+        if payload.len() != self.config.element_size {
+            return Err(CspotError::ElementSizeMismatch {
+                expected: self.config.element_size,
+                got: payload.len(),
+            });
+        }
+        let mut inner = self.inner.lock();
+        if token != 0 {
+            if let Some(&seq) = inner.dedup.get(&token) {
+                return Ok(seq);
+            }
+        }
+        let seq = inner.next_seq;
+        let record = Record {
+            seq,
+            token,
+            payload: payload.to_vec(),
+        };
+        inner.backend.append(&record)?;
+        inner.next_seq += 1;
+        inner.entries.push_back((seq, record.payload));
+        if inner.entries.len() > self.config.history {
+            inner.entries.pop_front();
+        }
+        if token != 0 {
+            inner.dedup.insert(token, seq);
+        }
+        Ok(seq)
+    }
+
+    /// Read the element at `seq`.
+    pub fn get(&self, seq: u64) -> Result<Vec<u8>> {
+        let inner = self.inner.lock();
+        let earliest = inner.entries.front().map(|&(s, _)| s);
+        let latest = inner.entries.back().map(|&(s, _)| s);
+        match (earliest, latest) {
+            (Some(e), Some(_)) if seq >= e => {
+                let idx = (seq - e) as usize;
+                inner
+                    .entries
+                    .get(idx)
+                    .map(|(_, p)| p.clone())
+                    .ok_or(CspotError::SeqOutOfRange {
+                        seq,
+                        earliest,
+                        latest,
+                    })
+            }
+            _ => Err(CspotError::SeqOutOfRange {
+                seq,
+                earliest,
+                latest,
+            }),
+        }
+    }
+
+    /// Latest assigned sequence number, if any element has been appended.
+    pub fn latest_seq(&self) -> Option<u64> {
+        self.inner.lock().entries.back().map(|&(s, _)| s)
+    }
+
+    /// Earliest retained sequence number.
+    pub fn earliest_seq(&self) -> Option<u64> {
+        self.inner.lock().entries.front().map(|&(s, _)| s)
+    }
+
+    /// Number of retained elements.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True if no elements are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all `(seq, payload)` pairs with `seq >= from`, in order.
+    ///
+    /// This is the primitive CSPOT handlers use to implement multi-event
+    /// synchronization: since a handler fires on exactly one append, joining
+    /// multiple events requires scanning log history (paper §3.4).
+    pub fn scan_from(&self, from: u64) -> Vec<(u64, Vec<u8>)> {
+        self.inner
+            .lock()
+            .entries
+            .iter()
+            .filter(|&&(s, _)| s >= from)
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent `n` elements, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<(u64, Vec<u8>)> {
+        let inner = self.inner.lock();
+        let skip = inner.entries.len().saturating_sub(n);
+        inner.entries.iter().skip(skip).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemBackend;
+    use std::sync::Arc;
+
+    fn mklog(element_size: usize, history: usize) -> Log {
+        Log::create(
+            LogConfig {
+                name: "t".into(),
+                element_size,
+                history,
+            },
+            Box::new(MemBackend::new()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn append_returns_dense_sequences() {
+        let log = mklog(3, 16);
+        assert_eq!(log.append(b"aaa").unwrap(), 1);
+        assert_eq!(log.append(b"bbb").unwrap(), 2);
+        assert_eq!(log.append(b"ccc").unwrap(), 3);
+        assert_eq!(log.latest_seq(), Some(3));
+    }
+
+    #[test]
+    fn element_size_enforced() {
+        let log = mklog(4, 16);
+        assert!(matches!(
+            log.append(b"toolong"),
+            Err(CspotError::ElementSizeMismatch {
+                expected: 4,
+                got: 7
+            })
+        ));
+        assert!(log.append(b"ok!!").is_ok());
+    }
+
+    #[test]
+    fn get_roundtrip() {
+        let log = mklog(2, 16);
+        let s1 = log.append(b"ab").unwrap();
+        let s2 = log.append(b"cd").unwrap();
+        assert_eq!(log.get(s1).unwrap(), b"ab");
+        assert_eq!(log.get(s2).unwrap(), b"cd");
+        assert!(log.get(99).is_err());
+        assert!(log.get(0).is_err());
+    }
+
+    #[test]
+    fn circular_history_evicts_oldest() {
+        let log = mklog(1, 3);
+        for b in [b"a", b"b", b"c", b"d", b"e"] {
+            log.append(b.as_slice()).unwrap();
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.earliest_seq(), Some(3));
+        assert_eq!(log.latest_seq(), Some(5));
+        assert!(log.get(2).is_err(), "evicted element must be unreadable");
+        assert_eq!(log.get(3).unwrap(), b"c");
+        // Sequence numbers keep growing past eviction.
+        assert_eq!(log.append(b"f").unwrap(), 6);
+    }
+
+    #[test]
+    fn dedup_returns_original_seq() {
+        let log = mklog(1, 16);
+        let s1 = log.append_with_token(42, b"x").unwrap();
+        let s2 = log.append_with_token(42, b"x").unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(log.len(), 1, "no duplicate element");
+        // A different token appends normally.
+        let s3 = log.append_with_token(43, b"y").unwrap();
+        assert_eq!(s3, s1 + 1);
+    }
+
+    #[test]
+    fn token_zero_never_dedups() {
+        let log = mklog(1, 16);
+        let s1 = log.append_with_token(0, b"x").unwrap();
+        let s2 = log.append_with_token(0, b"x").unwrap();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn scan_and_tail() {
+        let log = mklog(1, 16);
+        for b in [b"a", b"b", b"c", b"d"] {
+            log.append(b.as_slice()).unwrap();
+        }
+        let scanned = log.scan_from(3);
+        assert_eq!(scanned.len(), 2);
+        assert_eq!(scanned[0].0, 3);
+        let tail = log.tail(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].1, b"c");
+        assert_eq!(tail[1].1, b"d");
+        // Tail longer than the log returns everything.
+        assert_eq!(log.tail(100).len(), 4);
+    }
+
+    #[test]
+    fn concurrent_appends_unique_dense_seqs() {
+        let log = Arc::new(mklog(8, 100_000));
+        let threads = 8;
+        let per_thread = 500;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                let mut seqs = Vec::with_capacity(per_thread);
+                for i in 0..per_thread {
+                    let payload = [(t as u8); 8];
+                    let _ = i;
+                    seqs.push(log.append(&payload).unwrap());
+                }
+                seqs
+            }));
+        }
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (1..=(threads * per_thread) as u64).collect();
+        assert_eq!(all, expect, "sequence numbers must be unique and dense");
+    }
+
+    #[test]
+    fn recovery_restores_state() {
+        use crate::storage::FileBackend;
+        let dir = std::env::temp_dir().join(format!("xg-log-recovery-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("recover_test.log");
+        let _ = std::fs::remove_file(&path);
+        let cfg = LogConfig {
+            name: "r".into(),
+            element_size: 2,
+            history: 10,
+        };
+        {
+            let log =
+                Log::create(cfg.clone(), Box::new(FileBackend::open(&path).unwrap())).unwrap();
+            log.append(b"ab").unwrap();
+            log.append_with_token(7, b"cd").unwrap();
+        }
+        // "Restart" the node: recreate the log over the same file.
+        let log = Log::create(cfg, Box::new(FileBackend::open(&path).unwrap())).unwrap();
+        assert_eq!(log.latest_seq(), Some(2));
+        assert_eq!(log.get(1).unwrap(), b"ab");
+        // Dedup state survives restart: a retried append is still absorbed.
+        let s = log.append_with_token(7, b"cd").unwrap();
+        assert_eq!(s, 2);
+        // And new appends continue the sequence.
+        assert_eq!(log.append(b"ef").unwrap(), 3);
+    }
+}

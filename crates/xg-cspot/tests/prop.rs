@@ -1,0 +1,132 @@
+//! Property-based invariants of the CSPOT runtime.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xg_cspot::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// File-backend durability: any sequence of appends recovers exactly
+    /// across a close/reopen cycle.
+    #[test]
+    fn file_backend_roundtrip(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 6), 1..20),
+        case_id in 0u64..u64::MAX,
+    ) {
+        let dir = std::env::temp_dir()
+            .join(format!("xg-prop-{}-{case_id:x}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let node = CspotNode::durable("UNL", &dir);
+            node.create_log("p", 6, 1000).unwrap();
+            for p in &payloads {
+                node.put("p", p).unwrap();
+            }
+        }
+        let node = CspotNode::durable("UNL", &dir);
+        let log = node.open_log("p", 6, 1000).unwrap();
+        prop_assert_eq!(log.len(), payloads.len());
+        for (i, p) in payloads.iter().enumerate() {
+            prop_assert_eq!(&log.get(i as u64 + 1).unwrap(), p);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The remote protocol delivers exactly once under arbitrary ack-loss
+    /// schedules, and the sequence order matches the send order.
+    #[test]
+    fn remote_exactly_once_under_ack_loss(
+        losses in proptest::collection::vec(0u32..3, 1..12),
+        seed in 0u64..10_000,
+    ) {
+        let server = Arc::new(CspotNode::in_memory("UCSB"));
+        server.create_log("l", 8, 10_000).unwrap();
+        let cfg = RemoteConfig {
+            timeout_ms: 10.0,
+            ..Default::default()
+        };
+        let mut appender = RemoteAppender::new(
+            SimClock::new(),
+            RoutePath::single(PathModel::wired(1.0, 0.05)),
+            cfg,
+            seed,
+        );
+        for (i, &loss) in losses.iter().enumerate() {
+            appender.inject_ack_loss(loss);
+            let o = appender
+                .append(&server, "l", &(i as u64).to_le_bytes())
+                .unwrap();
+            prop_assert_eq!(o.seq, i as u64 + 1);
+            prop_assert_eq!(o.attempts, loss + 1);
+        }
+        prop_assert_eq!(server.log("l").unwrap().len(), losses.len());
+    }
+
+    /// Latency over a jitter-free route is deterministic: base × 4
+    /// crossings + storage, independent of payload content.
+    #[test]
+    fn latency_composition(base in 0.5f64..50.0, payload in proptest::collection::vec(any::<u8>(), 16)) {
+        let server = Arc::new(CspotNode::in_memory("UCSB"));
+        server.create_log("l", 16, 100).unwrap();
+        let cfg = RemoteConfig {
+            storage_jitter_ms: 0.0,
+            connect_ms: 0.0,
+            ..Default::default()
+        };
+        let mut appender = RemoteAppender::new(
+            SimClock::new(),
+            RoutePath::single(PathModel::wired(base, 0.0)),
+            cfg,
+            1,
+        );
+        let o = appender.append(&server, "l", &payload).unwrap();
+        let expect = 4.0 * base.max(0.1) + 2.0;
+        prop_assert!((o.latency_ms - expect).abs() < 0.02, "{} vs {}", o.latency_ms, expect);
+    }
+
+    /// Gateway drains preserve order and count for any buffered stream,
+    /// regardless of where a partition interrupts.
+    #[test]
+    fn gateway_drain_order(
+        n_before in 1usize..8,
+        n_during in 0usize..8,
+        seed in 0u64..1000,
+    ) {
+        let local = Arc::new(CspotNode::in_memory("UNL"));
+        local.create_log("buf", 8, 1024).unwrap();
+        let remote = Arc::new(CspotNode::in_memory("UCSB"));
+        remote.create_log("dst", 8, 1024).unwrap();
+        let cfg = RemoteConfig {
+            timeout_ms: 5.0,
+            max_attempts: 2,
+            ..Default::default()
+        };
+        let appender = RemoteAppender::new(
+            SimClock::new(),
+            RoutePath::single(PathModel::wired(1.0, 0.0)),
+            cfg,
+            seed,
+        );
+        let mut gw = Gateway::new(local, "buf", "dst", appender).unwrap();
+        let mut sent = 0u64;
+        for _ in 0..n_before {
+            gw.buffer(&sent.to_le_bytes()).unwrap();
+            sent += 1;
+        }
+        gw.drain(&remote);
+        gw.route_mut().set_partitioned(true);
+        for _ in 0..n_during {
+            gw.buffer(&sent.to_le_bytes()).unwrap();
+            sent += 1;
+        }
+        gw.drain(&remote); // fails silently, parks data
+        gw.route_mut().set_partitioned(false);
+        gw.drain(&remote);
+        let log = remote.log("dst").unwrap();
+        prop_assert_eq!(log.len() as u64, sent);
+        for i in 0..sent {
+            prop_assert_eq!(remote.get("dst", i + 1).unwrap(), i.to_le_bytes());
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # xg-fabric — end-to-end xGFabric orchestration
+//!
+//! The core crate of the reproduction: it wires the substrates into the
+//! paper's Fig. 3 pipeline —
+//!
+//! ```text
+//! CUPS sensors ──5G──▶ CSPOT@UNL ──Internet──▶ CSPOT repo @UCSB
+//!                                                   │ Laminar change detection
+//!                                                   ▼
+//!                                          Pilot controller @ND ──▶ CFD run
+//!                                                   │                   │
+//!                                                   ▼                   ▼
+//!                                            digital twin ◀── predicted field
+//!                                                   │
+//!                                                   ▼ breach suspect
+//!                                            Farm-ng robot dispatch
+//! ```
+//!
+//! * [`pipeline`] — the telemetry data path: station reports shipped over
+//!   the private-5G + Internet route into the UCSB CSPOT repository.
+//! * [`orchestrator`] — the full closed loop with virtual-time accounting:
+//!   5-minute telemetry duty cycle, 30-minute change detection, pilot
+//!   triggering, CFD execution, twin comparison, robot dispatch.
+//! * [`robot`] — the Farm-NG wheeled robot: route planning to a suspect
+//!   wall region and visual confirmation (§2's future-work loop, closed).
+//! * [`timeline`] — the §4.4 end-to-end latency budget.
+
+//! ```
+//! use xg_fabric::prelude::*;
+//!
+//! let mut fabric = XgFabric::new(xg_fabric::orchestrator::FabricConfig {
+//!     cfd_cells: [12, 10, 4], // fast doc-test resolution
+//!     cfd_steps: 10,
+//!     ..Default::default()
+//! });
+//! fabric.run_cycles(2); // two 5-minute reporting cycles
+//! assert_eq!(fabric.timeline().telemetry_latencies_ms().len(), 2);
+//! ```
+
+pub mod backtest;
+pub mod intervention;
+pub mod orchestrator;
+pub mod pipeline;
+pub mod robot;
+pub mod route;
+pub mod timeline;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::backtest::{BacktestReport, Backtester, CalibrationSample};
+    pub use crate::intervention::{Intervention, InterventionAdvisor, SiteConditions};
+    pub use crate::orchestrator::{FabricConfig, XgFabric};
+    pub use crate::pipeline::TelemetryPipeline;
+    pub use crate::robot::{Robot, RobotReport};
+    pub use crate::route::RoutePlanner;
+    pub use crate::timeline::{Event, Timeline};
+}
+
+pub use prelude::*;

@@ -1,0 +1,184 @@
+//! Multi-site pilot placement.
+//!
+//! §4.3: "future deployments of xGFabric will make use of varying HPC
+//! sites in order to exploit the changing availability and performance of
+//! different facilities." The [`MultiSiteController`] runs one pilot
+//! controller per site, learns each site's queue behaviour through its
+//! [`crate::predictor::QueueWaitPredictor`], and routes each CFD task to
+//! the site with the best expected completion time
+//! (predicted wait + runtime / perf factor).
+
+use crate::pilot::{PilotController, PilotControllerConfig, TaskOutcome};
+use crate::site::SiteProfile;
+
+/// One site's stack inside the controller.
+struct SiteSlot {
+    profile: SiteProfile,
+    controller: PilotController,
+    /// Tasks routed here.
+    routed: usize,
+}
+
+/// A task router across several HPC facilities.
+pub struct MultiSiteController {
+    sites: Vec<SiteSlot>,
+}
+
+/// Where a task was placed and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Chosen site name.
+    pub site: String,
+    /// Expected completion time used for the decision (s).
+    pub expected_completion_s: f64,
+}
+
+impl MultiSiteController {
+    /// Build a controller over `(profile, busy)` pairs; busy sites carry
+    /// their background load.
+    pub fn new(sites: Vec<(SiteProfile, bool)>, seed: u64) -> Self {
+        let slots = sites
+            .into_iter()
+            .enumerate()
+            .map(|(i, (profile, busy))| {
+                let cluster = if busy {
+                    profile.build_cluster(seed ^ i as u64)
+                } else {
+                    profile.build_idle_cluster()
+                };
+                let mut cfg = PilotControllerConfig::paper_default(profile.nodes);
+                cfg.max_walltime_s = profile.max_walltime_s;
+                let controller = PilotController::new(cluster, cfg);
+                SiteSlot {
+                    profile,
+                    controller,
+                    routed: 0,
+                }
+            })
+            .collect();
+        MultiSiteController { sites: slots }
+    }
+
+    /// Advance every site to virtual time `t`.
+    pub fn advance_to(&mut self, t: f64) {
+        for s in &mut self.sites {
+            s.controller.advance_to(t);
+        }
+    }
+
+    /// Expected completion time of a task at a site: available pilot
+    /// capacity means no wait; otherwise the learned queue-wait estimate,
+    /// plus the runtime scaled by the site's performance factor.
+    fn expected_completion_s(&self, site: &SiteSlot, nodes: u32, runtime_s: f64) -> f64 {
+        let wait = if site.controller.n_available() >= nodes {
+            0.0
+        } else {
+            site.controller.predictor().predict_s(nodes)
+        };
+        wait + runtime_s / site.profile.perf_factor
+    }
+
+    /// Route a task to the best site and submit it there.
+    pub fn submit_task(&mut self, nodes: u32, runtime_s: f64) -> Placement {
+        let best = (0..self.sites.len())
+            .min_by(|&a, &b| {
+                let ea = self.expected_completion_s(&self.sites[a], nodes, runtime_s);
+                let eb = self.expected_completion_s(&self.sites[b], nodes, runtime_s);
+                ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("at least one site");
+        let expected = self.expected_completion_s(&self.sites[best], nodes, runtime_s);
+        let slot = &mut self.sites[best];
+        slot.controller.on_data(nodes as f64 * 1024.0);
+        slot.controller.submit_task(nodes, runtime_s);
+        slot.routed += 1;
+        Placement {
+            site: slot.profile.name.clone(),
+            expected_completion_s: expected,
+        }
+    }
+
+    /// Completed tasks per site, `(name, tasks, routed)`.
+    pub fn per_site_stats(&self) -> Vec<(String, &[TaskOutcome], usize)> {
+        self.sites
+            .iter()
+            .map(|s| {
+                (
+                    s.profile.name.clone(),
+                    s.controller.completed_tasks(),
+                    s.routed,
+                )
+            })
+            .collect()
+    }
+
+    /// Total completed tasks across every site.
+    pub fn completed_total(&self) -> usize {
+        self.sites
+            .iter()
+            .map(|s| s.controller.completed_tasks().len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_to_idle_site_when_one_is_saturated() {
+        // ND busy, ANVIL idle: tasks should overwhelmingly land on ANVIL
+        // once ND's pilot capacity is consumed.
+        let mut ctl = MultiSiteController::new(
+            vec![
+                (SiteProfile::notre_dame_crc(), true),
+                (SiteProfile::anvil(), false),
+            ],
+            3,
+        );
+        ctl.advance_to(1800.0);
+        for hour in 1..=6 {
+            ctl.advance_to(1800.0 + hour as f64 * 3600.0);
+            // Two concurrent tasks per trigger: more than one 1-node pilot
+            // can absorb at once.
+            ctl.submit_task(1, 420.0);
+            ctl.submit_task(1, 420.0);
+        }
+        ctl.advance_to(10.0 * 3600.0);
+        let stats = ctl.per_site_stats();
+        let anvil_routed = stats.iter().find(|(n, _, _)| n == "ANVIL").unwrap().2;
+        assert!(anvil_routed >= 6, "idle site must absorb load: {stats:?}");
+        assert_eq!(ctl.completed_total(), 12, "all tasks complete somewhere");
+    }
+
+    #[test]
+    fn perf_factor_breaks_ties() {
+        // Both idle with capacity: the faster site wins the first task.
+        let mut ctl = MultiSiteController::new(
+            vec![
+                (SiteProfile::notre_dame_crc(), false), // perf 1.0
+                (SiteProfile::anvil(), false),          // perf 1.05
+            ],
+            4,
+        );
+        ctl.advance_to(600.0);
+        let p = ctl.submit_task(1, 420.0);
+        assert_eq!(p.site, "ANVIL", "faster site preferred: {p:?}");
+        assert!(p.expected_completion_s < 420.0);
+    }
+
+    #[test]
+    fn all_sites_busy_still_completes() {
+        let mut ctl = MultiSiteController::new(
+            vec![
+                (SiteProfile::notre_dame_crc(), true),
+                (SiteProfile::stampede3(), true),
+            ],
+            5,
+        );
+        ctl.advance_to(3600.0);
+        ctl.submit_task(1, 420.0);
+        ctl.advance_to(16.0 * 3600.0);
+        assert!(ctl.completed_total() >= 1, "task must eventually run");
+    }
+}

@@ -1,0 +1,159 @@
+//! Bridging raw CSPOT logs into Laminar values.
+//!
+//! The telemetry pipeline appends plain little-endian `f64` elements to
+//! CSPOT logs (one per report); Laminar programs consume `F64Vec` windows.
+//! This module is the seam between the two: reading scalar series and
+//! sliding windows out of a log, and feeding a change-detection graph one
+//! epoch per duty cycle — the deployment pattern §3.7 describes, where
+//! "the Laminar program components can be deployed either within the
+//! private 5G network or at UCSB in any combination".
+
+use crate::change::ChangeDetector;
+use crate::error::{LaminarError, Result};
+use crate::runtime::LaminarRuntime;
+use crate::value::Value;
+use xg_cspot::node::CspotNode;
+
+/// Read the most recent `n` little-endian `f64` elements of a log, oldest
+/// first. Elements must be at least 8 bytes (extra bytes are ignored).
+pub fn read_f64_series(node: &CspotNode, log: &str, n: usize) -> Result<Vec<f64>> {
+    let log = node.log(log)?;
+    log.tail(n)
+        .into_iter()
+        .map(|(_, bytes)| {
+            bytes
+                .get(..8)
+                .and_then(|b| b.try_into().ok())
+                .map(f64::from_le_bytes)
+                .ok_or_else(|| LaminarError::Codec("element shorter than 8 bytes".into()))
+        })
+        .collect()
+}
+
+/// Append one `f64` sample to a log (the writer-side convention).
+pub fn append_f64(node: &CspotNode, log: &str, value: f64) -> Result<u64> {
+    Ok(node.put(log, &value.to_le_bytes())?)
+}
+
+/// The two most recent adjacent windows of a series: `(previous, recent)`.
+///
+/// Returns `None` until the log holds at least `2 * window` samples.
+pub fn latest_windows(
+    node: &CspotNode,
+    log: &str,
+    window: usize,
+) -> Result<Option<(Vec<f64>, Vec<f64>)>> {
+    let series = read_f64_series(node, log, 2 * window)?;
+    if series.len() < 2 * window {
+        return Ok(None);
+    }
+    let (prev, recent) = series.split_at(window);
+    Ok(Some((prev.to_vec(), recent.to_vec())))
+}
+
+/// Drive a deployed [`crate::change::build_change_graph`] program from a
+/// raw telemetry log: build the two windows, inject them as `epoch`, and
+/// read back the alert.
+///
+/// Returns `None` when the log does not yet hold two full windows.
+pub fn run_change_epoch(
+    runtime: &LaminarRuntime,
+    node: &CspotNode,
+    telemetry_log: &str,
+    detector: &ChangeDetector,
+    epoch: u64,
+) -> Result<Option<bool>> {
+    let Some((prev, recent)) = latest_windows(node, telemetry_log, detector.window)? else {
+        return Ok(None);
+    };
+    runtime.inject("prev_window", epoch, Value::F64Vec(prev))?;
+    runtime.inject("recent_window", epoch, Value::F64Vec(recent))?;
+    Ok(runtime.read("detect", epoch)?.and_then(|v| v.as_bool()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::change::build_change_graph;
+    use std::sync::Arc;
+
+    fn node_with_log() -> Arc<CspotNode> {
+        let node = Arc::new(CspotNode::in_memory("UCSB"));
+        node.create_log("wind", 8, 256).unwrap();
+        node
+    }
+
+    #[test]
+    fn series_roundtrip_and_order() {
+        let node = node_with_log();
+        for v in [1.0f64, 2.0, 3.0, 4.0] {
+            append_f64(&node, "wind", v).unwrap();
+        }
+        assert_eq!(
+            read_f64_series(&node, "wind", 3).unwrap(),
+            vec![2.0, 3.0, 4.0]
+        );
+        assert_eq!(read_f64_series(&node, "wind", 99).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn windows_need_enough_history() {
+        let node = node_with_log();
+        for v in 0..11 {
+            append_f64(&node, "wind", v as f64).unwrap();
+        }
+        assert!(latest_windows(&node, "wind", 6).unwrap().is_none());
+        append_f64(&node, "wind", 11.0).unwrap();
+        let (prev, recent) = latest_windows(&node, "wind", 6).unwrap().unwrap();
+        assert_eq!(prev, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(recent, vec![6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn change_epoch_end_to_end() {
+        let node = node_with_log();
+        let detector = ChangeDetector::default();
+        let rt = LaminarRuntime::deploy(
+            build_change_graph("bridge_test", detector).unwrap(),
+            Arc::clone(&node),
+        )
+        .unwrap();
+        // Calm history.
+        for v in [3.0, 3.1, 2.9, 3.05, 2.95, 3.0] {
+            append_f64(&node, "wind", v).unwrap();
+        }
+        assert_eq!(
+            run_change_epoch(&rt, &node, "wind", &detector, 1).unwrap(),
+            None,
+            "one window is not enough"
+        );
+        // A front arrives.
+        for v in [8.0, 8.2, 7.8, 8.1, 7.9, 8.05] {
+            append_f64(&node, "wind", v).unwrap();
+        }
+        assert_eq!(
+            run_change_epoch(&rt, &node, "wind", &detector, 2).unwrap(),
+            Some(true)
+        );
+        // The front persists: the next two windows are both elevated.
+        for v in [8.1, 7.9, 8.0, 8.15, 7.95, 8.02] {
+            append_f64(&node, "wind", v).unwrap();
+        }
+        assert_eq!(
+            run_change_epoch(&rt, &node, "wind", &detector, 3).unwrap(),
+            Some(false),
+            "steady elevated conditions are not a new change"
+        );
+    }
+
+    #[test]
+    fn short_elements_rejected() {
+        let node = Arc::new(CspotNode::in_memory("UCSB"));
+        node.create_log("tiny", 4, 16).unwrap();
+        node.put("tiny", &[1, 2, 3, 4]).unwrap();
+        assert!(matches!(
+            read_f64_series(&node, "tiny", 1),
+            Err(LaminarError::Codec(_))
+        ));
+    }
+}

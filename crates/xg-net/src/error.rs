@@ -1,0 +1,87 @@
+//! Error type for the network simulator.
+
+use std::fmt;
+
+/// Errors produced by the RAN and core-network simulators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// The requested bandwidth is not a valid 3GPP channel bandwidth for the
+    /// selected RAT/duplex combination.
+    InvalidBandwidth(String),
+    /// A TDD pattern was supplied for an FDD cell or vice versa.
+    DuplexMismatch(String),
+    /// SIM credentials were rejected by the core network.
+    AuthenticationFailed {
+        /// The IMSI that failed authentication.
+        imsi: String,
+    },
+    /// The UE referenced is not attached to the cell.
+    UnknownUe(u32),
+    /// The slice referenced does not exist in the cell configuration.
+    UnknownSlice(u16),
+    /// Slice PRB shares exceed the available grid.
+    SliceOversubscribed {
+        /// Sum of requested shares (1.0 == the whole grid).
+        requested: f64,
+    },
+    /// The UE is already registered.
+    AlreadyRegistered(String),
+    /// A PDU session operation was attempted in the wrong registration state.
+    InvalidSessionState(String),
+    /// The cell has reached its configured UE capacity.
+    CellFull,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidBandwidth(msg) => write!(f, "invalid bandwidth: {msg}"),
+            NetError::DuplexMismatch(msg) => write!(f, "duplex mismatch: {msg}"),
+            NetError::AuthenticationFailed { imsi } => {
+                write!(f, "authentication failed for IMSI {imsi}")
+            }
+            NetError::UnknownUe(id) => write!(f, "unknown UE id {id}"),
+            NetError::UnknownSlice(id) => write!(f, "unknown slice id {id}"),
+            NetError::SliceOversubscribed { requested } => {
+                write!(f, "slice PRB shares sum to {requested} > 1.0")
+            }
+            NetError::AlreadyRegistered(imsi) => write!(f, "IMSI {imsi} already registered"),
+            NetError::InvalidSessionState(msg) => write!(f, "invalid session state: {msg}"),
+            NetError::CellFull => write!(f, "cell is at UE capacity"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases: Vec<(NetError, &str)> = vec![
+            (
+                NetError::InvalidBandwidth("25 MHz".into()),
+                "invalid bandwidth",
+            ),
+            (
+                NetError::AuthenticationFailed {
+                    imsi: "00101123".into(),
+                },
+                "authentication failed",
+            ),
+            (NetError::UnknownUe(7), "unknown UE id 7"),
+            (NetError::CellFull, "capacity"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should contain {needle}"
+            );
+        }
+    }
+}

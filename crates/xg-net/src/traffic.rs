@@ -1,0 +1,116 @@
+//! Uplink traffic models.
+//!
+//! The paper's UEs carry three kinds of load: saturating iperf3 tests
+//! (full buffer), periodic telemetry ("lightweight IoT traffic"), and
+//! high-throughput video (§3.3's slicing motivation). A UE's model
+//! determines how many bits enter its uplink queue each second; the MAC
+//! serves at most the queue, so under-loaded UEs leave PRBs to others
+//! (within their slice).
+
+use serde::{Deserialize, Serialize};
+
+/// How a UE offers uplink traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// Always backlogged (iperf3): the measurement traffic of Figs. 4–6.
+    FullBuffer,
+    /// A fixed payload every `interval_s` seconds (weather stations:
+    /// ~48 bytes per 300 s).
+    Periodic {
+        /// Payload per report (bytes).
+        payload_bytes: u32,
+        /// Reporting interval (s).
+        interval_s: f64,
+    },
+    /// Constant bit rate (surveillance video).
+    Cbr {
+        /// Offered rate (Mbps).
+        rate_mbps: f64,
+    },
+}
+
+impl TrafficModel {
+    /// Bits entering the queue during one second starting at `t_s`.
+    ///
+    /// `None` means unbounded (full buffer).
+    pub fn offered_bits(&self, t_s: f64) -> Option<f64> {
+        match *self {
+            TrafficModel::FullBuffer => None,
+            TrafficModel::Periodic {
+                payload_bytes,
+                interval_s,
+            } => {
+                // Number of report instants in [t_s, t_s + 1).
+                let interval = interval_s.max(1e-9);
+                let first = (t_s / interval).ceil();
+                let mut n = 0u32;
+                let mut k = first;
+                while k * interval < t_s + 1.0 {
+                    n += 1;
+                    k += 1.0;
+                }
+                Some(n as f64 * payload_bytes as f64 * 8.0)
+            }
+            TrafficModel::Cbr { rate_mbps } => Some(rate_mbps.max(0.0) * 1e6),
+        }
+    }
+
+    /// The CUPS weather-station model: 48-byte records every 300 s.
+    pub fn weather_station() -> Self {
+        TrafficModel::Periodic {
+            payload_bytes: 48,
+            interval_s: 300.0,
+        }
+    }
+
+    /// A 1080p surveillance stream (~8 Mbps).
+    pub fn surveillance_video() -> Self {
+        TrafficModel::Cbr { rate_mbps: 8.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_buffer_is_unbounded() {
+        assert_eq!(TrafficModel::FullBuffer.offered_bits(0.0), None);
+    }
+
+    #[test]
+    fn periodic_counts_report_instants() {
+        let m = TrafficModel::Periodic {
+            payload_bytes: 100,
+            interval_s: 10.0,
+        };
+        // Second [0,1): report at t=0 -> 800 bits.
+        assert_eq!(m.offered_bits(0.0), Some(800.0));
+        // Second [5,6): no report.
+        assert_eq!(m.offered_bits(5.0), Some(0.0));
+        // Second [9.5,10.5): report at t=10.
+        assert_eq!(m.offered_bits(9.5), Some(800.0));
+        // Sub-second interval: several reports per second.
+        let fast = TrafficModel::Periodic {
+            payload_bytes: 10,
+            interval_s: 0.25,
+        };
+        assert_eq!(fast.offered_bits(1.0), Some(4.0 * 80.0));
+    }
+
+    #[test]
+    fn cbr_rate() {
+        let m = TrafficModel::Cbr { rate_mbps: 2.0 };
+        assert_eq!(m.offered_bits(7.0), Some(2e6));
+        let neg = TrafficModel::Cbr { rate_mbps: -1.0 };
+        assert_eq!(neg.offered_bits(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn weather_station_is_negligible_load() {
+        let m = TrafficModel::weather_station();
+        // 48 bytes / 300 s ≈ 1.28 bit/s average.
+        let total: f64 = (0..300).map(|t| m.offered_bits(t as f64).unwrap()).sum();
+        assert_eq!(total, 48.0 * 8.0);
+    }
+}

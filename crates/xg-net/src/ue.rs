@@ -1,0 +1,125 @@
+//! Per-UE runtime state inside the link simulator.
+
+use crate::channel::ShadowingChannel;
+use crate::core5g::SimCard;
+use crate::device::{DeviceClass, Modem, RadioProfile, UnitVariation};
+use crate::slice::SliceId;
+use crate::traffic::TrafficModel;
+
+/// Runtime context of an attached UE.
+#[derive(Debug, Clone)]
+pub struct UeContext {
+    /// Cell-local UE identifier.
+    pub id: u32,
+    /// Host device class.
+    pub device: DeviceClass,
+    /// Modem in use.
+    pub modem: Modem,
+    /// Calibrated radio profile (with unit variation already applied).
+    pub profile: RadioProfile,
+    /// SIM the UE registered with.
+    pub sim: SimCard,
+    /// Slice the UE's PDU session is bound to.
+    pub slice: SliceId,
+    /// Stochastic channel state.
+    pub channel: ShadowingChannel,
+    /// Whether the UE currently has uplink traffic to send. iperf runs use
+    /// full-buffer traffic; telemetry UEs are bursty.
+    pub backlogged: bool,
+    /// Offered-traffic model.
+    pub traffic: TrafficModel,
+    /// Bits queued but not yet served (ignored for full-buffer traffic).
+    pub pending_bits: f64,
+    /// Bits delivered during the current one-second accounting window.
+    pub window_bits: f64,
+    /// Sum of per-TTI modem factors weighted by granted bits, used to apply
+    /// the modem's allocation-bandwidth decay to the window total.
+    pub window_granted_prb_ttis: u64,
+}
+
+impl UeContext {
+    /// Create a UE context. `variation` models unit-to-unit radio spread.
+    // A constructor for a plain record: each argument is a distinct,
+    // required field; a builder would add ceremony without clarity.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u32,
+        device: DeviceClass,
+        modem: Modem,
+        profile: RadioProfile,
+        variation: UnitVariation,
+        sim: SimCard,
+        slice: SliceId,
+        channel: ShadowingChannel,
+    ) -> Self {
+        UeContext {
+            id,
+            device,
+            modem,
+            profile: profile.with_variation(variation),
+            sim,
+            slice,
+            channel,
+            backlogged: true,
+            traffic: TrafficModel::FullBuffer,
+            pending_bits: 0.0,
+            window_bits: 0.0,
+            window_granted_prb_ttis: 0,
+        }
+    }
+
+    /// Reset the one-second accounting window.
+    pub fn reset_window(&mut self) {
+        self.window_bits = 0.0;
+        self.window_granted_prb_ttis = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat::Rat;
+    use crate::slice::SliceId;
+
+    #[test]
+    fn variation_applied_at_construction() {
+        let profile = RadioProfile::lookup(DeviceClass::RaspberryPi, Modem::Rm530nGl, Rat::Nr5g);
+        let var = UnitVariation {
+            snr_one_prb_db: -2.0,
+            snr_cap_db: -1.0,
+        };
+        let ue = UeContext::new(
+            0,
+            DeviceClass::RaspberryPi,
+            Modem::Rm530nGl,
+            profile,
+            var,
+            SimCard::provision(0),
+            SliceId(0),
+            ShadowingChannel::default_lab(),
+        );
+        assert!(
+            (ue.profile.power.snr_one_prb.0 - (profile.power.snr_one_prb.0 - 2.0)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn window_reset() {
+        let profile = RadioProfile::lookup(DeviceClass::Laptop, Modem::Rm530nGl, Rat::Nr5g);
+        let mut ue = UeContext::new(
+            1,
+            DeviceClass::Laptop,
+            Modem::Rm530nGl,
+            profile,
+            UnitVariation::default(),
+            SimCard::provision(1),
+            SliceId(0),
+            ShadowingChannel::default_lab(),
+        );
+        ue.window_bits = 1e6;
+        ue.window_granted_prb_ttis = 42;
+        ue.reset_window();
+        assert_eq!(ue.window_bits, 0.0);
+        assert_eq!(ue.window_granted_prb_ttis, 0);
+    }
+}

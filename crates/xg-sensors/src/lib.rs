@@ -1,0 +1,54 @@
+//! # xg-sensors — CUPS facility and sensor-network simulation
+//!
+//! The paper's sensor layer is a set of commodity agricultural weather
+//! stations in and around the Citrus Under Protective Screening (CUPS)
+//! facility at Lindcove, California: a ~100 000 m³ screen house whose
+//! boundary conditions (wind, temperature, humidity) feed the CFD digital
+//! twin every 5 minutes. This crate simulates all of it:
+//!
+//! * [`facility`] — the screen-house geometry, screen panels, and breach
+//!   state.
+//! * [`weather`] — a seeded micro-climate generator: diurnal temperature,
+//!   AR(1) wind gusts, weather-front events, humidity.
+//! * [`telemetry`] — the fixed-size telemetry record CSPOT logs carry.
+//! * [`station`] — weather stations with calibration bias and per-channel
+//!   noise (the measurement error that motivates statistical change
+//!   detection in §3.7).
+//! * [`network`] — the station network: 5-minute polling and extraction of
+//!   CFD boundary conditions.
+//! * [`breach`] — screen-breach injection: a breach perturbs airflow
+//!   measurements near the damaged panel, which the digital twin detects
+//!   as model/measurement divergence (§2).
+//!
+//! ```
+//! use xg_sensors::prelude::*;
+//!
+//! let mut net = SensorNetwork::cups_default(CupsFacility::default(), 42);
+//! let reports = net.poll(); // one 5-minute reporting cycle
+//! assert_eq!(reports.len(), 9);
+//! let bc = net.boundary_conditions(&reports).unwrap();
+//! assert!(bc.interior_wind_ms < bc.wind_speed_ms, "screen attenuates wind");
+//! ```
+
+pub mod breach;
+pub mod facility;
+pub mod network;
+pub mod power;
+pub mod qc;
+pub mod station;
+pub mod telemetry;
+pub mod weather;
+
+/// Commonly used types.
+pub mod prelude {
+    pub use crate::breach::Breach;
+    pub use crate::facility::{CupsFacility, Wall};
+    pub use crate::network::{BoundaryConditions, SensorNetwork};
+    pub use crate::power::{PowerBudget, RadioKind};
+    pub use crate::qc::{QcFlag, QcScreen};
+    pub use crate::station::WeatherStation;
+    pub use crate::telemetry::TelemetryRecord;
+    pub use crate::weather::WeatherSim;
+}
+
+pub use prelude::*;

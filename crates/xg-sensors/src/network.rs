@@ -1,0 +1,274 @@
+//! The CUPS station network and boundary-condition extraction.
+//!
+//! Stations report every 5 minutes (the paper's reporting interval). The
+//! network aggregates the latest reports into the [`BoundaryConditions`]
+//! record that parameterizes a CFD run — "instantaneous wind, temperature,
+//! and humidity measurements taken at the screen boundaries (both inside
+//! and outside)" (§2).
+
+use crate::facility::CupsFacility;
+use crate::station::{Placement, WeatherStation};
+use crate::telemetry::TelemetryRecord;
+use crate::weather::{WeatherSim, WeatherState};
+use serde::{Deserialize, Serialize};
+
+/// Reporting interval of the commodity weather stations (s).
+pub const REPORT_INTERVAL_S: f64 = 300.0;
+
+/// Boundary conditions for one CFD run, aggregated from station reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundaryConditions {
+    /// Free-stream wind speed (m/s), from exterior stations.
+    pub wind_speed_ms: f64,
+    /// Free-stream wind direction (deg).
+    pub wind_dir_deg: f64,
+    /// Ambient (exterior) temperature (°C).
+    pub ambient_temp_c: f64,
+    /// Mean interior temperature (°C).
+    pub interior_temp_c: f64,
+    /// Mean interior wind speed (m/s) — the measurement the digital twin
+    /// compares against the CFD prediction for breach detection.
+    pub interior_wind_ms: f64,
+    /// Relative humidity (%).
+    pub rel_humidity: f64,
+    /// Timestamp (s).
+    pub t_s: f64,
+}
+
+/// The deployed station network.
+pub struct SensorNetwork {
+    /// The facility being monitored.
+    pub facility: CupsFacility,
+    stations: Vec<WeatherStation>,
+    weather: WeatherSim,
+    last_state: Option<WeatherState>,
+}
+
+impl SensorNetwork {
+    /// The paper-like deployment: four exterior stations (one per wall) and
+    /// five interior stations (quincunx).
+    pub fn cups_default(facility: CupsFacility, seed: u64) -> Self {
+        let (l, w) = (facility.length_m, facility.width_m);
+        let placements = vec![
+            Placement::Exterior {
+                x: -10.0,
+                y: w / 2.0,
+            },
+            Placement::Exterior {
+                x: l + 10.0,
+                y: w / 2.0,
+            },
+            Placement::Exterior {
+                x: l / 2.0,
+                y: -10.0,
+            },
+            Placement::Exterior {
+                x: l / 2.0,
+                y: w + 10.0,
+            },
+            Placement::Interior {
+                x: l * 0.25,
+                y: w * 0.25,
+            },
+            Placement::Interior {
+                x: l * 0.75,
+                y: w * 0.25,
+            },
+            Placement::Interior {
+                x: l * 0.5,
+                y: w * 0.5,
+            },
+            Placement::Interior {
+                x: l * 0.25,
+                y: w * 0.75,
+            },
+            Placement::Interior {
+                x: l * 0.75,
+                y: w * 0.75,
+            },
+        ];
+        let stations = placements
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| WeatherStation::new(i as u32, p, seed))
+            .collect();
+        SensorNetwork {
+            facility,
+            stations,
+            weather: WeatherSim::exeter(seed),
+            last_state: None,
+        }
+    }
+
+    /// Number of stations.
+    pub fn station_count(&self) -> usize {
+        self.stations.len()
+    }
+
+    /// Position and placement of a station: `(x, y, is_interior)`.
+    pub fn station_position(&self, id: u32) -> Option<(f64, f64, bool)> {
+        self.stations.iter().find(|s| s.id == id).map(|s| {
+            let (x, y) = s.placement.position();
+            (x, y, s.placement.is_interior())
+        })
+    }
+
+    /// Force a weather front (scenario scripting).
+    pub fn force_front(&mut self) {
+        self.weather.force_front();
+    }
+
+    /// The most recent true weather state (None before the first poll).
+    pub fn current_state(&self) -> Option<WeatherState> {
+        self.last_state
+    }
+
+    /// Advance the weather to the next reporting instant and collect one
+    /// report from every station.
+    pub fn poll(&mut self) -> Vec<TelemetryRecord> {
+        // Weather steps are 60 s; a report interval is 5 of them.
+        let steps = (REPORT_INTERVAL_S / 60.0).round() as usize;
+        let state = self.weather.run_steps(steps);
+        self.last_state = Some(state);
+        let facility = &self.facility;
+        self.stations
+            .iter_mut()
+            .map(|s| s.measure(&state, facility))
+            .collect()
+    }
+
+    /// Aggregate a set of simultaneous reports into CFD boundary
+    /// conditions. Returns `None` if either the exterior or interior group
+    /// is empty.
+    pub fn boundary_conditions(&self, reports: &[TelemetryRecord]) -> Option<BoundaryConditions> {
+        let mut ext: Vec<&TelemetryRecord> = Vec::new();
+        let mut int: Vec<&TelemetryRecord> = Vec::new();
+        for r in reports {
+            let station = self.stations.iter().find(|s| s.id == r.station_id)?;
+            if station.placement.is_interior() {
+                int.push(r);
+            } else {
+                ext.push(r);
+            }
+        }
+        if ext.is_empty() || int.is_empty() {
+            return None;
+        }
+        let mean = |xs: &[&TelemetryRecord], f: fn(&TelemetryRecord) -> f64| {
+            xs.iter().map(|r| f(r)).sum::<f64>() / xs.len() as f64
+        };
+        // Circular mean for wind direction.
+        let (mut sx, mut sy) = (0.0, 0.0);
+        for r in &ext {
+            let rad = r.wind_dir_deg.to_radians();
+            sx += rad.cos();
+            sy += rad.sin();
+        }
+        let dir = sy.atan2(sx).to_degrees().rem_euclid(360.0);
+        Some(BoundaryConditions {
+            wind_speed_ms: mean(&ext, |r| r.wind_speed_ms),
+            wind_dir_deg: dir,
+            ambient_temp_c: mean(&ext, |r| r.temp_c),
+            interior_temp_c: mean(&int, |r| r.temp_c),
+            interior_wind_ms: mean(&int, |r| r.wind_speed_ms),
+            rel_humidity: mean(&ext, |r| r.rel_humidity),
+            t_s: reports.first().map(|r| r.t_s).unwrap_or(0.0),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breach::Breach;
+    use crate::facility::Wall;
+
+    fn network(seed: u64) -> SensorNetwork {
+        SensorNetwork::cups_default(CupsFacility::default(), seed)
+    }
+
+    #[test]
+    fn poll_reports_all_stations() {
+        let mut net = network(1);
+        let reports = net.poll();
+        assert_eq!(reports.len(), net.station_count());
+        let t = reports[0].t_s;
+        assert!(reports.iter().all(|r| r.t_s == t), "simultaneous reports");
+        assert!((t - REPORT_INTERVAL_S).abs() < 1e-9);
+        // Next poll advances by exactly one interval.
+        let t2 = net.poll()[0].t_s;
+        assert!((t2 - 2.0 * REPORT_INTERVAL_S).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_conditions_aggregate() {
+        let mut net = network(2);
+        let reports = net.poll();
+        let bc = net.boundary_conditions(&reports).unwrap();
+        assert!(bc.wind_speed_ms >= 0.0);
+        assert!((0.0..360.0).contains(&bc.wind_dir_deg));
+        // Interior wind must be attenuated relative to free stream (on
+        // average; noise can perturb individual samples slightly).
+        assert!(bc.interior_wind_ms < bc.wind_speed_ms);
+    }
+
+    #[test]
+    fn boundary_conditions_need_both_groups() {
+        let mut net = network(3);
+        let reports = net.poll();
+        // Keep only exterior reports (ids 0..4).
+        let ext_only: Vec<_> = reports
+            .iter()
+            .filter(|r| r.station_id < 4)
+            .cloned()
+            .collect();
+        assert!(net.boundary_conditions(&ext_only).is_none());
+        assert!(net.boundary_conditions(&[]).is_none());
+    }
+
+    #[test]
+    fn unknown_station_id_rejected() {
+        let mut net = network(4);
+        let mut reports = net.poll();
+        reports[0].station_id = 999;
+        assert!(net.boundary_conditions(&reports).is_none());
+    }
+
+    #[test]
+    fn breach_raises_interior_wind_in_bc() {
+        // Average over many polls: breach inflow must raise the interior
+        // wind estimate relative to the intact facility.
+        let mut intact = network(5);
+        let mut breached = network(5);
+        breached
+            .facility
+            .add_breach(Breach::equipment_tear(Wall::West, 5));
+        let n = 40;
+        let mut sum_intact = 0.0;
+        let mut sum_breached = 0.0;
+        for _ in 0..n {
+            let ri = intact.poll();
+            let rb = breached.poll();
+            sum_intact += intact.boundary_conditions(&ri).unwrap().interior_wind_ms;
+            sum_breached += breached.boundary_conditions(&rb).unwrap().interior_wind_ms;
+        }
+        assert!(
+            sum_breached > sum_intact * 1.05,
+            "breach must be visible: {sum_breached} vs {sum_intact}"
+        );
+    }
+
+    #[test]
+    fn front_visible_in_boundary_conditions() {
+        let mut net = network(6);
+        let mut pre = 0.0;
+        for _ in 0..6 {
+            let r = net.poll();
+            pre = net.boundary_conditions(&r).unwrap().wind_speed_ms;
+        }
+        net.force_front();
+        let r = net.poll();
+        let during = net.boundary_conditions(&r).unwrap().wind_speed_ms;
+        assert!(during > pre + 2.0, "front: {pre} -> {during}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Breach response: detect a screen tear and dispatch the robot.
+//!
+//! §2's biosecurity loop, closed: a large tear appears in the west wall
+//! of the screen house. The interior stations feel the inflow jet, the
+//! wind statistics shift, a CFD run is triggered, the digital twin sees
+//! measured airflow diverge from the intact-screen prediction, localizes
+//! the suspect wall panel, and dispatches the Farm-NG robot — which
+//! visually confirms the breach so a repair crew can be sent.
+//!
+//! Run: `cargo run -p xg-examples --release --bin breach_response`
+
+use xg_fabric::orchestrator::FabricConfig;
+use xg_fabric::prelude::*;
+use xg_fabric::timeline::Event;
+use xg_sensors::breach::Breach;
+use xg_sensors::facility::Wall;
+
+fn main() {
+    let mut fabric = XgFabric::new(FabricConfig::default());
+    println!("== breach response scenario ==\n");
+
+    // Calibration phase: history + one triggered (intact) CFD run so the
+    // twin learns the intact-screen baseline.
+    println!("phase 1: calm monitoring + twin calibration");
+    fabric.run_cycles(12);
+    fabric.force_front();
+    fabric.run_cycles(12);
+    let runs_before = fabric.timeline().cfd_runs();
+    println!("  twin calibrated against {runs_before} intact CFD run(s)\n");
+
+    // The incident.
+    println!("phase 2: a 12 m2 tear opens in the WEST wall (panel 5) — unobserved");
+    fabric.inject_breach(Breach::new(Wall::West, 5, 12.0));
+    fabric.force_front();
+    fabric.run_cycles(18);
+
+    // Narrate the response.
+    println!("\nphase 3: the fabric responds");
+    let mut dispatched = false;
+    for event in &fabric.timeline().events {
+        match event {
+            Event::TwinCompared {
+                t_s,
+                max_residual_ms,
+                breach_suspected: true,
+            } => {
+                println!(
+                    "  t={:>6.0}s  twin divergence {:.2} m/s above intact prediction -> breach suspected",
+                    t_s, max_residual_ms
+                );
+            }
+            Event::RobotDispatched {
+                t_s,
+                mission_s,
+                confirmed,
+            } => {
+                dispatched = true;
+                println!(
+                    "  t={:>6.0}s  robot mission ({mission_s:.0} s drive+inspect): breach {}",
+                    t_s,
+                    if *confirmed {
+                        "CONFIRMED on camera"
+                    } else {
+                        "not found (false alarm)"
+                    }
+                );
+            }
+            _ => {}
+        }
+    }
+
+    assert!(dispatched, "scenario must end with a robot dispatch");
+    println!(
+        "\noutcome: breach confirmed = {} — repair crew dispatched to the west wall.",
+        fabric.timeline().breach_confirmed()
+    );
+}

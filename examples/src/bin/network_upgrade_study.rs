@@ -1,0 +1,83 @@
+//! Network upgrade study: should the CUPS replace its 900 MHz + Wi-Fi
+//! telemetry network with private 5G?
+//!
+//! §4.2 argues yes: the 5G path's 101 ms latency is imperceptible against
+//! the 300 s reporting interval, and the move "will obviate the current
+//! solar and battery power distribution infrastructure, thereby
+//! drastically reducing the maintenance cost". This example quantifies
+//! both halves of the argument with the reproduction's models.
+//!
+//! Run: `cargo run -p xg-examples --release --bin network_upgrade_study`
+
+use std::sync::Arc;
+use xg_cspot::prelude::*;
+use xg_sensors::power::{PowerBudget, RadioKind, REPLACE_AT_HEALTH};
+
+fn main() {
+    println!("== CUPS telemetry network upgrade study ==\n");
+
+    // --- Latency: does 5G access hurt? -------------------------------
+    let server = Arc::new(CspotNode::in_memory("UCSB"));
+    server
+        .create_log("telemetry", 1024, 4096)
+        .expect("fresh log");
+    let topo = Topology::paper();
+    let mut results = Vec::new();
+    for (label, from) in [
+        ("wired Internet", "UNL"),
+        ("private 5G + Internet", "UNL-5G"),
+    ] {
+        let mut appender = RemoteAppender::new(
+            SimClock::new(),
+            topo.route(from, "UCSB").expect("route").clone(),
+            RemoteConfig::default(),
+            11,
+        );
+        let series = appender
+            .measure_latency_series(&server, "telemetry", &vec![0u8; 1024], 30)
+            .expect("healthy path");
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        println!("{label:<24}: {mean:6.1} ms per 1 KB message");
+        results.push(mean);
+    }
+    let overhead = results[1] - results[0];
+    println!(
+        "5G adds {overhead:.0} ms per message = {:.4}% of the 300 s reporting interval",
+        overhead / 300_000.0 * 100.0
+    );
+    println!("=> latency impact imperceptible (the paper's §4.2 conclusion)\n");
+
+    // --- Power: what does the current infrastructure cost? -----------
+    println!("Two years of operation, by winter insolation (peak-sun hours/day):\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>14}",
+        "station radio", "sun (h/day)", "uptime", "battery state"
+    );
+    for &(radio, label) in &[
+        (RadioKind::Ism900, "900 MHz mesh"),
+        (RadioKind::LongWifi, "long-range Wi-Fi"),
+    ] {
+        for &sun in &[5.0, 2.0] {
+            let mut budget = PowerBudget::field_station(radio);
+            let (uptime, needs_replacement) = budget.simulate_days(730, sun);
+            println!(
+                "{label:<22} {sun:>12.1} {:>11.1}% {:>14}",
+                uptime * 100.0,
+                if needs_replacement {
+                    "REPLACE"
+                } else if budget.health < 0.9 {
+                    "degraded"
+                } else {
+                    "healthy"
+                }
+            );
+        }
+    }
+    println!(
+        "\n(battery replacement threshold: {:.0}% health; every replacement is a",
+        REPLACE_AT_HEALTH * 100.0
+    );
+    println!(" field visit across several acres of screen house)");
+    println!("\nconclusion: the 5G gateway consolidates connectivity onto facility");
+    println!("power at no perceptible latency cost — the paper's upgrade case.");
+}

@@ -1,0 +1,91 @@
+//! Network-slicing study: isolating sensor traffic from a video feed.
+//!
+//! The paper motivates slicing as the way one physical 5G network serves
+//! "low-latency control systems, high-throughput video, or lightweight
+//! IoT traffic" simultaneously (§3.3). This example builds a 40 MHz TDD
+//! cell with an mIoT slice for the sensor gateways and an eMBB slice for
+//! a surveillance-video Raspberry Pi, and shows that a saturating video
+//! uplink cannot starve the sensor slice.
+//!
+//! Run: `cargo run -p xg-examples --release --bin slicing_study`
+
+use xg_net::prelude::*;
+
+fn main() {
+    println!("== slicing study: sensors vs video on one 40 MHz TDD cell ==\n");
+
+    // 30% of PRBs reserved for sensor traffic, 70% for video.
+    let slices = SliceConfig::new(vec![
+        xg_net::slice::SliceProfile {
+            snssai: Snssai::miot(1),
+            prb_share: 0.3,
+        },
+        xg_net::slice::SliceProfile {
+            snssai: Snssai::embb(1),
+            prb_share: 0.7,
+        },
+    ])
+    .expect("shares sum to 1.0");
+    let cell = CellConfig::new(Rat::Nr5g, Duplex::tdd_default(), MHz(40.0)).with_slices(slices);
+
+    // Phase 1: sensors alone on their slice.
+    let mut alone = LinkSimulator::new(cell.clone(), 1);
+    let sensor = alone
+        .attach_with(
+            DeviceClass::RaspberryPi,
+            Modem::Rm530nGl,
+            Snssai::miot(1),
+            Default::default(),
+        )
+        .expect("admitted to mIoT slice");
+    let sensors_alone = alone.iperf_uplink(sensor, 30).mean_mbps();
+    println!("sensor gateway alone          : {sensors_alone:6.2} Mbps (30% PRB slice)");
+
+    // Phase 2: a video UE saturates the eMBB slice at the same time.
+    let mut shared = LinkSimulator::new(cell.clone(), 1);
+    let _sensor = shared
+        .attach_with(
+            DeviceClass::RaspberryPi,
+            Modem::Rm530nGl,
+            Snssai::miot(1),
+            Default::default(),
+        )
+        .expect("admitted");
+    let _video = shared
+        .attach_with(
+            DeviceClass::RaspberryPi,
+            Modem::Rm530nGl,
+            Snssai::embb(1),
+            Default::default(),
+        )
+        .expect("admitted");
+    let runs = shared.iperf_uplink_all(30);
+    let with_video = runs.iter().map(|r| r.mean_mbps()).collect::<Vec<_>>();
+    println!(
+        "sensor gateway + video running: {:6.2} Mbps (video slice carries {:6.2} Mbps)",
+        with_video[0], with_video[1]
+    );
+    let retained = with_video[0] / sensors_alone;
+    println!(
+        "sensor slice retained {:.0}% of its solo throughput under full video load",
+        retained * 100.0
+    );
+    assert!(retained > 0.85, "slice isolation violated: {retained:.2}");
+
+    // Phase 3: admission control — a UE asking for an unknown slice is
+    // rejected by the core.
+    let denied = shared.attach_with(
+        DeviceClass::Smartphone,
+        Modem::Integrated,
+        Snssai::embb(99),
+        Default::default(),
+    );
+    println!(
+        "\nadmission control: unknown S-NSSAI rejected -> {}",
+        denied.err().map(|e| e.to_string()).unwrap_or_default()
+    );
+
+    println!("\nconclusion: PRB-ratio slicing gives the sensor pipeline guaranteed");
+    println!("radio resources regardless of co-tenant load — the property the");
+    println!("paper's Fig. 6 experiment verifies on real SDR hardware.");
+}

@@ -1,0 +1,1 @@
+//! xg-examples has no library API; see src/bin.

@@ -1,0 +1,112 @@
+//! Multi-site HPC behaviour: the paper deploys on Notre Dame CRC, Purdue
+//! ANVIL, and TACC Stampede3 (§4.3) and plans to "exploit the changing
+//! availability and performance of different facilities".
+
+use xg_cfd::parallel::CfdPerfModel;
+use xg_hpc::cluster::JobRequest;
+use xg_hpc::pilot::{PilotController, PilotControllerConfig, PilotStrategy};
+use xg_hpc::site::SiteProfile;
+
+#[test]
+fn all_three_sites_run_the_same_pilot_logic() {
+    // Portability: the identical controller drives all three facilities.
+    for site in SiteProfile::all_paper_sites() {
+        let cluster = site.build_idle_cluster();
+        let mut cfg = PilotControllerConfig::paper_default(site.nodes);
+        cfg.max_walltime_s = site.max_walltime_s;
+        let mut ctl = PilotController::new(cluster, cfg);
+        ctl.advance_to(120.0);
+        ctl.submit_task(1, 420.0);
+        ctl.advance_to(900.0);
+        assert_eq!(
+            ctl.completed_tasks().len(),
+            1,
+            "site {} must run the task",
+            site.name
+        );
+    }
+}
+
+#[test]
+fn site_performance_is_consistent() {
+    // §4.3: "computational performance remained relatively consistent
+    // across all three deployment sites".
+    let nd = CfdPerfModel::notre_dame();
+    for site in SiteProfile::all_paper_sites() {
+        let t = nd.total_time_s(64) / site.perf_factor;
+        let rel = (t - nd.total_time_s(64)).abs() / nd.total_time_s(64);
+        assert!(rel < 0.10, "{}: {t:.1}s ({rel:.2} off ND)", site.name);
+    }
+}
+
+#[test]
+fn failover_to_less_loaded_site() {
+    // When ND's queue saturates, submitting the pilot at a second site
+    // restores responsiveness — the multi-site motivation of §4.3.
+    let nd = SiteProfile::notre_dame_crc();
+    // Saturate ND far beyond its default background load.
+    let mut nd_cluster =
+        xg_hpc::cluster::ClusterSim::new(nd.nodes).with_background_load(200.0, 14_400.0, 16, 3);
+    nd_cluster.advance_to(6.0 * 3600.0);
+    let submit_t = nd_cluster.now();
+    let nd_job = nd_cluster
+        .submit(JobRequest {
+            nodes: 8,
+            walltime_s: 3600.0,
+            runtime_s: 420.0,
+        })
+        .expect("valid");
+    nd_cluster.advance_to(submit_t + 12.0 * 3600.0);
+    let nd_wait = nd_cluster
+        .records()
+        .iter()
+        .find(|r| r.id == nd_job)
+        .map(|r| r.queue_wait_s);
+
+    // ANVIL is idle: the same job starts immediately.
+    let anvil = SiteProfile::anvil();
+    let mut anvil_cluster = anvil.build_idle_cluster();
+    anvil_cluster.advance_to(6.0 * 3600.0);
+    let a_submit = anvil_cluster.now();
+    let a_job = anvil_cluster
+        .submit(JobRequest {
+            nodes: 8,
+            walltime_s: 3600.0,
+            runtime_s: 420.0,
+        })
+        .expect("valid");
+    anvil_cluster.advance_to(a_submit + 3600.0);
+    let a_wait = anvil_cluster
+        .records()
+        .iter()
+        .find(|r| r.id == a_job)
+        .map(|r| r.queue_wait_s)
+        .expect("ANVIL job ran");
+
+    assert!(a_wait < 1.0, "idle site starts immediately: {a_wait}");
+    match nd_wait {
+        Some(w) => assert!(w > 600.0, "saturated ND should impose a wait: {w}"),
+        None => { /* never started within 12 h — even stronger signal */ }
+    }
+}
+
+#[test]
+fn proactive_pool_spans_outage() {
+    // A warm pilot pool keeps absorbing tasks even as individual pilots
+    // expire (rolling replacement), so a site can serve triggers for many
+    // hours unattended.
+    let site = SiteProfile::notre_dame_crc();
+    let mut cfg = PilotControllerConfig::paper_default(site.nodes);
+    cfg.strategy = PilotStrategy::Proactive { warm_nodes: 2 };
+    let mut ctl = PilotController::new(site.build_idle_cluster(), cfg);
+    for hour in 1..=12 {
+        ctl.advance_to(hour as f64 * 3600.0);
+        ctl.submit_task(1, 420.0);
+    }
+    ctl.advance_to(13.0 * 3600.0);
+    assert_eq!(ctl.completed_tasks().len(), 12);
+    // Every task was absorbed with sub-minute wait.
+    for t in ctl.completed_tasks() {
+        assert!(t.wait_s < 60.0, "wait {}", t.wait_s);
+    }
+}
