@@ -85,8 +85,8 @@ fn pilot(c: &mut Criterion) {
                 ctl.advance_to(1800.0);
                 for hour in 1..=6 {
                     ctl.advance_to(1800.0 + hour as f64 * 3600.0);
-                    ctl.submit_task(1, 420.0);
-                    ctl.submit_task(1, 420.0);
+                    ctl.submit_task(1, 420.0).unwrap();
+                    ctl.submit_task(1, 420.0).unwrap();
                 }
                 ctl.completed_total()
             },

@@ -20,14 +20,14 @@ fn main() {
     println!("End-to-end timeline — scripted day at the CUPS facility\n");
 
     // Phase 1: an hour of stable weather (history build-up).
-    fab.run_cycles(12);
+    fab.run_cycles(12).unwrap();
     // Phase 2: a wind front (the §3.7 trigger scenario) → calibration run.
     fab.force_front();
-    fab.run_cycles(12);
+    fab.run_cycles(12).unwrap();
     // Phase 3: a screen breach + front → detection, twin divergence, robot.
     fab.inject_breach(Breach::new(Wall::West, 5, 12.0));
     fab.force_front();
-    fab.run_cycles(18);
+    fab.run_cycles(18).unwrap();
 
     let tl = fab.timeline();
     let mut csv = String::from("event,t_s,detail\n");
@@ -118,6 +118,33 @@ fn main() {
                 );
                 csv.push_str(&format!(
                     "robot,{t_s},mission={mission_s:.1} confirmed={confirmed}\n"
+                ));
+            }
+            Event::FaultChanged { t_s, fault, active } => {
+                println!(
+                    "t={:>6.0}s  fault {}: {fault}",
+                    t_s,
+                    if *active { "on" } else { "off" }
+                );
+                csv.push_str(&format!("fault,{t_s},{fault} active={active}\n"));
+            }
+            Event::DegradationChanged { t_s, level } => {
+                println!("t={:>6.0}s  degradation level -> {level}", t_s);
+                csv.push_str(&format!("degradation,{t_s},level={level}\n"));
+            }
+            Event::FailoverTriggered {
+                t_s,
+                from_site,
+                to_site,
+            } => {
+                println!(
+                    "t={:>6.0}s  failover: {from_site} -> {}",
+                    t_s,
+                    to_site.as_deref().unwrap_or("(backoff)")
+                );
+                csv.push_str(&format!(
+                    "failover,{t_s},{from_site}->{}\n",
+                    to_site.as_deref().unwrap_or("backoff")
                 ));
             }
         }

@@ -1,146 +1,189 @@
-//! Reliability study: delay-tolerant delivery through a flaky 5G link.
+//! Reliability study: the *whole* closed loop under injected faults.
 //!
-//! The paper claims (§3.1) that CSPOT's log-based design turns "frequent
-//! network interruption" and power loss into mere delay: programs pause
-//! and resume, data parks in logs, and nothing is lost or duplicated.
-//! This study subjects the field gateway to a two-state outage process
-//! over a simulated week of 5-minute telemetry and reports delivery
-//! completeness, duplication, and the staleness distribution.
+//! The paper claims (§3.1) that xGFabric turns "frequent network
+//! interruption" into mere delay: data parks in logs, programs pause and
+//! resume, and nothing is lost. This study runs the full orchestrated
+//! fabric — sensors, field gateway, change detection, multi-site HPC,
+//! twin, robot — for three simulated days per scenario under a seeded
+//! [`FaultPlan`], and prints each run's [`ReliabilityReport`]: delivery
+//! completeness, backlog, detection inflation, failovers, degraded
+//! cycles, and loop MTTR.
 //!
 //! Run: `cargo run -p xg-bench --release --bin reliability_study`
 
-use std::sync::Arc;
 use xg_bench::write_results;
-use xg_cspot::outage::{OutageConfig, OutageProcess};
-use xg_cspot::prelude::*;
+use xg_cspot::outage::OutageConfig;
+use xg_fabric::orchestrator::{FabricConfig, XgFabric};
+use xg_fabric::reliability::ReliabilityReport;
+use xg_faults::{FaultKind, FaultPlan};
+use xg_hpc::site::SiteProfile;
 
-const REPORT_INTERVAL_S: f64 = 300.0;
-const DAYS: usize = 7;
+/// Three simulated days of 5-minute reports.
+const CYCLES: usize = 3 * 24 * 12;
+/// A forced weather front every 8 hours keeps the CFD side of the loop
+/// exercised in every scenario.
+const CYCLES_PER_FRONT: usize = 96;
 
-fn run_scenario(label: &str, config: OutageConfig, csv: &mut String) {
-    let local = Arc::new(CspotNode::in_memory("UNL"));
-    local.create_log("buf", 8, 100_000).expect("fresh buffer");
-    let repo = Arc::new(CspotNode::in_memory("UCSB"));
-    repo.create_log("telemetry", 8, 100_000).expect("fresh log");
+fn partition_5g() -> FaultKind {
+    FaultKind::RoutePartition {
+        from: "UNL-5G".into(),
+        to: "UCSB".into(),
+    }
+}
 
-    let topo = Topology::paper();
-    let remote_cfg = RemoteConfig {
-        timeout_ms: 100.0,
-        // Fail fast; the gateway re-drains on the next report cycle.
-        max_attempts: 2,
+fn run_scenario(label: &str, faults: FaultPlan, csv: &mut String) -> ReliabilityReport {
+    let mut fab = XgFabric::new(FabricConfig {
+        seed: 71,
+        cfd_cells: [12, 10, 4],
+        cfd_steps: 10,
+        failover_sites: vec![SiteProfile::anvil()],
+        faults,
         ..Default::default()
-    };
-    let appender = RemoteAppender::new(
-        SimClock::new(),
-        topo.route("UNL-5G", "UCSB").expect("route").clone(),
-        remote_cfg,
-        17,
-    );
-    let mut gateway = Gateway::new(Arc::clone(&local), "buf", "telemetry", appender)
-        .expect("gateway over fresh logs");
-    let mut outage = OutageProcess::new(config, 23);
-
-    let reports = DAYS * 24 * 12;
-    let mut down_at_report = 0usize;
-    let mut max_backlog = 0usize;
-    let mut staleness_samples: Vec<f64> = Vec::new();
-    let mut pending_since: Vec<(u64, f64)> = Vec::new(); // (seq, t_buffered)
-    for r in 0..reports {
-        let t = (r + 1) as f64 * REPORT_INTERVAL_S;
-        outage.advance_to(t, gateway.route_mut());
-        if !outage.is_up() {
-            down_at_report += 1;
-        }
-        gateway
-            .buffer(&(r as u64).to_le_bytes())
-            .expect("local buffer always writable");
-        pending_since.push((r as u64 + 1, t));
-        let drained = gateway.drain(&repo);
-        // Staleness: delivery time minus buffering time for drained items.
-        for _ in 0..drained.relayed {
-            if let Some((_, buffered_at)) = pending_since.first().copied() {
-                pending_since.remove(0);
-                staleness_samples.push(t - buffered_at);
-            }
-        }
-        max_backlog = max_backlog.max(gateway.backlog());
+    });
+    for _ in 0..(CYCLES / CYCLES_PER_FRONT) {
+        fab.force_front();
+        fab.run_cycles(CYCLES_PER_FRONT)
+            .expect("chaos run must degrade, not fail");
     }
-    // Final drain after the run (link eventually heals).
-    gateway.route_mut().set_partitioned(false);
-    let final_t = reports as f64 * REPORT_INTERVAL_S;
-    let last = gateway.drain(&repo);
-    for _ in 0..last.relayed {
-        if let Some((_, buffered_at)) = pending_since.first().copied() {
-            pending_since.remove(0);
-            staleness_samples.push(final_t - buffered_at);
-        }
-    }
-
-    let delivered = repo.log("telemetry").expect("exists").len();
-    let mean_staleness =
-        staleness_samples.iter().sum::<f64>() / staleness_samples.len().max(1) as f64;
-    let max_staleness = staleness_samples.iter().cloned().fold(0.0f64, f64::max);
+    let r = fab.reliability_report();
     println!(
-        "{label:<28} {:>6.2}% {:>10} {:>8} {:>12} {:>11.0} {:>11.0}",
-        config.availability() * 100.0,
-        delivered,
-        reports - delivered,
-        max_backlog,
-        mean_staleness,
-        max_staleness,
+        "{label:<30} {:>6.2}% {:>9} {:>7} {:>8} {:>6} {:>5} {:>5} {:>7} {:>9.0}",
+        r.availability_experienced * 100.0,
+        r.records_delivered,
+        r.records_dropped,
+        r.max_backlog,
+        r.detections,
+        r.failovers,
+        r.cfd_completed,
+        r.degraded_cycles,
+        r.loop_mttr_s,
     );
-    assert_eq!(delivered, reports, "delay tolerance must not lose data");
+    assert!(r.lossless(), "{label}: telemetry must never be lost: {r}");
     csv.push_str(&format!(
-        "{label},{:.4},{delivered},{max_backlog},{mean_staleness:.1},{max_staleness:.1}\n",
-        config.availability()
+        "{label},{:.4},{},{},{},{},{},{},{},{},{:.1},{:.1}\n",
+        r.availability_experienced,
+        r.records_buffered,
+        r.records_delivered,
+        r.records_dropped,
+        r.max_backlog,
+        r.detections,
+        r.failovers,
+        r.cfd_completed,
+        r.degraded_cycles,
+        r.mean_detection_inflation_s,
+        r.loop_mttr_s,
     ));
-    let _ = down_at_report;
+    r
 }
 
 fn main() {
-    println!("Reliability study — one week of 5-minute telemetry through an interrupted 5G link\n");
+    println!("Reliability study — three days of the full closed loop under chaos\n");
     println!(
-        "{:<28} {:>7} {:>10} {:>8} {:>12} {:>11} {:>11}",
-        "scenario", "avail", "delivered", "lost", "max backlog", "mean stale", "max stale"
-    );
-    println!(
-        "{:<28} {:>7} {:>10} {:>8} {:>12} {:>11} {:>11}",
-        "", "", "", "", "(msgs)", "(s)", "(s)"
+        "{:<30} {:>7} {:>9} {:>7} {:>8} {:>6} {:>5} {:>5} {:>7} {:>9}",
+        "scenario",
+        "avail",
+        "delivered",
+        "dropped",
+        "backlog",
+        "detect",
+        "fail",
+        "cfd",
+        "degrad",
+        "MTTR(s)"
     );
     let mut csv = String::from(
-        "scenario,availability,delivered,max_backlog,mean_staleness_s,max_staleness_s\n",
+        "scenario,availability,buffered,delivered,dropped,max_backlog,detections,\
+         failovers,cfd_completed,degraded_cycles,mean_detection_inflation_s,loop_mttr_s\n",
     );
+
+    let baseline = run_scenario("baseline (no faults)", FaultPlan::none(), &mut csv);
+
     run_scenario(
-        "stable (MTBF 24h, MTTR 2m)",
-        OutageConfig {
-            mtbf_s: 24.0 * 3600.0,
-            mttr_s: 120.0,
-        },
+        "flaky 5G (MTBF 2h, MTTR 4m)",
+        FaultPlan::builder(101)
+            .stochastic(OutageConfig::flaky_5g(), partition_5g())
+            .build(),
         &mut csv,
     );
+
     run_scenario(
-        "flaky (MTBF 2h, MTTR 4m)",
-        OutageConfig::flaky_5g(),
+        "hostile 5G (MTBF 30m, MTTR 10m)",
+        FaultPlan::builder(103)
+            .stochastic(
+                OutageConfig {
+                    mtbf_s: 1_800.0,
+                    mttr_s: 600.0,
+                },
+                partition_5g(),
+            )
+            .build(),
         &mut csv,
     );
+
+    // The primary is already down when the 8-hour front triggers at
+    // t=30600 s, so the CFD lands on ANVIL — which dies 50 s later with
+    // the task in flight, forcing the failover/backoff path while both
+    // sites are briefly dark.
     run_scenario(
-        "hostile (MTBF 30m, MTTR 10m)",
-        OutageConfig {
-            mtbf_s: 1_800.0,
-            mttr_s: 600.0,
-        },
+        "site outages (overlapping)",
+        FaultPlan::builder(107)
+            .scripted(
+                6.0 * 3_600.0,
+                4.0 * 3_600.0,
+                FaultKind::HpcSiteOutage {
+                    site: "ND-CRC".into(),
+                },
+            )
+            .scripted(
+                30_650.0,
+                4.0 * 3_600.0,
+                FaultKind::HpcSiteOutage {
+                    site: "ANVIL".into(),
+                },
+            )
+            .build(),
         &mut csv,
     );
-    run_scenario(
-        "storm (MTBF 20m, MTTR 1h)",
-        OutageConfig {
-            mtbf_s: 1_200.0,
-            mttr_s: 3_600.0,
-        },
+
+    let everything = run_scenario(
+        "everything at once",
+        FaultPlan::builder(109)
+            .stochastic(OutageConfig::flaky_5g(), partition_5g())
+            .scripted(
+                4.0 * 3_600.0,
+                2.0 * 3_600.0,
+                FaultKind::PacketLossSurge {
+                    from: "UNL-5G".into(),
+                    to: "UCSB".into(),
+                    loss_prob: 0.3,
+                },
+            )
+            .scripted(
+                8.0 * 3_600.0,
+                6.0 * 3_600.0,
+                FaultKind::HpcSiteOutage {
+                    site: "ANVIL".into(),
+                },
+            )
+            .scripted(
+                12.0 * 3_600.0,
+                12.0 * 3_600.0,
+                FaultKind::SensorDropout { station: 2 },
+            )
+            .scripted(
+                20.0 * 3_600.0,
+                2.0 * 3_600.0,
+                FaultKind::HpcQueueStall {
+                    site: "ND-CRC".into(),
+                },
+            )
+            .build(),
         &mut csv,
     );
-    println!("\nEvery scenario delivers 100% of the telemetry exactly once; outages");
-    println!("surface as staleness, never as loss — the paper's §3.1 claim.");
+
+    println!("\nbaseline detail: {baseline}\n\nworst case detail: {everything}\n");
+    println!("Every scenario stays lossless: outages surface as backlog, detection");
+    println!("inflation, degraded CFD resolution and failovers — never as loss.");
     let path = write_results("reliability_study.csv", &csv);
     println!("\nwrote {}", path.display());
 }

@@ -35,6 +35,8 @@ pub enum CspotError {
     RetriesExhausted {
         /// Number of attempts made.
         attempts: u32,
+        /// Virtual time spent retrying before giving up (ms).
+        elapsed_ms: f64,
     },
     /// Underlying storage failure.
     Storage(std::io::Error),
@@ -57,8 +59,14 @@ impl fmt::Display for CspotError {
                 "sequence {seq} out of range (retained: {earliest:?}..={latest:?})"
             ),
             CspotError::AckLost => write!(f, "append acknowledged sequence number lost"),
-            CspotError::RetriesExhausted { attempts } => {
-                write!(f, "remote operation failed after {attempts} attempts")
+            CspotError::RetriesExhausted {
+                attempts,
+                elapsed_ms,
+            } => {
+                write!(
+                    f,
+                    "remote operation failed after {attempts} attempts ({elapsed_ms:.1} ms of virtual time)"
+                )
             }
             CspotError::Storage(e) => write!(f, "storage error: {e}"),
         }

@@ -25,6 +25,9 @@ pub struct Gateway {
     buffer_log: String,
     /// Name of the remote destination log.
     remote_log: String,
+    /// Name of the cursor log (distinct per gateway when several share a
+    /// field node).
+    cursor_log: String,
     appender: RemoteAppender,
 }
 
@@ -48,13 +51,27 @@ impl Gateway {
         remote_log: &str,
         appender: RemoteAppender,
     ) -> Result<Self> {
+        Self::with_cursor_log(local, buffer_log, remote_log, CURSOR_LOG, appender)
+    }
+
+    /// Like [`Gateway::new`] but with an explicit cursor-log name, so
+    /// several gateways can share one field node without clobbering each
+    /// other's drain cursors.
+    pub fn with_cursor_log(
+        local: std::sync::Arc<CspotNode>,
+        buffer_log: &str,
+        remote_log: &str,
+        cursor_log: &str,
+        appender: RemoteAppender,
+    ) -> Result<Self> {
         // Cursor entries are 8-byte little-endian sequence numbers.
-        local.open_log(CURSOR_LOG, 8, 64)?;
+        local.open_log(cursor_log, 8, 64)?;
         local.log(buffer_log)?; // validate existence
         Ok(Gateway {
             local,
             buffer_log: buffer_log.to_string(),
             remote_log: remote_log.to_string(),
+            cursor_log: cursor_log.to_string(),
             appender,
         })
     }
@@ -62,7 +79,7 @@ impl Gateway {
     /// Highest buffered sequence successfully relayed (0 = none).
     pub fn cursor(&self) -> u64 {
         self.local
-            .log(CURSOR_LOG)
+            .log(&self.cursor_log)
             .ok()
             .and_then(|log| {
                 log.latest_seq().and_then(|seq| {
@@ -75,7 +92,7 @@ impl Gateway {
     }
 
     fn advance_cursor(&self, to: u64) -> Result<()> {
-        self.local.put(CURSOR_LOG, &to.to_le_bytes())?;
+        self.local.put(&self.cursor_log, &to.to_le_bytes())?;
         Ok(())
     }
 
@@ -227,6 +244,50 @@ mod tests {
         assert_eq!(r.relayed, 0);
         assert_eq!(r.remaining, 0);
         assert_eq!(r.latency_ms, 0.0);
+    }
+
+    #[test]
+    fn two_gateways_on_one_node_keep_independent_cursors() {
+        let local = Arc::new(CspotNode::in_memory("UNL"));
+        local.create_log("buf_a", 8, 1024).unwrap();
+        local.create_log("buf_b", 8, 1024).unwrap();
+        let remote = Arc::new(CspotNode::in_memory("UCSB"));
+        remote.create_log("dst_a", 8, 1024).unwrap();
+        remote.create_log("dst_b", 8, 1024).unwrap();
+        let mk_appender = |seed| {
+            RemoteAppender::new(
+                SimClock::new(),
+                RoutePath::single(PathModel::wired(3.0, 0.2)),
+                RemoteConfig::default(),
+                seed,
+            )
+        };
+        let mut a = Gateway::with_cursor_log(
+            Arc::clone(&local),
+            "buf_a",
+            "dst_a",
+            "cur_a",
+            mk_appender(1),
+        )
+        .unwrap();
+        let mut b = Gateway::with_cursor_log(
+            Arc::clone(&local),
+            "buf_b",
+            "dst_b",
+            "cur_b",
+            mk_appender(2),
+        )
+        .unwrap();
+        for i in 0..3u64 {
+            a.buffer(&i.to_le_bytes()).unwrap();
+        }
+        b.buffer(&9u64.to_le_bytes()).unwrap();
+        assert_eq!(a.drain(&remote).relayed, 3);
+        // A's cursor advance must not make B think it already drained.
+        assert_eq!(b.backlog(), 1);
+        assert_eq!(b.drain(&remote).relayed, 1);
+        assert_eq!(remote.log("dst_a").unwrap().len(), 3);
+        assert_eq!(remote.log("dst_b").unwrap().len(), 1);
     }
 
     #[test]

@@ -38,6 +38,9 @@ struct LogInner {
     /// Idempotency-token → sequence map for exactly-once retries.
     dedup: HashMap<u128, u64>,
     backend: Box<dyn StorageBackend>,
+    /// Fault injection: number of upcoming appends that fail as storage
+    /// errors before anything is written (full disk, dying flash).
+    inject_failures: u32,
 }
 
 /// A CSPOT log.
@@ -71,6 +74,7 @@ impl Log {
                 entries,
                 dedup,
                 backend,
+                inject_failures: 0,
             }),
         })
     }
@@ -109,6 +113,12 @@ impl Log {
                 return Ok(seq);
             }
         }
+        if inner.inject_failures > 0 {
+            inner.inject_failures -= 1;
+            return Err(CspotError::Storage(std::io::Error::other(
+                "injected append failure",
+            )));
+        }
         let seq = inner.next_seq;
         let record = Record {
             seq,
@@ -125,6 +135,19 @@ impl Log {
             inner.dedup.insert(token, seq);
         }
         Ok(seq)
+    }
+
+    /// Inject `n` storage append failures: the next `n` (non-deduplicated)
+    /// appends return [`CspotError::Storage`] without writing anything.
+    /// Retries with an idempotency token remain exactly-once across the
+    /// fault window.
+    pub fn inject_append_failures(&self, n: u32) {
+        self.inner.lock().inject_failures = n;
+    }
+
+    /// Number of injected append failures still pending.
+    pub fn pending_injected_failures(&self) -> u32 {
+        self.inner.lock().inject_failures
     }
 
     /// Read the element at `seq`.
@@ -212,6 +235,28 @@ mod tests {
             Box::new(MemBackend::new()),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn injected_append_failures_then_recovery() {
+        let log = mklog(3, 16);
+        log.append(b"aaa").unwrap();
+        log.inject_append_failures(2);
+        assert_eq!(log.pending_injected_failures(), 2);
+        assert!(matches!(
+            log.append(b"bbb").unwrap_err(),
+            CspotError::Storage(_)
+        ));
+        assert!(log.append(b"bbb").is_err());
+        // Fault window exhausted: appends succeed again with dense seqs.
+        assert_eq!(log.pending_injected_failures(), 0);
+        assert_eq!(log.append(b"bbb").unwrap(), 2);
+        assert_eq!(log.len(), 2, "failed appends wrote nothing");
+        // Deduplicated retries are not consumed by the fault window.
+        let seq = log.append_with_token(99, b"ccc").unwrap();
+        log.inject_append_failures(1);
+        assert_eq!(log.append_with_token(99, b"ccc").unwrap(), seq);
+        assert_eq!(log.pending_injected_failures(), 1);
     }
 
     #[test]

@@ -78,19 +78,42 @@ impl OutageProcess {
         self.up
     }
 
-    /// Advance virtual time to `t` (s), applying any state changes to the
-    /// route's partition flag. Returns the number of transitions.
-    pub fn advance_to(&mut self, t: f64, route: &mut RoutePath) -> usize {
+    /// The process parameters.
+    pub fn config(&self) -> OutageConfig {
+        self.config
+    }
+
+    /// Advance virtual time to `t` (s) without touching any route — the
+    /// caller reads [`is_up`](Self::is_up) and applies the state itself.
+    /// Returns the number of transitions and the time spent down in
+    /// `(now, t]`, so fault drivers can account availability exactly even
+    /// when outages start and end between observation points.
+    pub fn advance_time(&mut self, t: f64) -> (usize, f64) {
         assert!(t >= self.now_s, "time cannot run backwards");
         let mut transitions = 0;
+        let mut down_s = 0.0;
         while self.next_transition_s <= t {
+            let held = self.next_transition_s - self.now_s;
+            if !self.up {
+                down_s += held;
+            }
             self.now_s = self.next_transition_s;
             self.up = !self.up;
             transitions += 1;
-            route.set_partitioned(!self.up);
             self.next_transition_s = self.sample_holding();
         }
+        if !self.up {
+            down_s += t - self.now_s;
+        }
         self.now_s = t;
+        (transitions, down_s)
+    }
+
+    /// Advance virtual time to `t` (s), applying any state changes to the
+    /// route's partition flag. Returns the number of transitions.
+    pub fn advance_to(&mut self, t: f64, route: &mut RoutePath) -> usize {
+        let (transitions, _) = self.advance_time(t);
+        route.set_partitioned(!self.up);
         transitions
     }
 }
@@ -173,6 +196,33 @@ mod tests {
             b.advance_to(t as f64 * 600.0, &mut rb);
             assert_eq!(a.is_up(), b.is_up());
         }
+    }
+
+    #[test]
+    fn downtime_accounting_is_exact() {
+        // Coarse observation cannot hide short outages: the integrated
+        // downtime from advance_time must equal 1 - availability in the
+        // long run, even when whole outages fall between observations.
+        let config = OutageConfig {
+            mtbf_s: 500.0,
+            mttr_s: 125.0,
+        };
+        let mut process = OutageProcess::new(config, 11);
+        let horizon = 4_000_000.0;
+        let step = 10_000.0; // far coarser than MTTR
+        let mut down_total = 0.0;
+        let mut t = 0.0;
+        while t < horizon {
+            t += step;
+            let (_, down) = process.advance_time(t);
+            down_total += down;
+        }
+        let measured = 1.0 - down_total / horizon;
+        let expect = config.availability();
+        assert!(
+            (measured - expect).abs() < 0.02,
+            "availability {measured} vs {expect}"
+        );
     }
 
     #[test]

@@ -167,7 +167,10 @@ impl RemoteAppender {
         loop {
             attempts += 1;
             if attempts > self.config.max_attempts {
-                return Err(CspotError::RetriesExhausted { attempts });
+                return Err(CspotError::RetriesExhausted {
+                    attempts: attempts - 1,
+                    elapsed_ms: self.clock.now_ms() - start,
+                });
             }
             if !self.connected {
                 // Connection establishment happens once per endpoint and is
@@ -416,6 +419,46 @@ mod tests {
         bounded.route_mut().set_partitioned(false);
         let o = bounded.append(&server, "data", &vec![2u8; 1024]).unwrap();
         assert_eq!(o.seq, 2);
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_attempts_and_elapsed_time() {
+        // 100% loss: every crossing is dropped, so the retry budget is the
+        // only way out. The error must say how many attempts were made and
+        // how much virtual time the appender burned before giving up.
+        let server = server_1kb();
+        let mut lossy = PathModel::wired(2.0, 0.0);
+        lossy.loss_prob = 1.0;
+        let cfg = RemoteConfig {
+            timeout_ms: 50.0,
+            max_attempts: 8,
+            connect_ms: 0.0,
+            ..Default::default()
+        };
+        let mut a = appender(RoutePath::single(lossy), cfg);
+        let err = a.append(&server, "data", &vec![3u8; 1024]).unwrap_err();
+        match err {
+            CspotError::RetriesExhausted {
+                attempts,
+                elapsed_ms,
+            } => {
+                assert_eq!(attempts, 8, "budget of 8 attempts fully spent");
+                // Each attempt loses its first crossing and waits out the
+                // timeout, so at least 8 * 50 ms of virtual time elapsed.
+                assert!(
+                    elapsed_ms >= 8.0 * 50.0,
+                    "elapsed {elapsed_ms} ms under 100% loss"
+                );
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        // Display carries both fields for operators reading logs.
+        let msg = CspotError::RetriesExhausted {
+            attempts: 8,
+            elapsed_ms: 400.0,
+        }
+        .to_string();
+        assert!(msg.contains('8') && msg.contains("400.0"), "{msg}");
     }
 
     #[test]

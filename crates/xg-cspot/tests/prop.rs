@@ -129,4 +129,36 @@ proptest! {
             prop_assert_eq!(remote.get("dst", i + 1).unwrap(), i.to_le_bytes());
         }
     }
+
+    /// The outage process's long-run availability converges to the
+    /// analytic `mtbf/(mtbf+mttr)` for any parameters and seed. The horizon
+    /// scales with the cycle length so every case sees many hundreds of
+    /// up/down cycles; tolerance is loose because exponential holding
+    /// times have heavy relative variance.
+    #[test]
+    fn outage_availability_converges(
+        mtbf_s in 200.0f64..20_000.0,
+        mttr_s in 50.0f64..5_000.0,
+        seed in 0u64..10_000,
+    ) {
+        let config = OutageConfig { mtbf_s, mttr_s };
+        let mut process = OutageProcess::new(config, seed);
+        let cycle = mtbf_s + mttr_s;
+        let horizon = 2_000.0 * cycle;
+        let step = cycle / 3.0;
+        let mut down_total = 0.0;
+        let mut t = 0.0;
+        while t < horizon {
+            t += step;
+            let (_, down) = process.advance_time(t);
+            down_total += down;
+        }
+        let measured = 1.0 - down_total / t;
+        let expect = config.availability();
+        prop_assert!(
+            (measured - expect).abs() < 0.04,
+            "availability {} vs analytic {} (mtbf {}, mttr {}, seed {})",
+            measured, expect, mtbf_s, mttr_s, seed
+        );
+    }
 }

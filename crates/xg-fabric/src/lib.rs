@@ -33,14 +33,16 @@
 //!     cfd_steps: 10,
 //!     ..Default::default()
 //! });
-//! fabric.run_cycles(2); // two 5-minute reporting cycles
+//! fabric.run_cycles(2).unwrap(); // two 5-minute reporting cycles
 //! assert_eq!(fabric.timeline().telemetry_latencies_ms().len(), 2);
 //! ```
 
 pub mod backtest;
+pub mod error;
 pub mod intervention;
 pub mod orchestrator;
 pub mod pipeline;
+pub mod reliability;
 pub mod robot;
 pub mod route;
 pub mod timeline;
@@ -48,9 +50,11 @@ pub mod timeline;
 /// Commonly used types.
 pub mod prelude {
     pub use crate::backtest::{BacktestReport, Backtester, CalibrationSample};
+    pub use crate::error::FabricError;
     pub use crate::intervention::{Intervention, InterventionAdvisor, SiteConditions};
     pub use crate::orchestrator::{FabricConfig, XgFabric};
-    pub use crate::pipeline::TelemetryPipeline;
+    pub use crate::pipeline::{FieldGateway, TelemetryPipeline};
+    pub use crate::reliability::ReliabilityReport;
     pub use crate::robot::{Robot, RobotReport};
     pub use crate::route::RoutePlanner;
     pub use crate::timeline::{Event, Timeline};

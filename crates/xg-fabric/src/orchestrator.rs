@@ -2,22 +2,34 @@
 //!
 //! [`XgFabric`] advances the whole system on the paper's duty cycles:
 //!
-//! * every **300 s** the stations report and the records ship over
-//!   5G + Internet into the UCSB repository;
+//! * every **300 s** the stations report and the records enter the field
+//!   gateway's bounded store-and-forward buffer, which drains over
+//!   5G + Internet into the UCSB repository whenever the link allows
+//!   (§3.1's delay tolerance);
 //! * every **30 min** (6 reports) the Laminar change detector compares the
-//!   two most recent 30-minute windows; a statistically measurable change
-//!   triggers the Pilot controller (Eqs. 1–4) and a CFD task;
-//! * CFD tasks complete inside active pilots after the modelled 64-core
-//!   runtime (~7 min); on completion the **actual** solver runs at reduced
-//!   resolution, the digital twin compares prediction with measurement
-//!   (after a first-run calibration, as §2 prescribes), and a suspected
+//!   two most recent 30-minute windows *of data that actually reached the
+//!   repository*; a statistically measurable change triggers the Pilot
+//!   controller (Eqs. 1–4) and a CFD task routed to the best reachable
+//!   HPC site;
+//! * CFD tasks complete after their expected completion time; a site
+//!   outage mid-run triggers failover — the task is resubmitted to the
+//!   next-best site with capped exponential backoff — and on completion
+//!   the **actual** solver runs at (possibly degraded) resolution, the
+//!   digital twin compares prediction with measurement, and a suspected
 //!   breach dispatches the Farm-NG robot.
 //!
-//! All time is virtual; nothing sleeps.
+//! A [`FaultPlan`] in the configuration injects partitions, RAN collapse,
+//! site outages, sensor faults, and storage faults as virtual time
+//! advances; the loop degrades gracefully (buffering, failover, reduced
+//! CFD resolution, skipped results-return) instead of panicking, and
+//! every run can emit a [`ReliabilityReport`]. All time is virtual;
+//! nothing sleeps.
 
 use crate::backtest::{Backtester, CalibrationSample};
+use crate::error::FabricError;
 use crate::intervention::{Intervention, InterventionAdvisor, SiteConditions};
-use crate::pipeline::{ResultSummary, ResultsReturn, TelemetryPipeline};
+use crate::pipeline::{FieldGateway, ResultSummary, ResultsReturn};
+use crate::reliability::ReliabilityReport;
 use crate::robot::Robot;
 use crate::route::RoutePlanner;
 use crate::timeline::{Event, Timeline};
@@ -29,7 +41,8 @@ use xg_cfd::solver::{Simulation, SolverConfig};
 use xg_cfd::twin::{DigitalTwin, Measurement};
 use xg_cspot::netsim::SimClock;
 use xg_cspot::node::CspotNode;
-use xg_hpc::pilot::{PilotController, PilotControllerConfig};
+use xg_faults::{FaultChange, FaultKind, FaultPlan};
+use xg_hpc::multisite::MultiSiteController;
 use xg_hpc::site::SiteProfile;
 use xg_laminar::change::{build_change_graph, ChangeDetector};
 use xg_laminar::runtime::LaminarRuntime;
@@ -51,9 +64,11 @@ pub struct FabricConfig {
     pub detect_every_reports: usize,
     /// The change detector.
     pub detector: ChangeDetector,
-    /// The HPC site running the CFD.
+    /// The primary HPC site running the CFD.
     pub site: SiteProfile,
-    /// Whether the site's queue carries background load.
+    /// Additional sites the failover layer may route CFD tasks to.
+    pub failover_sites: Vec<SiteProfile>,
+    /// Whether the sites' queues carry background load.
     pub busy_cluster: bool,
     /// Actual CFD resolution for the in-loop solves.
     pub cfd_cells: [usize; 3],
@@ -65,6 +80,10 @@ pub struct FabricConfig {
     pub cfd_cores: u32,
     /// The digital twin comparator.
     pub twin: DigitalTwin,
+    /// Bounded capacity of the field gateway buffer (records).
+    pub gateway_capacity: usize,
+    /// Fault schedule applied as virtual time advances.
+    pub faults: FaultPlan,
 }
 
 impl Default for FabricConfig {
@@ -75,20 +94,45 @@ impl Default for FabricConfig {
             detect_every_reports: 6,
             detector: ChangeDetector::default(),
             site: SiteProfile::notre_dame_crc(),
+            failover_sites: Vec::new(),
             busy_cluster: false,
             cfd_cells: [20, 16, 6],
             cfd_steps: 40,
             perf: CfdPerfModel::notre_dame(),
             cfd_cores: 64,
             twin: DigitalTwin::default(),
+            gateway_capacity: 4096,
+            faults: FaultPlan::none(),
         }
     }
 }
 
+/// Captured trigger context for one CFD run, including the resolution
+/// chosen by the degradation ladder at trigger time.
 struct PendingCfd {
     trigger_t_s: f64,
     bc: BoundaryConditions,
     interior: Vec<Measurement>,
+    cells: [usize; 3],
+    steps: usize,
+}
+
+/// A CFD task placed at a site, expected to finish at `finishes_at`.
+struct InFlightCfd {
+    pending: PendingCfd,
+    site: String,
+    finishes_at: f64,
+    /// Placement attempts so far (0 = first placement succeeded).
+    attempts: u32,
+}
+
+/// A CFD task lost to a site outage (or refused by every site), waiting
+/// out its backoff before resubmission.
+struct RetryCfd {
+    pending: PendingCfd,
+    from_site: String,
+    attempts: u32,
+    next_try_s: f64,
 }
 
 /// The orchestrated end-to-end system.
@@ -96,8 +140,8 @@ pub struct XgFabric {
     /// Configuration.
     pub config: FabricConfig,
     net: SensorNetwork,
-    pipeline: TelemetryPipeline,
-    pilot: PilotController,
+    gateway: FieldGateway,
+    hpc: MultiSiteController,
     robot: Robot,
     planner: RoutePlanner,
     advisor: InterventionAdvisor,
@@ -111,44 +155,66 @@ pub struct XgFabric {
     timeline: Timeline,
     t_s: f64,
     reports_done: usize,
-    pending_cfd: Vec<PendingCfd>,
-    tasks_processed: usize,
+    /// Live fault schedule (advanced copy of `config.faults`).
+    faults: FaultPlan,
+    in_flight: Vec<InFlightCfd>,
+    retries: Vec<RetryCfd>,
+    /// Degradation ladder level: 0 nominal, 1 reduced CFD resolution,
+    /// 2 also skip non-critical results-return.
+    degradation: u8,
+    route_down: bool,
+    /// When a detect duty cycle was first deferred for lack of fresh
+    /// repository data (partition-starved); cleared by the detection
+    /// that finally runs, which is charged the wait as inflation.
+    deferred_check_since: Option<f64>,
+    wind_len_at_last_detect: usize,
+    detections: u32,
+    detection_inflation_sum_s: f64,
+    failovers: u32,
+    cfd_triggered: u32,
+    cfd_completed: u32,
+    cfd_recovered: u32,
+    degraded_cycles: u32,
+    impaired_since: Option<f64>,
+    impairment_episodes: u32,
+    impairment_total_s: f64,
     /// Twin calibration factor (measured/predicted), set by the first
     /// completed comparison ("once the model is calibrated", §2).
     calibration: Option<f64>,
 }
 
 impl XgFabric {
-    /// Assemble the fabric.
-    pub fn new(config: FabricConfig) -> Self {
+    /// Assemble the fabric, surfacing construction failures (a topology
+    /// without the paper routes, colliding logs) as typed errors.
+    pub fn try_new(config: FabricConfig) -> Result<Self, FabricError> {
         let facility = CupsFacility::default();
         let net = SensorNetwork::cups_default(facility, config.seed);
         let repo = Arc::new(CspotNode::in_memory("UCSB"));
-        let clock = SimClock::new();
-        let pipeline = TelemetryPipeline::new(repo, clock, config.seed)
-            .expect("fresh repository accepts the telemetry logs");
-        let cluster = if config.busy_cluster {
-            config.site.build_cluster(config.seed)
-        } else {
-            config.site.build_idle_cluster()
-        };
-        let mut pilot_cfg = PilotControllerConfig::paper_default(config.site.nodes);
-        pilot_cfg.est_task_runtime_s = config.perf.total_time_s(config.cfd_cores);
-        let pilot = PilotController::new(cluster, pilot_cfg);
         let field = Arc::new(CspotNode::in_memory("UNL"));
-        let results_return = ResultsReturn::new(field, SimClock::new(), config.seed ^ 0x5255)
-            .expect("fresh field node accepts the results log");
+        let gateway = FieldGateway::new(
+            Arc::clone(&repo),
+            Arc::clone(&field),
+            SimClock::new(),
+            config.seed,
+            config.gateway_capacity,
+        )?;
+        let mut sites = vec![(config.site.clone(), config.busy_cluster)];
+        for s in &config.failover_sites {
+            sites.push((s.clone(), config.busy_cluster));
+        }
+        let mut hpc = MultiSiteController::new(sites, config.seed);
+        hpc.set_est_task_runtime(config.perf.total_time_s(config.cfd_cores));
+        let results_return = ResultsReturn::new(field, SimClock::new(), config.seed ^ 0x5255)?;
         let laminar = LaminarRuntime::deploy(
-            build_change_graph("cups_change", config.detector)
-                .expect("static change graph is valid"),
-            Arc::clone(&pipeline.repo),
-        )
-        .expect("fresh repository accepts the Laminar logs");
-        XgFabric {
+            build_change_graph("cups_change", config.detector)?,
+            Arc::clone(&gateway.repo),
+        )?;
+        let faults = config.faults.clone();
+        Ok(XgFabric {
             config,
             net,
-            pipeline,
-            pilot,
+            gateway,
+            hpc,
             robot: Robot::default(),
             planner: RoutePlanner::from_domain(&DomainSpec::cups_default()),
             advisor: InterventionAdvisor::default(),
@@ -160,10 +226,32 @@ impl XgFabric {
             timeline: Timeline::default(),
             t_s: 0.0,
             reports_done: 0,
-            pending_cfd: Vec::new(),
-            tasks_processed: 0,
+            faults,
+            in_flight: Vec::new(),
+            retries: Vec::new(),
+            degradation: 0,
+            route_down: false,
+            deferred_check_since: None,
+            wind_len_at_last_detect: 0,
+            detections: 0,
+            detection_inflation_sum_s: 0.0,
+            failovers: 0,
+            cfd_triggered: 0,
+            cfd_completed: 0,
+            cfd_recovered: 0,
+            degraded_cycles: 0,
+            impaired_since: None,
+            impairment_episodes: 0,
+            impairment_total_s: 0.0,
             calibration: None,
-        }
+        })
+    }
+
+    /// Assemble the fabric. Construction over fresh in-memory nodes and
+    /// the built-in paper topology cannot fail; use [`XgFabric::try_new`]
+    /// when building from non-default parts.
+    pub fn new(config: FabricConfig) -> Self {
+        Self::try_new(config).expect("construction over fresh in-memory nodes")
     }
 
     /// The event log so far.
@@ -189,6 +277,16 @@ impl XgFabric {
         self.t_s
     }
 
+    /// Current degradation ladder level.
+    pub fn degradation_level(&self) -> u8 {
+        self.degradation
+    }
+
+    /// Telemetry records parked at the field gateway.
+    pub fn telemetry_backlog(&self) -> usize {
+        self.gateway.backlog()
+    }
+
     /// Ground-truth facility access (scenario scripting).
     pub fn facility_mut(&mut self) -> &mut CupsFacility {
         &mut self.net.facility
@@ -205,103 +303,384 @@ impl XgFabric {
     }
 
     /// Run one 300-second report cycle.
-    pub fn run_report_cycle(&mut self) {
+    pub fn run_report_cycle(&mut self) -> Result<(), FabricError> {
         self.t_s += self.config.report_interval_s;
+        // Faults change state at report-cycle resolution; their downtime
+        // accounting inside the plan stays exact regardless.
+        let changes = self.faults.advance_to(self.t_s);
+        for c in &changes {
+            self.apply_fault(c);
+        }
         let raw = self.net.poll();
         // Quality control before anything becomes a CFD boundary
         // condition (§2's data-calibration concern).
         let (records, _rejected) = self.qc.filter(&raw);
-        let latency_ms = self
-            .pipeline
-            .ship(&records)
-            .expect("telemetry path healthy");
+        let cycle = self.gateway.ship_cycle(&records)?;
         self.timeline.push(Event::TelemetryShipped {
             t_s: self.t_s,
-            latency_ms,
+            latency_ms: cycle.latency_ms,
             records: records.len(),
         });
         self.reports_done += 1;
-        // Advance the HPC side to now and absorb completed tasks.
-        self.pilot.advance_to(self.t_s);
-        self.process_completed_tasks(&records);
-        // 30-minute change-detection duty cycle.
+        // Advance the HPC side, resubmit lost tasks, absorb completions.
+        self.hpc.advance_to(self.t_s);
+        self.service_retries();
+        self.service_completions();
+        self.update_degradation(records.len());
+        // 30-minute change-detection duty cycle, gated on telemetry that
+        // actually reached the repository: a partition defers detection
+        // instead of re-reading stale windows.
+        let repo_len = self.gateway.repo_wind_len();
         if self
             .reports_done
             .is_multiple_of(self.config.detect_every_reports)
         {
-            self.run_change_detection(&records);
+            if repo_len >= 2 * self.config.detector.window
+                && repo_len >= self.wind_len_at_last_detect + self.config.detect_every_reports
+            {
+                self.run_change_detection(&records, repo_len)?;
+            } else if self.gateway.backlog() > 0 && self.deferred_check_since.is_none() {
+                // The duty cycle wanted to run but the partition starved
+                // the repository: start the deferral clock.
+                self.deferred_check_since = Some(self.t_s);
+            }
         }
+        self.track_impairment();
+        Ok(())
     }
 
     /// Run `n` report cycles.
-    pub fn run_cycles(&mut self, n: usize) {
+    pub fn run_cycles(&mut self, n: usize) -> Result<(), FabricError> {
         for _ in 0..n {
-            self.run_report_cycle();
+            self.run_report_cycle()?;
+        }
+        Ok(())
+    }
+
+    /// Reliability accounting for the run so far.
+    pub fn reliability_report(&self) -> ReliabilityReport {
+        let horizon = self.t_s;
+        let partition_down_s = self
+            .faults
+            .active_seconds(|k| matches!(k, FaultKind::RoutePartition { .. }));
+        let availability = if horizon > 0.0 {
+            (1.0 - partition_down_s / horizon).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        // Close any still-open impairment episode for reporting.
+        let mut episodes = self.impairment_episodes;
+        let mut total_s = self.impairment_total_s;
+        if let Some(start) = self.impaired_since {
+            episodes += 1;
+            total_s += self.t_s - start;
+        }
+        ReliabilityReport {
+            horizon_s: horizon,
+            availability_experienced: availability,
+            records_buffered: self.gateway.buffered(),
+            records_dropped: self.gateway.dropped(),
+            records_delivered: self.gateway.delivered(),
+            max_backlog: self.gateway.max_backlog(),
+            final_backlog: self.gateway.backlog(),
+            detections: self.detections,
+            mean_detection_inflation_s: self.detection_inflation_sum_s
+                / f64::from(self.detections.max(1)),
+            failovers: self.failovers,
+            cfd_triggered: self.cfd_triggered,
+            cfd_completed: self.cfd_completed,
+            cfd_recovered: self.cfd_recovered,
+            degraded_cycles: self.degraded_cycles,
+            impairment_episodes: episodes,
+            loop_mttr_s: total_s / f64::from(episodes.max(1)),
         }
     }
 
-    fn run_change_detection(&mut self, records: &[TelemetryRecord]) {
+    fn apply_fault(&mut self, change: &FaultChange) {
+        match &change.kind {
+            // The fabric has one physical 5G route; any partition entry
+            // severs both the uplink and the results downlink.
+            FaultKind::RoutePartition { .. } => {
+                self.gateway.set_partitioned(change.active);
+                self.results_return.set_partitioned(change.active);
+                self.route_down = change.active;
+            }
+            FaultKind::PacketLossSurge { loss_prob, .. } => {
+                self.gateway
+                    .set_loss(if change.active { *loss_prob } else { 0.0 });
+            }
+            FaultKind::RanDegradation { .. } => {
+                self.gateway.set_access_degraded(change.active);
+            }
+            FaultKind::HpcSiteOutage { site } => {
+                self.hpc.set_site_down(site, change.active);
+                if change.active {
+                    self.orphan_in_flight_at(&site.clone());
+                }
+            }
+            FaultKind::HpcQueueStall { site } => {
+                self.hpc.set_site_stalled(site, change.active);
+            }
+            FaultKind::SensorDropout { station } => {
+                self.net.set_station_down(*station, change.active);
+            }
+            FaultKind::SensorStuck { station } => {
+                self.net.set_station_stuck(*station, change.active);
+            }
+            FaultKind::StorageAppendFailure { log, failures } => {
+                if change.active {
+                    if let Ok(l) = self.gateway.repo.log(log) {
+                        l.inject_append_failures(*failures);
+                    }
+                }
+            }
+        }
+        self.timeline.push(Event::FaultChanged {
+            t_s: self.t_s,
+            fault: format!("{:?}", change.kind),
+            active: change.active,
+        });
+    }
+
+    /// Move every task expected to still be running at the dead site into
+    /// the retry queue.
+    fn orphan_in_flight_at(&mut self, site: &str) {
+        let now = self.t_s;
+        let mut kept = Vec::new();
+        for f in self.in_flight.drain(..) {
+            if f.site == site && f.finishes_at > now {
+                self.retries.push(RetryCfd {
+                    next_try_s: now + Self::backoff_s(f.attempts),
+                    from_site: f.site,
+                    attempts: f.attempts + 1,
+                    pending: f.pending,
+                });
+            } else {
+                kept.push(f);
+            }
+        }
+        self.in_flight = kept;
+    }
+
+    /// Capped exponential backoff between failover placement attempts.
+    fn backoff_s(attempts: u32) -> f64 {
+        (300.0 * 2f64.powi(attempts.min(3) as i32)).min(1800.0)
+    }
+
+    fn service_retries(&mut self) {
+        let task_runtime = self.config.perf.total_time_s(self.config.cfd_cores);
+        let mut waiting = Vec::new();
+        for r in std::mem::take(&mut self.retries) {
+            if r.next_try_s > self.t_s {
+                waiting.push(r);
+                continue;
+            }
+            match self.hpc.submit_task_avoiding(1, task_runtime, &[]) {
+                Some(p) => {
+                    self.failovers += 1;
+                    self.timeline.push(Event::FailoverTriggered {
+                        t_s: self.t_s,
+                        from_site: r.from_site,
+                        to_site: Some(p.site.clone()),
+                    });
+                    self.in_flight.push(InFlightCfd {
+                        pending: r.pending,
+                        site: p.site,
+                        finishes_at: self.t_s + p.expected_completion_s,
+                        attempts: r.attempts,
+                    });
+                }
+                None => {
+                    // Every site still unreachable: back off harder.
+                    self.timeline.push(Event::FailoverTriggered {
+                        t_s: self.t_s,
+                        from_site: r.from_site.clone(),
+                        to_site: None,
+                    });
+                    waiting.push(RetryCfd {
+                        next_try_s: self.t_s + Self::backoff_s(r.attempts),
+                        attempts: r.attempts + 1,
+                        ..r
+                    });
+                }
+            }
+        }
+        self.retries = waiting;
+    }
+
+    fn service_completions(&mut self) {
+        let now = self.t_s;
+        let mut done: Vec<InFlightCfd> = Vec::new();
+        let mut running = Vec::new();
+        for f in self.in_flight.drain(..) {
+            if f.finishes_at <= now {
+                done.push(f);
+            } else {
+                running.push(f);
+            }
+        }
+        self.in_flight = running;
+        done.sort_by(|a, b| a.finishes_at.total_cmp(&b.finishes_at));
+        for f in done {
+            self.cfd_completed += 1;
+            if f.attempts > 0 {
+                self.cfd_recovered += 1;
+            }
+            self.execute_cfd(f.pending, f.finishes_at);
+        }
+    }
+
+    /// Degradation ladder: level 1 once the loop runs ~2 cycles behind
+    /// (or a CFD task waits on failover), level 2 once it is badly behind.
+    fn update_degradation(&mut self, records_per_cycle: usize) {
+        let cycles_behind = self.gateway.backlog() / records_per_cycle.max(1);
+        let level = if cycles_behind >= 6 {
+            2
+        } else if cycles_behind >= 2 || !self.retries.is_empty() {
+            1
+        } else {
+            0
+        };
+        if level != self.degradation {
+            self.degradation = level;
+            self.timeline.push(Event::DegradationChanged {
+                t_s: self.t_s,
+                level,
+            });
+        }
+        if level > 0 {
+            self.degraded_cycles += 1;
+        }
+    }
+
+    /// CFD resolution for a run triggered now: full resolution at level 0,
+    /// 3/4-per-axis (≈42% of the cells) once degraded.
+    fn effective_resolution(&self) -> ([usize; 3], usize) {
+        if self.degradation >= 1 {
+            let c = self.config.cfd_cells;
+            (
+                [
+                    (c[0] * 3 / 4).max(4),
+                    (c[1] * 3 / 4).max(4),
+                    (c[2] * 3 / 4).max(3),
+                ],
+                (self.config.cfd_steps * 3 / 4).max(10),
+            )
+        } else {
+            (self.config.cfd_cells, self.config.cfd_steps)
+        }
+    }
+
+    /// An impairment episode runs from the first cycle where the loop is
+    /// visibly hurt (route down, telemetry parked, or a CFD task waiting
+    /// on failover) until everything is clean again.
+    fn track_impairment(&mut self) {
+        let impaired = self.route_down || self.gateway.backlog() > 0 || !self.retries.is_empty();
+        match (self.impaired_since, impaired) {
+            (None, true) => self.impaired_since = Some(self.t_s),
+            (Some(start), false) => {
+                self.impairment_episodes += 1;
+                self.impairment_total_s += self.t_s - start;
+                self.impaired_since = None;
+            }
+            _ => {}
+        }
+    }
+
+    fn run_change_detection(
+        &mut self,
+        records: &[TelemetryRecord],
+        repo_len: usize,
+    ) -> Result<(), FabricError> {
         // Build the two windows from the repository's wind log and feed
         // them through the deployed Laminar change-detection graph — the
         // program §3.7 runs at UCSB on a 30-minute duty cycle.
         let window = self.config.detector.window;
-        let history = self
-            .pipeline
-            .wind_history(2 * window)
-            .expect("wind log readable");
+        let history = self.gateway.wind_history(2 * window)?;
         if history.len() < 2 * window {
-            return;
+            return Ok(());
         }
         let (prev, recent) = history.split_at(window);
         self.detect_epoch += 1;
         let epoch = self.detect_epoch;
         self.laminar
-            .inject("prev_window", epoch, Value::F64Vec(prev.to_vec()))
-            .expect("fresh epoch");
+            .inject("prev_window", epoch, Value::F64Vec(prev.to_vec()))?;
         self.laminar
-            .inject("recent_window", epoch, Value::F64Vec(recent.to_vec()))
-            .expect("fresh epoch");
+            .inject("recent_window", epoch, Value::F64Vec(recent.to_vec()))?;
         let changed = self
             .laminar
-            .read("detect", epoch)
-            .expect("detect node readable")
+            .read("detect", epoch)?
             .and_then(|v| v.as_bool())
             .unwrap_or(false);
         // Votes are recomputed for the timeline detail (the Laminar node
         // returns only the arbitration outcome, as in the paper).
         let vote = self.config.detector.evaluate_windows(prev, recent);
         debug_assert_eq!(changed, vote.changed, "Laminar and direct paths agree");
+        self.detections += 1;
+        self.wind_len_at_last_detect = repo_len;
+        // Inflation: how long the duty cycle sat deferred behind a
+        // partition before this check could finally run (0 on a healthy
+        // link).
+        if let Some(since) = self.deferred_check_since.take() {
+            self.detection_inflation_sum_s += (self.t_s - since).max(0.0);
+        }
         self.timeline.push(Event::ChangeChecked {
             t_s: self.t_s,
             changed,
             votes: vote.votes,
         });
         if !changed {
-            return;
+            return Ok(());
         }
         // Trigger: Eqs. (1)-(4), then a CFD task sized to the telemetry
-        // volume of one detection window.
+        // volume of one detection window, placed at the best reachable
+        // site. The degradation ladder decides the solve resolution now,
+        // at trigger time.
         let data_bytes =
             (records.len() * TelemetryRecord::WIRE_SIZE * self.config.detect_every_reports) as f64;
-        let decision = self.pilot.on_data(data_bytes);
-        self.timeline.push(Event::PilotEvaluated {
-            t_s: self.t_s,
-            n_required: decision.n_required,
-            n_available: decision.n_available,
-            submitted: decision.submitted.is_some(),
-        });
         let task_runtime = self.config.perf.total_time_s(self.config.cfd_cores);
-        self.pilot.submit_task(1, task_runtime);
-        // Capture the boundary conditions and interior measurements that
-        // parameterize this run.
-        if let Some(bc) = self.net.boundary_conditions(records) {
-            let interior = self.interior_measurements(records);
-            self.pending_cfd.push(PendingCfd {
-                trigger_t_s: self.t_s,
-                bc,
-                interior,
-            });
+        let Some(bc) = self.net.boundary_conditions(records) else {
+            return Ok(());
+        };
+        let (cells, steps) = self.effective_resolution();
+        let pending = PendingCfd {
+            trigger_t_s: self.t_s,
+            bc,
+            interior: self.interior_measurements(records),
+            cells,
+            steps,
+        };
+        self.cfd_triggered += 1;
+        match self
+            .hpc
+            .submit_task_with_data(1, task_runtime, data_bytes, &[])
+        {
+            Some((placement, decision)) => {
+                self.timeline.push(Event::PilotEvaluated {
+                    t_s: self.t_s,
+                    n_required: decision.n_required,
+                    n_available: decision.n_available,
+                    submitted: decision.submitted.is_some(),
+                });
+                self.in_flight.push(InFlightCfd {
+                    pending,
+                    site: placement.site,
+                    finishes_at: self.t_s + placement.expected_completion_s,
+                    attempts: 0,
+                });
+            }
+            None => {
+                // Every site offline at trigger time: park the task in
+                // the failover queue instead of dropping the trigger.
+                self.retries.push(RetryCfd {
+                    pending,
+                    from_site: self.config.site.name.clone(),
+                    attempts: 1,
+                    next_try_s: self.t_s + Self::backoff_s(0),
+                });
+            }
         }
+        Ok(())
     }
 
     fn interior_measurements(&self, records: &[TelemetryRecord]) -> Vec<Measurement> {
@@ -322,25 +701,13 @@ impl XgFabric {
             .collect()
     }
 
-    fn process_completed_tasks(&mut self, _records: &[TelemetryRecord]) {
-        while self.tasks_processed < self.pilot.completed_tasks().len() {
-            let outcome = self.pilot.completed_tasks()[self.tasks_processed];
-            self.tasks_processed += 1;
-            if self.pending_cfd.is_empty() {
-                continue;
-            }
-            let pending = self.pending_cfd.remove(0);
-            self.execute_cfd(pending, outcome.finished_at);
-        }
-    }
-
     fn execute_cfd(&mut self, pending: PendingCfd, finished_at: f64) {
         // Predicted field: always intact-screen boundary conditions — the
         // twin detects breaches as measurement/model divergence.
         let spec = DomainSpec::cups_default().with_cells(
-            self.config.cfd_cells[0],
-            self.config.cfd_cells[1],
-            self.config.cfd_cells[2],
+            pending.cells[0],
+            pending.cells[1],
+            pending.cells[2],
         );
         let mesh = Mesh::generate(&spec);
         let bc = BoundarySpec::intact(
@@ -349,7 +716,7 @@ impl XgFabric {
             pending.bc.ambient_temp_c,
         );
         let mut sim = Simulation::new(mesh, bc, SolverConfig::default());
-        sim.run(self.config.cfd_steps);
+        sim.run(pending.steps);
         let model_runtime = self.config.perf.total_time_s(self.config.cfd_cores);
         let window_s = self.config.report_interval_s * self.config.detect_every_reports as f64;
         self.timeline.push(Event::CfdCompleted {
@@ -360,17 +727,20 @@ impl XgFabric {
         });
         // Return the result summary to the site operator over the 5G
         // downlink (breach status is refined below; the operator gets the
-        // headline numbers immediately).
-        if let Ok(latency_ms) = self.results_return.deliver(&ResultSummary {
-            t_s: finished_at,
-            predicted_wind_ms: sim.mean_interior_wind(),
-            validity_s: (window_s - model_runtime).max(0.0),
-            breach_suspected: false,
-        }) {
-            self.timeline.push(Event::ResultsReturned {
+        // headline numbers immediately). At degradation level 2 this
+        // non-critical return is skipped to shed load.
+        if self.degradation < 2 {
+            if let Ok(latency_ms) = self.results_return.deliver(&ResultSummary {
                 t_s: finished_at,
-                latency_ms,
-            });
+                predicted_wind_ms: sim.mean_interior_wind(),
+                validity_s: (window_s - model_runtime).max(0.0),
+                breach_suspected: false,
+            }) {
+                self.timeline.push(Event::ResultsReturned {
+                    t_s: finished_at,
+                    latency_ms,
+                });
+            }
         }
         // Twin comparison with first-run calibration.
         // Feed the back-tester with the raw (predicted, measured) pair so
@@ -468,6 +838,7 @@ impl XgFabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use xg_cspot::outage::OutageConfig;
     use xg_sensors::facility::Wall;
 
     fn fast_config(seed: u64) -> FabricConfig {
@@ -482,11 +853,15 @@ mod tests {
     #[test]
     fn telemetry_flows_every_cycle() {
         let mut fab = XgFabric::new(fast_config(1));
-        fab.run_cycles(4);
+        fab.run_cycles(4).unwrap();
         let latencies = fab.timeline().telemetry_latencies_ms();
         assert_eq!(latencies.len(), 4);
         assert!(latencies.iter().all(|&l| l > 0.0 && l < 10_000.0));
         assert!((fab.now_s() - 1200.0).abs() < 1e-9);
+        let rel = fab.reliability_report();
+        assert!(rel.lossless());
+        assert_eq!(rel.availability_experienced, 1.0);
+        assert_eq!(rel.final_backlog, 0);
     }
 
     #[test]
@@ -494,7 +869,7 @@ mod tests {
         let mut fab = XgFabric::new(fast_config(2));
         // 24 cycles = 2 hours = 4 detection checks (first at 60 min once
         // 12 samples exist).
-        fab.run_cycles(24);
+        fab.run_cycles(24).unwrap();
         let checks = fab
             .timeline()
             .count(|e| matches!(e, Event::ChangeChecked { .. }));
@@ -510,9 +885,9 @@ mod tests {
     #[test]
     fn front_triggers_cfd_and_validity_budget() {
         let mut fab = XgFabric::new(fast_config(3));
-        fab.run_cycles(12); // build history
+        fab.run_cycles(12).unwrap(); // build history
         fab.force_front();
-        fab.run_cycles(12); // detect + run CFD
+        fab.run_cycles(12).unwrap(); // detect + run CFD
         assert!(
             fab.timeline().changes_detected() >= 1,
             "front must be detected"
@@ -539,16 +914,16 @@ mod tests {
     fn breach_detected_and_robot_confirms() {
         let mut fab = XgFabric::new(fast_config(4));
         // Build history and calibrate the twin with one intact-run trigger.
-        fab.run_cycles(12);
+        fab.run_cycles(12).unwrap();
         fab.force_front();
-        fab.run_cycles(12);
+        fab.run_cycles(12).unwrap();
         assert!(fab.timeline().cfd_runs() >= 1, "calibration run needed");
         // Now tear the screen; the breach jet both shifts the wind
         // statistics (triggering detection) and diverges from the intact
         // prediction (twin flags it).
         fab.inject_breach(Breach::new(Wall::West, 5, 12.0));
         fab.force_front();
-        fab.run_cycles(18);
+        fab.run_cycles(18).unwrap();
         let suspected = fab.timeline().count(|e| {
             matches!(
                 e,
@@ -565,9 +940,9 @@ mod tests {
     #[test]
     fn pilot_decisions_recorded() {
         let mut fab = XgFabric::new(fast_config(5));
-        fab.run_cycles(12);
+        fab.run_cycles(12).unwrap();
         fab.force_front();
-        fab.run_cycles(12);
+        fab.run_cycles(12).unwrap();
         let evals = fab
             .timeline()
             .count(|e| matches!(e, Event::PilotEvaluated { .. }));
@@ -577,5 +952,209 @@ mod tests {
                 assert!(*n_required >= 1);
             }
         }
+    }
+
+    #[test]
+    fn partition_defers_detection_instead_of_rereading_stale_windows() {
+        // A 30-minute partition: telemetry parks, the duty cycle that
+        // lands inside the outage is skipped (no fresh repository data),
+        // and everything drains after the heal with zero loss.
+        let faults = FaultPlan::builder(7)
+            .scripted(
+                3_600.0,
+                1_800.0,
+                FaultKind::RoutePartition {
+                    from: "UNL-5G".into(),
+                    to: "UCSB".into(),
+                },
+            )
+            .build();
+        let mut fab = XgFabric::new(FabricConfig {
+            faults,
+            ..fast_config(7)
+        });
+        fab.run_cycles(24).unwrap();
+        let rel = fab.reliability_report();
+        assert!(rel.lossless(), "partition must not lose telemetry: {rel}");
+        assert_eq!(rel.records_dropped, 0);
+        assert_eq!(rel.final_backlog, 0, "backlog drained after heal");
+        assert!(rel.max_backlog > 0, "partition must have parked records");
+        let expected_avail = 1.0 - 1_800.0 / fab.now_s();
+        assert!((rel.availability_experienced - expected_avail).abs() < 1e-9);
+        assert!(rel.impairment_episodes >= 1);
+        assert!(rel.loop_mttr_s > 0.0);
+        assert!(fab.timeline().fault_activations() >= 1);
+    }
+
+    #[test]
+    fn stochastic_partition_availability_matches_outage_config() {
+        // Acceptance: run under a seeded stochastic 5G outage process and
+        // require the experienced availability within 2 points of the
+        // analytic mtbf/(mtbf+mttr).
+        let cfg = OutageConfig {
+            mtbf_s: 5_400.0,
+            mttr_s: 900.0,
+        };
+        let faults = FaultPlan::builder(11)
+            .stochastic(
+                cfg,
+                FaultKind::RoutePartition {
+                    from: "UNL-5G".into(),
+                    to: "UCSB".into(),
+                },
+            )
+            .build();
+        let mut fab = XgFabric::new(FabricConfig {
+            faults,
+            // Keep CFD out of the way; this test is about the 5G path.
+            detector: ChangeDetector::default(),
+            ..fast_config(11)
+        });
+        fab.run_cycles(2_000).unwrap(); // ~1 week of virtual time
+        let rel = fab.reliability_report();
+        assert!(
+            (rel.availability_experienced - cfg.availability()).abs() < 0.02,
+            "experienced {} vs analytic {}",
+            rel.availability_experienced,
+            cfg.availability()
+        );
+        assert_eq!(rel.records_dropped, 0, "no loss under generous capacity");
+        assert!(rel.mean_detection_inflation_s >= 0.0);
+    }
+
+    #[test]
+    fn site_outage_fails_over_and_cfd_still_completes() {
+        // Primary dies right after the first trigger window opens; the
+        // failover layer must resubmit to ANVIL and the CFD must finish.
+        let faults = FaultPlan::builder(13)
+            .scripted(
+                3_600.0,
+                4.0 * 3_600.0,
+                FaultKind::HpcSiteOutage {
+                    site: "ND-CRC".into(),
+                },
+            )
+            .build();
+        let mut fab = XgFabric::new(FabricConfig {
+            faults,
+            failover_sites: vec![SiteProfile::anvil()],
+            ..fast_config(13)
+        });
+        fab.run_cycles(12).unwrap();
+        fab.force_front();
+        fab.run_cycles(24).unwrap();
+        let rel = fab.reliability_report();
+        assert!(rel.cfd_triggered >= 1, "front must trigger: {rel}");
+        assert!(rel.cfd_completed >= 1, "CFD must complete despite outage");
+        // The trigger lands while ND-CRC is down, so the placement goes
+        // to the surviving site.
+        let placed_on_anvil = fab.timeline().events.iter().any(
+            |e| matches!(e, Event::FailoverTriggered { to_site: Some(s), .. } if s == "ANVIL"),
+        );
+        let all_completed_somewhere = rel.cfd_completed == rel.cfd_triggered;
+        assert!(
+            placed_on_anvil || all_completed_somewhere,
+            "failover must keep the pipeline alive: {rel}"
+        );
+    }
+
+    #[test]
+    fn mid_pilot_outage_triggers_failover_resubmission() {
+        // Force the CFD to be in flight at its site when that site dies:
+        // with both sites healthy the router picks ANVIL (faster), so the
+        // outage targets ANVIL 100 s after the t=5400 trigger, well
+        // before the ~7-minute completion.
+        let faults = FaultPlan::builder(17)
+            .scripted(
+                5_500.0,
+                3.0 * 3_600.0,
+                FaultKind::HpcSiteOutage {
+                    site: "ANVIL".into(),
+                },
+            )
+            .build();
+        let mut fab = XgFabric::new(FabricConfig {
+            faults,
+            failover_sites: vec![SiteProfile::anvil()],
+            ..fast_config(3) // seed 3 triggers at t=5400 (see front test)
+        });
+        fab.run_cycles(12).unwrap();
+        fab.force_front();
+        fab.run_cycles(24).unwrap();
+        let rel = fab.reliability_report();
+        assert!(rel.failovers >= 1, "in-flight task must fail over: {rel}");
+        assert!(rel.cfd_recovered >= 1, "recovered CFD must complete: {rel}");
+        assert!(fab.timeline().failovers() >= 1);
+    }
+
+    #[test]
+    fn long_partition_degrades_then_recovers() {
+        // A 2-hour outage: the ladder must leave nominal while the
+        // backlog grows and return to nominal after the heal.
+        let faults = FaultPlan::builder(19)
+            .scripted(
+                1_800.0,
+                7_200.0,
+                FaultKind::RoutePartition {
+                    from: "UNL-5G".into(),
+                    to: "UCSB".into(),
+                },
+            )
+            .build();
+        let mut fab = XgFabric::new(FabricConfig {
+            faults,
+            ..fast_config(19)
+        });
+        fab.run_cycles(40).unwrap();
+        let rel = fab.reliability_report();
+        assert!(rel.degraded_cycles >= 1, "ladder must engage: {rel}");
+        assert_eq!(fab.degradation_level(), 0, "recovered to nominal");
+        assert!(rel.lossless());
+        let level_changes = fab
+            .timeline()
+            .count(|e| matches!(e, Event::DegradationChanged { .. }));
+        assert!(level_changes >= 2, "up and back down");
+    }
+
+    #[test]
+    fn sensor_and_storage_faults_do_not_panic_the_loop() {
+        let faults = FaultPlan::builder(23)
+            .scripted(900.0, 3_600.0, FaultKind::SensorDropout { station: 0 })
+            .scripted(1_200.0, 3_600.0, FaultKind::SensorStuck { station: 3 })
+            .scripted(
+                1_500.0,
+                300.0,
+                FaultKind::StorageAppendFailure {
+                    log: crate::pipeline::TELEMETRY_LOG.into(),
+                    failures: 3,
+                },
+            )
+            .scripted(
+                2_400.0,
+                1_200.0,
+                FaultKind::PacketLossSurge {
+                    from: "UNL-5G".into(),
+                    to: "UCSB".into(),
+                    loss_prob: 0.4,
+                },
+            )
+            .scripted(
+                3_000.0,
+                600.0,
+                FaultKind::RanDegradation {
+                    cell: "UNL-5G".into(),
+                    snr_offset_db: -25.0,
+                },
+            )
+            .build();
+        let mut fab = XgFabric::new(FabricConfig {
+            faults,
+            ..fast_config(23)
+        });
+        fab.run_cycles(24).unwrap();
+        let rel = fab.reliability_report();
+        // Storage/loss faults delay but must not lose buffered telemetry.
+        assert!(rel.lossless(), "{rel}");
+        assert!(fab.timeline().fault_activations() >= 5);
     }
 }

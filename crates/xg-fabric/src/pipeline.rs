@@ -7,7 +7,9 @@
 //! message (Table 1) and notes that even an order-of-magnitude improvement
 //! "would be imperceptible end-to-end" against the 300 s duty cycle.
 
+use crate::error::FabricError;
 use std::sync::Arc;
+use xg_cspot::gateway::Gateway;
 use xg_cspot::netsim::{SimClock, Topology};
 use xg_cspot::node::CspotNode;
 use xg_cspot::protocol::{RemoteAppender, RemoteConfig};
@@ -24,6 +26,17 @@ pub const RESULTS_LOG: &str = "cups.results";
 /// History retained in the repository logs (plenty for 30-min windows).
 pub const LOG_HISTORY: usize = 8192;
 
+/// Resolve a paper-topology route or fail with a typed error.
+fn route_between(from: &str, to: &str) -> Result<xg_cspot::netsim::RoutePath, FabricError> {
+    let topo = Topology::paper();
+    topo.route(from, to)
+        .cloned()
+        .ok_or_else(|| FabricError::MissingRoute {
+            from: from.to_string(),
+            to: to.to_string(),
+        })
+}
+
 /// The UNL→UCSB telemetry pipeline.
 pub struct TelemetryPipeline {
     /// The UCSB repository node.
@@ -36,14 +49,10 @@ impl TelemetryPipeline {
     /// Build the pipeline over the paper topology's `UNL-5G → UCSB` route.
     ///
     /// Creates the repository logs if absent.
-    pub fn new(repo: Arc<CspotNode>, clock: SimClock, seed: u64) -> Result<Self, CspotError> {
+    pub fn new(repo: Arc<CspotNode>, clock: SimClock, seed: u64) -> Result<Self, FabricError> {
         repo.open_log(TELEMETRY_LOG, TelemetryRecord::WIRE_SIZE, LOG_HISTORY)?;
         repo.open_log(WIND_LOG, 8, LOG_HISTORY)?;
-        let topo = Topology::paper();
-        let route = topo
-            .route("UNL-5G", "UCSB")
-            .expect("paper topology has the 5G route")
-            .clone();
+        let route = route_between("UNL-5G", "UCSB")?;
         let appender = RemoteAppender::new(clock.clone(), route, RemoteConfig::default(), seed);
         Ok(TelemetryPipeline {
             repo,
@@ -86,6 +95,224 @@ impl TelemetryPipeline {
     /// Partition or heal the access route (failure injection).
     pub fn set_partitioned(&mut self, partitioned: bool) {
         self.appender.route_mut().set_partitioned(partitioned);
+    }
+}
+
+/// Name of the field gateway's local telemetry buffer log.
+pub const BUFFER_TELEMETRY_LOG: &str = "gw.telemetry";
+/// Name of the field gateway's local mean-wind buffer log.
+pub const BUFFER_WIND_LOG: &str = "gw.wind";
+
+/// One report cycle's outcome at the field gateway.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleReport {
+    /// Virtual-time transfer latency spent draining this cycle (ms).
+    pub latency_ms: f64,
+    /// Telemetry records delivered to the repository this cycle (possibly
+    /// including backlog from earlier cycles).
+    pub delivered: usize,
+    /// Records dropped this cycle because the bounded buffer was full.
+    pub dropped: usize,
+    /// Records still parked locally after the drain.
+    pub backlog: usize,
+    /// Whether this cycle's mean-wind sample entered the wind buffer.
+    pub wind_buffered: bool,
+}
+
+/// The delay-tolerant telemetry path: a bounded store-and-forward buffer
+/// at the field gateway (§3.1).
+///
+/// Where [`TelemetryPipeline`] ships records synchronously and fails when
+/// the route is down, `FieldGateway` appends every record to a durable
+/// local buffer first and drains the backlog opportunistically: a
+/// partition parks data, reconnection drains it exactly once, and only a
+/// full buffer ever drops a record.
+pub struct FieldGateway {
+    /// The UCSB repository node.
+    pub repo: Arc<CspotNode>,
+    /// The field node holding the local buffers.
+    pub field: Arc<CspotNode>,
+    records: Gateway,
+    wind: Gateway,
+    capacity: usize,
+    clock: SimClock,
+    /// Nominal access-segment model, kept for degradation restore.
+    access_nominal: xg_cspot::netsim::PathModel,
+    buffered: u64,
+    dropped: u64,
+    delivered: u64,
+    max_backlog: usize,
+}
+
+impl FieldGateway {
+    /// Build the gateway over the paper topology's `UNL-5G → UCSB` route.
+    ///
+    /// `capacity` bounds the number of telemetry records parked locally;
+    /// the paper's Raspberry Pi gateways have finite storage, so an
+    /// unbounded buffer would be dishonest.
+    pub fn new(
+        repo: Arc<CspotNode>,
+        field: Arc<CspotNode>,
+        clock: SimClock,
+        seed: u64,
+        capacity: usize,
+    ) -> Result<Self, FabricError> {
+        repo.open_log(TELEMETRY_LOG, TelemetryRecord::WIRE_SIZE, LOG_HISTORY)?;
+        repo.open_log(WIND_LOG, 8, LOG_HISTORY)?;
+        // Ring capacity above the drop threshold so a full buffer refuses
+        // new records instead of silently overwriting parked ones.
+        let history = capacity + 16;
+        field.open_log(BUFFER_TELEMETRY_LOG, TelemetryRecord::WIRE_SIZE, history)?;
+        field.open_log(BUFFER_WIND_LOG, 8, history)?;
+        let route = route_between("UNL-5G", "UCSB")?;
+        let access_nominal = route.segments[0].clone();
+        // Fail fast on a dead link: the gateway re-drains next cycle, so
+        // burning a long retry budget here would only waste virtual time.
+        let cfg = RemoteConfig {
+            timeout_ms: 100.0,
+            max_attempts: 2,
+            ..Default::default()
+        };
+        let records = Gateway::with_cursor_log(
+            Arc::clone(&field),
+            BUFFER_TELEMETRY_LOG,
+            TELEMETRY_LOG,
+            "gw.telemetry.cursor",
+            RemoteAppender::new(clock.clone(), route.clone(), cfg.clone(), seed),
+        )?;
+        let wind = Gateway::with_cursor_log(
+            Arc::clone(&field),
+            BUFFER_WIND_LOG,
+            WIND_LOG,
+            "gw.wind.cursor",
+            RemoteAppender::new(clock.clone(), route, cfg, seed ^ 0x57494E44),
+        )?;
+        Ok(FieldGateway {
+            repo,
+            field,
+            records,
+            wind,
+            capacity,
+            clock,
+            access_nominal,
+            buffered: 0,
+            dropped: 0,
+            delivered: 0,
+            max_backlog: 0,
+        })
+    }
+
+    /// Buffer one cycle's records (and their mean wind) locally, then
+    /// drain whatever the current link state allows.
+    pub fn ship_cycle(&mut self, records: &[TelemetryRecord]) -> Result<CycleReport, FabricError> {
+        let mut dropped_now = 0usize;
+        for r in records {
+            if self.records.backlog() >= self.capacity {
+                dropped_now += 1;
+                continue;
+            }
+            match self.records.buffer(&r.encode()) {
+                Ok(_) => self.buffered += 1,
+                // A local storage fault loses the record; count it rather
+                // than aborting the cycle.
+                Err(_) => dropped_now += 1,
+            }
+        }
+        let mut wind_buffered = false;
+        if !records.is_empty() && self.wind.backlog() < self.capacity {
+            let mean_wind =
+                records.iter().map(|r| r.wind_speed_ms).sum::<f64>() / records.len() as f64;
+            wind_buffered = self.wind.buffer(&mean_wind.to_le_bytes()).is_ok();
+        }
+        self.dropped += dropped_now as u64;
+        self.max_backlog = self.max_backlog.max(self.records.backlog());
+        let start = self.clock.now_ms();
+        let repo = Arc::clone(&self.repo);
+        let r = self.records.drain(&repo);
+        let w = self.wind.drain(&repo);
+        self.delivered += r.relayed as u64;
+        Ok(CycleReport {
+            latency_ms: (self.clock.now_ms() - start).max(r.latency_ms + w.latency_ms),
+            delivered: r.relayed,
+            dropped: dropped_now,
+            backlog: r.remaining,
+            wind_buffered,
+        })
+    }
+
+    /// The most recent `n` mean-wind values **at the repository** (what
+    /// the change detector can actually see), oldest first.
+    pub fn wind_history(&self, n: usize) -> Result<Vec<f64>, FabricError> {
+        let log = self.repo.log(WIND_LOG)?;
+        Ok(log
+            .tail(n)
+            .into_iter()
+            .map(|(_, bytes)| f64::from_le_bytes(bytes[..8].try_into().expect("8-byte element")))
+            .collect())
+    }
+
+    /// Mean-wind samples that have reached the repository.
+    pub fn repo_wind_len(&self) -> usize {
+        self.repo.log(WIND_LOG).map(|l| l.len()).unwrap_or(0)
+    }
+
+    /// Telemetry records parked locally, waiting for the link.
+    pub fn backlog(&self) -> usize {
+        self.records.backlog()
+    }
+
+    /// Records accepted into the buffer so far.
+    pub fn buffered(&self) -> u64 {
+        self.buffered
+    }
+
+    /// Records dropped at the full buffer (or to local storage faults).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records delivered to the repository.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Largest backlog observed.
+    pub fn max_backlog(&self) -> usize {
+        self.max_backlog
+    }
+
+    /// Partition or heal the uplink (both gateway streams).
+    pub fn set_partitioned(&mut self, partitioned: bool) {
+        self.records.route_mut().set_partitioned(partitioned);
+        self.wind.route_mut().set_partitioned(partitioned);
+    }
+
+    /// Inject a packet-loss surge on every segment of the uplink.
+    pub fn set_loss(&mut self, loss_prob: f64) {
+        for route in [self.records.route_mut(), self.wind.route_mut()] {
+            for seg in &mut route.segments {
+                seg.loss_prob = loss_prob;
+            }
+        }
+    }
+
+    /// Apply or clear a RAN degradation on the 5G access segment: an
+    /// SNR/MCS collapse shows up at this layer as a much slower, lossier
+    /// first hop (long serialization at the lowest MCS plus HARQ losses).
+    pub fn set_access_degraded(&mut self, degraded: bool) {
+        let nominal = self.access_nominal.clone();
+        for route in [self.records.route_mut(), self.wind.route_mut()] {
+            let seg = &mut route.segments[0];
+            if degraded {
+                seg.base_one_way_ms = nominal.base_one_way_ms * 8.0;
+                seg.jitter_sigma_ms = nominal.jitter_sigma_ms * 4.0;
+                seg.loss_prob = 0.25;
+            } else {
+                let partitioned = seg.partitioned;
+                *seg = nominal.clone();
+                seg.partitioned = partitioned;
+            }
+        }
     }
 }
 
@@ -142,15 +369,16 @@ pub struct ResultsReturn {
 impl ResultsReturn {
     /// Build the return path over the paper topology's UCSB → UNL-5G
     /// route (the same physical route as the uplink, traversed back).
-    pub fn new(field: Arc<CspotNode>, clock: SimClock, seed: u64) -> Result<Self, CspotError> {
+    pub fn new(field: Arc<CspotNode>, clock: SimClock, seed: u64) -> Result<Self, FabricError> {
         field.open_log(RESULTS_LOG, ResultSummary::WIRE_SIZE, LOG_HISTORY)?;
-        let topo = Topology::paper();
-        let route = topo
-            .route("UCSB", "UNL-5G")
-            .expect("paper topology is bidirectional")
-            .clone();
+        let route = route_between("UCSB", "UNL-5G")?;
         let appender = RemoteAppender::new(clock, route, RemoteConfig::default(), seed);
         Ok(ResultsReturn { field, appender })
+    }
+
+    /// Partition or heal the downlink route (failure injection).
+    pub fn set_partitioned(&mut self, partitioned: bool) {
+        self.appender.route_mut().set_partitioned(partitioned);
     }
 
     /// Deliver one result summary to the field node. Returns the transfer
@@ -261,6 +489,66 @@ mod tests {
         // Downlink over the same 5G route: ~101 ms + connection setup.
         assert!(latency > 50.0 && latency < 600.0, "{latency}");
         assert_eq!(ret.latest(), Some(summary));
+    }
+
+    fn field_gateway(capacity: usize) -> (FieldGateway, Arc<CspotNode>) {
+        let repo = Arc::new(CspotNode::in_memory("UCSB"));
+        let field = Arc::new(CspotNode::in_memory("UNL"));
+        let fg =
+            FieldGateway::new(Arc::clone(&repo), field, SimClock::new(), 11, capacity).unwrap();
+        (fg, repo)
+    }
+
+    #[test]
+    fn gateway_parks_data_through_partition_and_drains_on_reconnect() {
+        let (mut fg, repo) = field_gateway(1024);
+        let cycle = |w: f64| vec![record(w, 0.0), record(w + 0.2, 0.0)];
+        let r = fg.ship_cycle(&cycle(1.0)).unwrap();
+        assert_eq!(r.delivered, 2);
+        assert!(r.latency_ms > 0.0);
+        fg.set_partitioned(true);
+        for i in 0..3 {
+            let r = fg.ship_cycle(&cycle(2.0 + i as f64)).unwrap();
+            assert_eq!(r.delivered, 0, "partition blocks delivery");
+            assert_eq!(r.dropped, 0, "partition must not lose data");
+        }
+        assert_eq!(fg.backlog(), 6);
+        fg.set_partitioned(false);
+        let r = fg.ship_cycle(&cycle(9.0)).unwrap();
+        assert_eq!(r.delivered, 8, "backlog plus current cycle drains");
+        assert_eq!(r.backlog, 0);
+        // 2 from the healthy first cycle + the 8 drained now, no dupes.
+        assert_eq!(repo.log(TELEMETRY_LOG).unwrap().len(), 10, "exactly once");
+        // Wind means arrive in order despite the outage.
+        let hist = fg.wind_history(10).unwrap();
+        assert_eq!(hist.len(), 5);
+        assert!((hist[0] - 1.1).abs() < 1e-9 && (hist[4] - 9.1).abs() < 1e-9);
+        assert_eq!(fg.dropped(), 0);
+        assert_eq!(fg.delivered(), fg.buffered());
+    }
+
+    #[test]
+    fn bounded_buffer_drops_and_counts_when_full() {
+        let (mut fg, _repo) = field_gateway(5);
+        fg.set_partitioned(true);
+        let records: Vec<TelemetryRecord> = (0..3).map(|i| record(1.0 + i as f64, 0.0)).collect();
+        fg.ship_cycle(&records).unwrap(); // 3 buffered
+        let r = fg.ship_cycle(&records).unwrap(); // 2 buffered, 1 dropped
+        assert_eq!(r.dropped, 1);
+        let r = fg.ship_cycle(&records).unwrap(); // full: all dropped
+        assert_eq!(r.dropped, 3);
+        assert_eq!(fg.dropped(), 4);
+        assert_eq!(fg.backlog(), 5);
+        assert_eq!(fg.max_backlog(), 5);
+    }
+
+    #[test]
+    fn missing_route_is_a_typed_error() {
+        // The paper topology has no such site; construction must fail
+        // with FabricError::MissingRoute, not a panic.
+        let err = route_between("UNL-5G", "NOWHERE").unwrap_err();
+        assert!(matches!(err, FabricError::MissingRoute { .. }));
+        assert!(err.to_string().contains("NOWHERE"));
     }
 
     #[test]

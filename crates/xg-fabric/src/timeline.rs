@@ -85,6 +85,33 @@ pub enum Event {
         /// Whether the breach was visually confirmed.
         confirmed: bool,
     },
+    /// An injected fault changed state.
+    FaultChanged {
+        /// Wall-clock time (s).
+        t_s: f64,
+        /// Human-readable fault description.
+        fault: String,
+        /// `true` = fault became active, `false` = cleared.
+        active: bool,
+    },
+    /// The graceful-degradation ladder moved to a new level.
+    DegradationChanged {
+        /// Wall-clock time (s).
+        t_s: f64,
+        /// 0 = nominal, 1 = reduced CFD resolution, 2 = also skip
+        /// non-critical results-return.
+        level: u8,
+    },
+    /// A lost CFD task was resubmitted to another site.
+    FailoverTriggered {
+        /// Wall-clock time (s).
+        t_s: f64,
+        /// Site that lost the task.
+        from_site: String,
+        /// Site that accepted the resubmission (`None` while every site
+        /// is unreachable and the task waits in backoff).
+        to_site: Option<String>,
+    },
 }
 
 /// The event log of one orchestrated run.
@@ -124,6 +151,24 @@ impl Timeline {
     /// Number of change checks that declared a change.
     pub fn changes_detected(&self) -> usize {
         self.count(|e| matches!(e, Event::ChangeChecked { changed: true, .. }))
+    }
+
+    /// Number of successful failover resubmissions.
+    pub fn failovers(&self) -> usize {
+        self.count(|e| {
+            matches!(
+                e,
+                Event::FailoverTriggered {
+                    to_site: Some(_),
+                    ..
+                }
+            )
+        })
+    }
+
+    /// Number of fault activations recorded.
+    pub fn fault_activations(&self) -> usize {
+        self.count(|e| matches!(e, Event::FaultChanged { active: true, .. }))
     }
 
     /// True if any breach was confirmed by the robot.

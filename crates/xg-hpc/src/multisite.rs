@@ -8,7 +8,7 @@
 //! the site with the best expected completion time
 //! (predicted wait + runtime / perf factor).
 
-use crate::pilot::{PilotController, PilotControllerConfig, TaskOutcome};
+use crate::pilot::{DataDecision, PilotController, PilotControllerConfig, TaskOutcome};
 use crate::site::SiteProfile;
 
 /// One site's stack inside the controller.
@@ -78,24 +78,109 @@ impl MultiSiteController {
         wait + runtime_s / site.profile.perf_factor
     }
 
-    /// Route a task to the best site and submit it there.
-    pub fn submit_task(&mut self, nodes: u32, runtime_s: f64) -> Placement {
+    /// Route a task to the best reachable site and submit it there.
+    /// Returns `None` when every site is offline — the caller's failover
+    /// layer decides whether to retry later.
+    pub fn submit_task(&mut self, nodes: u32, runtime_s: f64) -> Option<Placement> {
+        self.submit_task_avoiding(nodes, runtime_s, &[])
+    }
+
+    /// Like [`submit_task`](Self::submit_task) but never places on a site
+    /// named in `avoid` — used by failover to resubmit a task somewhere
+    /// other than the site that just lost it.
+    pub fn submit_task_avoiding(
+        &mut self,
+        nodes: u32,
+        runtime_s: f64,
+        avoid: &[String],
+    ) -> Option<Placement> {
+        self.submit_task_with_data(nodes, runtime_s, nodes as f64 * 1024.0, avoid)
+            .map(|(p, _)| p)
+    }
+
+    /// Full-fidelity submission: route on expected completion, then run
+    /// the chosen site's Eq. (1)–(3) evaluation against the *actual*
+    /// triggering data volume (not a per-node placeholder) before handing
+    /// it the task. Returns the placement and the pilot decision so the
+    /// caller can log Eqs. 1–4 faithfully.
+    pub fn submit_task_with_data(
+        &mut self,
+        nodes: u32,
+        runtime_s: f64,
+        data_bytes: f64,
+        avoid: &[String],
+    ) -> Option<(Placement, DataDecision)> {
         let best = (0..self.sites.len())
+            .filter(|&i| {
+                !self.sites[i].controller.is_offline()
+                    && !avoid.contains(&self.sites[i].profile.name)
+            })
             .min_by(|&a, &b| {
                 let ea = self.expected_completion_s(&self.sites[a], nodes, runtime_s);
                 let eb = self.expected_completion_s(&self.sites[b], nodes, runtime_s);
                 ea.partial_cmp(&eb).unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .expect("at least one site");
+            })?;
         let expected = self.expected_completion_s(&self.sites[best], nodes, runtime_s);
         let slot = &mut self.sites[best];
-        slot.controller.on_data(nodes as f64 * 1024.0);
+        let decision = slot.controller.on_data(data_bytes);
         slot.controller.submit_task(nodes, runtime_s);
         slot.routed += 1;
-        Placement {
-            site: slot.profile.name.clone(),
-            expected_completion_s: expected,
+        Some((
+            Placement {
+                site: slot.profile.name.clone(),
+                expected_completion_s: expected,
+            },
+            decision,
+        ))
+    }
+
+    /// Set the estimated application-task runtime (Eq. 4 input) on every
+    /// site's controller.
+    pub fn set_est_task_runtime(&mut self, runtime_s: f64) {
+        for s in &mut self.sites {
+            s.controller.config.est_task_runtime_s = runtime_s;
         }
+    }
+
+    /// Inject or clear an outage at the named site. Going down returns the
+    /// number of tasks lost there (in-flight tasks killed with their
+    /// pilots plus tasks accepted but never dispatched) so the caller's
+    /// failover layer can resubmit that much work elsewhere.
+    pub fn set_site_down(&mut self, name: &str, down: bool) -> usize {
+        let Some(slot) = self.sites.iter_mut().find(|s| s.profile.name == name) else {
+            return 0;
+        };
+        let aborted = slot.controller.set_offline(down).len();
+        if down {
+            aborted + slot.controller.drain_pending().len()
+        } else {
+            0
+        }
+    }
+
+    /// Inject or clear a batch-queue stall at the named site. Returns
+    /// whether the site exists.
+    pub fn set_site_stalled(&mut self, name: &str, stalled: bool) -> bool {
+        match self.sites.iter_mut().find(|s| s.profile.name == name) {
+            Some(slot) => {
+                slot.controller.set_stalled(stalled);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Names of all configured sites, in routing order.
+    pub fn site_names(&self) -> Vec<String> {
+        self.sites.iter().map(|s| s.profile.name.clone()).collect()
+    }
+
+    /// Number of sites currently reachable.
+    pub fn reachable_sites(&self) -> usize {
+        self.sites
+            .iter()
+            .filter(|s| !s.controller.is_offline())
+            .count()
     }
 
     /// Completed tasks per site, `(name, tasks, routed)`.
@@ -141,8 +226,8 @@ mod tests {
             ctl.advance_to(1800.0 + hour as f64 * 3600.0);
             // Two concurrent tasks per trigger: more than one 1-node pilot
             // can absorb at once.
-            ctl.submit_task(1, 420.0);
-            ctl.submit_task(1, 420.0);
+            ctl.submit_task(1, 420.0).unwrap();
+            ctl.submit_task(1, 420.0).unwrap();
         }
         ctl.advance_to(10.0 * 3600.0);
         let stats = ctl.per_site_stats();
@@ -162,7 +247,7 @@ mod tests {
             4,
         );
         ctl.advance_to(600.0);
-        let p = ctl.submit_task(1, 420.0);
+        let p = ctl.submit_task(1, 420.0).unwrap();
         assert_eq!(p.site, "ANVIL", "faster site preferred: {p:?}");
         assert!(p.expected_completion_s < 420.0);
     }
@@ -177,8 +262,36 @@ mod tests {
             5,
         );
         ctl.advance_to(3600.0);
-        ctl.submit_task(1, 420.0);
+        ctl.submit_task(1, 420.0).unwrap();
         ctl.advance_to(16.0 * 3600.0);
         assert!(ctl.completed_total() >= 1, "task must eventually run");
+    }
+
+    #[test]
+    fn site_outage_reroutes_to_surviving_site() {
+        let mut ctl = MultiSiteController::new(
+            vec![
+                (SiteProfile::notre_dame_crc(), false),
+                (SiteProfile::anvil(), false),
+            ],
+            6,
+        );
+        ctl.advance_to(600.0);
+        // ANVIL (faster) takes the first task, then dies mid-run.
+        let p = ctl.submit_task(1, 420.0).unwrap();
+        assert_eq!(p.site, "ANVIL");
+        let lost = ctl.set_site_down("ANVIL", true);
+        assert_eq!(lost, 1, "in-flight task lost to the outage");
+        assert_eq!(ctl.reachable_sites(), 1);
+        // Resubmission avoids the dead site and completes on ND.
+        let p2 = ctl
+            .submit_task_avoiding(1, 420.0, &["ANVIL".to_string()])
+            .unwrap();
+        assert_eq!(p2.site, "ND-CRC");
+        ctl.advance_to(4.0 * 3600.0);
+        assert_eq!(ctl.completed_total(), 1, "failover task completed");
+        // Both sites down: placement is refused, not panicked.
+        ctl.set_site_down("ND-CRC", true);
+        assert!(ctl.submit_task(1, 420.0).is_none());
     }
 }

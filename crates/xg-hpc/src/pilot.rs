@@ -138,6 +138,13 @@ pub struct PilotController {
     completed: Vec<TaskOutcome>,
     predictor: QueueWaitPredictor,
     planner: AdaptivePilotPlanner,
+    /// Site outage fault: the facility is unreachable — no capacity, no
+    /// submissions, in-flight work lost.
+    offline: bool,
+    /// Queue stall fault: the batch scheduler stops starting jobs. Pilots
+    /// already active keep serving tasks (the pilot design's whole point);
+    /// queued pilots never activate until the stall clears.
+    stalled: bool,
 }
 
 impl PilotController {
@@ -153,6 +160,8 @@ impl PilotController {
             completed: Vec::new(),
             predictor: QueueWaitPredictor::new(0.3),
             planner: AdaptivePilotPlanner::default(),
+            offline: false,
+            stalled: false,
         };
         match config.strategy {
             PilotStrategy::OnDemand => {
@@ -188,6 +197,9 @@ impl PilotController {
 
     /// Eq. 2: nodes across active, non-busy, non-expired pilots.
     pub fn n_available(&self) -> u32 {
+        if self.offline {
+            return 0;
+        }
         let now = self.cluster.now();
         self.pilots
             .iter()
@@ -196,7 +208,77 @@ impl PilotController {
             .sum()
     }
 
+    /// Whether the site is currently offline (fault-injected outage).
+    pub fn is_offline(&self) -> bool {
+        self.offline
+    }
+
+    /// Whether the batch queue is currently stalled (fault-injected).
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Tasks accepted but not yet dispatched into a pilot.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Inject or clear a site outage. Going offline kills every pilot
+    /// (their placeholder jobs are cancelled) and aborts in-flight tasks;
+    /// the aborted tasks are returned so a failover layer can resubmit
+    /// them elsewhere. Coming back online returns an empty vec — fresh
+    /// pilots are provisioned by the normal Eq. (1)–(3) path.
+    pub fn set_offline(&mut self, offline: bool) -> Vec<TaskOutcome> {
+        if offline == self.offline {
+            return Vec::new();
+        }
+        self.offline = offline;
+        if !offline {
+            return Vec::new();
+        }
+        // Observe any unnoticed activations first, so a pilot that started
+        // just before the outage cannot be resurrected by a later refresh.
+        self.refresh_pilot_states();
+        let now = self.cluster.now();
+        for p in &mut self.pilots {
+            if p.expires_at.is_none_or(|e| e > now) {
+                self.cluster.cancel(p.job);
+                p.expires_at = Some(now);
+                p.busy_until = p.busy_until.min(now);
+            }
+        }
+        // Tasks dispatched but not finished by the outage instant died
+        // with their pilots.
+        let mut aborted = Vec::new();
+        self.completed.retain(|t| {
+            if t.finished_at > now {
+                aborted.push(*t);
+                false
+            } else {
+                true
+            }
+        });
+        aborted
+    }
+
+    /// Inject or clear a batch-queue stall.
+    pub fn set_stalled(&mut self, stalled: bool) {
+        self.stalled = stalled;
+    }
+
+    /// Remove and return tasks that were accepted but never dispatched —
+    /// failover hands these to another site.
+    pub fn drain_pending(&mut self) -> Vec<(u32, f64)> {
+        std::mem::take(&mut self.pending)
+            .into_iter()
+            .map(|t| (t.nodes, t.runtime_s))
+            .collect()
+    }
+
     fn submit_pilot(&mut self, n_req: u32) -> Option<JobId> {
+        if self.offline {
+            return None;
+        }
         // Eq. 4.
         let nodes = n_req.min(self.config.system_nodes);
         let walltime = self
@@ -274,6 +356,11 @@ impl PilotController {
 
     fn refresh_pilot_states(&mut self) {
         for p in &mut self.pilots {
+            // A stalled batch queue starts no new jobs: activations are
+            // not observed until the stall clears.
+            if self.stalled {
+                break;
+            }
             if p.activated_at.is_none() {
                 if let Some(JobState::Running { started_at }) = self.cluster.job_state(p.job) {
                     p.activated_at = Some(started_at);
@@ -355,6 +442,9 @@ impl PilotController {
     }
 
     fn dispatch_pending(&mut self) {
+        if self.offline {
+            return;
+        }
         let now = self.cluster.now();
         let mut still_pending = Vec::new();
         for task in std::mem::take(&mut self.pending) {
@@ -578,6 +668,62 @@ mod tests {
         adaptive.advance_to(6.0 * 3600.0);
         proactive.advance_to(6.0 * 3600.0);
         assert!(adaptive.idle_node_seconds() <= proactive.idle_node_seconds() * 1.1);
+    }
+
+    #[test]
+    fn site_outage_kills_pilots_and_aborts_in_flight_tasks() {
+        let mut ctl = idle_controller(PilotStrategy::OnDemand);
+        ctl.advance_to(60.0);
+        ctl.submit_task(1, 420.0);
+        // The task is in flight (dispatched, finishes at ~480 s).
+        assert_eq!(ctl.completed_tasks().len(), 1);
+        let aborted = ctl.set_offline(true);
+        assert_eq!(aborted.len(), 1, "in-flight task died with the site");
+        assert!(ctl.completed_tasks().is_empty());
+        assert_eq!(ctl.n_available(), 0);
+        assert!(ctl.is_offline());
+        // While offline nothing dispatches and no pilots are submitted.
+        ctl.submit_task(1, 420.0);
+        ctl.on_data(4.0 * 1024.0);
+        ctl.advance_to(1_200.0);
+        assert!(ctl.completed_tasks().is_empty());
+        assert_eq!(ctl.pending_count(), 1);
+        // Recovery: fresh capacity is provisioned and the queued task runs.
+        assert!(ctl.set_offline(false).is_empty());
+        ctl.on_data(1024.0);
+        ctl.advance_to(3_600.0);
+        assert_eq!(ctl.completed_tasks().len(), 1);
+    }
+
+    #[test]
+    fn queue_stall_freezes_activations_but_not_active_pilots() {
+        let mut ctl = idle_controller(PilotStrategy::OnDemand);
+        ctl.advance_to(60.0);
+        assert_eq!(ctl.n_available(), 1, "initial pilot active");
+        ctl.set_stalled(true);
+        // New pilot submissions sit in the frozen queue.
+        ctl.on_data(4.0 * 1024.0);
+        ctl.advance_to(1_800.0);
+        assert_eq!(ctl.n_available(), 1, "stalled queue starts nothing");
+        // The already-active pilot still serves tasks — the pilot design's
+        // point: work inside a pilot needs no further batch queueing.
+        ctl.submit_task(1, 420.0);
+        ctl.advance_to(2_400.0);
+        assert_eq!(ctl.completed_tasks().len(), 1);
+        // Stall clears: the queued 4-node pilot activates.
+        ctl.set_stalled(false);
+        ctl.advance_to(3_000.0);
+        assert!(ctl.n_available() >= 4, "queued pilot activates after stall");
+    }
+
+    #[test]
+    fn drain_pending_hands_tasks_to_failover() {
+        let mut ctl = idle_controller(PilotStrategy::Reactive);
+        ctl.submit_task(2, 300.0);
+        ctl.submit_task(1, 420.0);
+        let drained = ctl.drain_pending();
+        assert_eq!(drained, vec![(2, 300.0), (1, 420.0)]);
+        assert_eq!(ctl.pending_count(), 0);
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct LinkSimulator {
     next_sim_index: u32,
     total_prbs: u32,
     quotas: Vec<u32>,
+    /// Cell-wide SNR offset (dB) for fault injection: a negative value
+    /// models RAN degradation (interference, weather, detuned antenna)
+    /// that collapses every UE's MCS without detaching anyone.
+    snr_offset_db: f64,
 }
 
 impl LinkSimulator {
@@ -66,7 +70,20 @@ impl LinkSimulator {
             next_sim_index: 0,
             total_prbs,
             quotas,
+            snr_offset_db: 0.0,
         }
+    }
+
+    /// Apply a cell-wide SNR offset in dB (fault injection). Negative
+    /// values degrade every UE's link adaptation; `0.0` restores nominal
+    /// operation.
+    pub fn set_snr_offset_db(&mut self, offset_db: f64) {
+        self.snr_offset_db = offset_db;
+    }
+
+    /// The currently applied cell-wide SNR offset (dB).
+    pub fn snr_offset_db(&self) -> f64 {
+        self.snr_offset_db
     }
 
     /// The cell configuration.
@@ -292,7 +309,8 @@ impl LinkSimulator {
                 .iter()
                 .map(|&id| {
                     let u = &self.ues[id as usize];
-                    let snr = Db(u.profile.power.snr(share).0 + self.tdd_offset(u));
+                    let snr =
+                        Db(u.profile.power.snr(share).0 + self.tdd_offset(u) + self.snr_offset_db);
                     UlRequest {
                         ue: id,
                         inst_eff: self.link_adapt.efficiency(snr),
@@ -305,9 +323,10 @@ impl LinkSimulator {
                     continue;
                 }
                 let tdd_off = self.tdd_offset(&self.ues[ue_id as usize]);
+                let snr_fault = self.snr_offset_db;
                 let u = &mut self.ues[ue_id as usize];
                 let jitter = u.channel.step(&mut self.rng);
-                let snr = Db(u.profile.power.snr(prbs).0 + tdd_off + jitter.0);
+                let snr = Db(u.profile.power.snr(prbs).0 + tdd_off + jitter.0 + snr_fault);
                 let eff = self.link_adapt.efficiency(snr);
                 let modem = u.profile.modem_factor(prbs as f64 * prb_mhz);
                 let capacity = prbs as f64 * re_per_prb * eff * ul_frac * modem;
@@ -457,6 +476,38 @@ mod tests {
             sim.attach(DeviceClass::Laptop, Modem::Rm530nGl),
             Err(NetError::CellFull)
         ));
+    }
+
+    #[test]
+    fn snr_collapse_degrades_throughput() {
+        // RAN degradation fault: a -25 dB cell-wide SNR offset must crush
+        // uplink throughput, and clearing it must restore nominal rates.
+        let run = |offset: f64| {
+            let mut sim = LinkSimulator::new(cell_5g_fdd20(), 7);
+            let ue = sim
+                .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
+                .unwrap();
+            sim.set_backlogged(ue, true).unwrap();
+            sim.set_snr_offset_db(offset);
+            assert_eq!(sim.snr_offset_db(), offset);
+            let mut total = 0.0;
+            for _ in 0..5 {
+                total += sim
+                    .run_second()
+                    .iter()
+                    .find(|(h, _)| *h == ue)
+                    .map(|&(_, m)| m)
+                    .unwrap_or(0.0);
+            }
+            total / 5.0
+        };
+        let nominal = run(0.0);
+        let degraded = run(-25.0);
+        assert!(
+            degraded < nominal * 0.25,
+            "SNR collapse must cost >75% of throughput: {degraded} vs {nominal}"
+        );
+        assert!(nominal > 10.0, "nominal rate sanity: {nominal}");
     }
 
     #[test]

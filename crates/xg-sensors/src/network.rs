@@ -11,6 +11,7 @@ use crate::station::{Placement, WeatherStation};
 use crate::telemetry::TelemetryRecord;
 use crate::weather::{WeatherSim, WeatherState};
 use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
 
 /// Reporting interval of the commodity weather stations (s).
 pub const REPORT_INTERVAL_S: f64 = 300.0;
@@ -42,6 +43,12 @@ pub struct SensorNetwork {
     stations: Vec<WeatherStation>,
     weather: WeatherSim,
     last_state: Option<WeatherState>,
+    /// Stations currently offline (dropout fault): no report at poll time.
+    down: HashSet<u32>,
+    /// Stations with a frozen sensor head (stuck-value fault): they report
+    /// on schedule but repeat their last healthy measurement.
+    stuck: HashSet<u32>,
+    last_reports: HashMap<u32, TelemetryRecord>,
 }
 
 impl SensorNetwork {
@@ -97,7 +104,40 @@ impl SensorNetwork {
             stations,
             weather: WeatherSim::exeter(seed),
             last_state: None,
+            down: HashSet::new(),
+            stuck: HashSet::new(),
+            last_reports: HashMap::new(),
         }
+    }
+
+    /// Inject or clear a station dropout fault: a down station produces no
+    /// report at poll time (power loss, radio failure).
+    pub fn set_station_down(&mut self, id: u32, down: bool) {
+        if down {
+            self.down.insert(id);
+        } else {
+            self.down.remove(&id);
+        }
+    }
+
+    /// Inject or clear a stuck-value fault: the station keeps reporting on
+    /// schedule but repeats its last healthy measurement (iced anemometer,
+    /// wedged ADC).
+    pub fn set_station_stuck(&mut self, id: u32, stuck: bool) {
+        if stuck {
+            self.stuck.insert(id);
+        } else {
+            self.stuck.remove(&id);
+        }
+    }
+
+    /// Number of stations currently reporting live values (not down, not
+    /// stuck).
+    pub fn healthy_station_count(&self) -> usize {
+        self.stations
+            .iter()
+            .filter(|s| !self.down.contains(&s.id) && !self.stuck.contains(&s.id))
+            .count()
     }
 
     /// Number of stations.
@@ -131,10 +171,29 @@ impl SensorNetwork {
         let state = self.weather.run_steps(steps);
         self.last_state = Some(state);
         let facility = &self.facility;
-        self.stations
-            .iter_mut()
-            .map(|s| s.measure(&state, facility))
-            .collect()
+        // Every station is measured even when faulted so RNG streams stay
+        // identical between faulted and fault-free runs of the same seed.
+        let mut out = Vec::with_capacity(self.stations.len());
+        for s in self.stations.iter_mut() {
+            let measured = s.measure(&state, facility);
+            if self.down.contains(&s.id) {
+                continue;
+            }
+            let report = if self.stuck.contains(&s.id) {
+                // Frozen head, live transmitter: stale values on a fresh
+                // timestamp. A station stuck before its first measurement
+                // freezes on that first value.
+                let prev = *self.last_reports.entry(s.id).or_insert(measured);
+                let mut r = prev;
+                r.t_s = measured.t_s;
+                r
+            } else {
+                self.last_reports.insert(s.id, measured);
+                measured
+            };
+            out.push(report);
+        }
+        out
     }
 
     /// Aggregate a set of simultaneous reports into CFD boundary
@@ -256,6 +315,65 @@ mod tests {
             sum_breached > sum_intact * 1.05,
             "breach must be visible: {sum_breached} vs {sum_intact}"
         );
+    }
+
+    #[test]
+    fn station_dropout_removes_reports() {
+        let mut net = network(7);
+        assert_eq!(net.healthy_station_count(), net.station_count());
+        net.set_station_down(0, true);
+        net.set_station_down(4, true);
+        let reports = net.poll();
+        assert_eq!(reports.len(), net.station_count() - 2);
+        assert!(reports
+            .iter()
+            .all(|r| r.station_id != 0 && r.station_id != 4));
+        assert_eq!(net.healthy_station_count(), net.station_count() - 2);
+        // Remaining stations still produce usable boundary conditions.
+        assert!(net.boundary_conditions(&reports).is_some());
+        // Repair: the station reports again next poll.
+        net.set_station_down(0, false);
+        net.set_station_down(4, false);
+        assert_eq!(net.poll().len(), net.station_count());
+    }
+
+    #[test]
+    fn all_exterior_down_starves_boundary_conditions() {
+        let mut net = network(8);
+        for id in 0..4 {
+            net.set_station_down(id, true);
+        }
+        let reports = net.poll();
+        assert!(
+            net.boundary_conditions(&reports).is_none(),
+            "no exterior group -> no CFD boundary conditions"
+        );
+    }
+
+    #[test]
+    fn stuck_station_repeats_values_with_fresh_timestamps() {
+        let mut net = network(9);
+        let first = net.poll();
+        let baseline = *first.iter().find(|r| r.station_id == 2).unwrap();
+        net.set_station_stuck(2, true);
+        for k in 1..=3 {
+            let reports = net.poll();
+            let r = reports.iter().find(|r| r.station_id == 2).unwrap();
+            assert_eq!(r.wind_speed_ms, baseline.wind_speed_ms, "frozen value");
+            assert_eq!(r.temp_c, baseline.temp_c);
+            let expect_t = (k + 1) as f64 * REPORT_INTERVAL_S;
+            assert!((r.t_s - expect_t).abs() < 1e-9, "timestamp stays live");
+        }
+        net.set_station_stuck(2, false);
+        // After repair the station tracks the weather again: over many
+        // polls its readings must diverge from the frozen value.
+        let mut diverged = false;
+        for _ in 0..10 {
+            let reports = net.poll();
+            let r = reports.iter().find(|r| r.station_id == 2).unwrap();
+            diverged |= (r.wind_speed_ms - baseline.wind_speed_ms).abs() > 1e-6;
+        }
+        assert!(diverged, "repaired station must report live values");
     }
 
     #[test]

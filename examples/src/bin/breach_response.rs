@@ -22,9 +22,9 @@ fn main() {
     // Calibration phase: history + one triggered (intact) CFD run so the
     // twin learns the intact-screen baseline.
     println!("phase 1: calm monitoring + twin calibration");
-    fabric.run_cycles(12);
+    fabric.run_cycles(12).unwrap();
     fabric.force_front();
-    fabric.run_cycles(12);
+    fabric.run_cycles(12).unwrap();
     let runs_before = fabric.timeline().cfd_runs();
     println!("  twin calibrated against {runs_before} intact CFD run(s)\n");
 
@@ -32,7 +32,7 @@ fn main() {
     println!("phase 2: a 12 m2 tear opens in the WEST wall (panel 5) — unobserved");
     fabric.inject_breach(Breach::new(Wall::West, 5, 12.0));
     fabric.force_front();
-    fabric.run_cycles(18);
+    fabric.run_cycles(18).unwrap();
 
     // Narrate the response.
     println!("\nphase 3: the fabric responds");

@@ -18,14 +18,14 @@ fn main() {
     println!("== CUPS digital twin: one simulated morning ==\n");
 
     println!("06:00  stations reporting every 5 minutes; building history...");
-    fabric.run_cycles(12);
+    fabric.run_cycles(12).unwrap();
 
     println!("07:00  a wind front rolls in from the north-west...");
     fabric.force_front();
-    fabric.run_cycles(12);
+    fabric.run_cycles(12).unwrap();
 
     println!("08:00  conditions settle; monitoring continues...");
-    fabric.run_cycles(6);
+    fabric.run_cycles(6).unwrap();
 
     println!("\n== what the fabric did ==");
     let tl = fabric.timeline();

@@ -1,0 +1,162 @@
+//! Chaos integration: the full closed loop under injected faults.
+//!
+//! These are the acceptance scenarios for the fault-injection fabric:
+//! a 5G partition longer than a reporting interval must cost zero
+//! telemetry, a stochastic outage process must reproduce its analytic
+//! availability end to end, and an HPC site outage mid-pilot must fail
+//! over to the next-best site with the CFD still completing.
+
+use xg_cspot::outage::OutageConfig;
+use xg_fabric::orchestrator::{FabricConfig, XgFabric};
+use xg_fabric::timeline::Event;
+use xg_faults::{FaultKind, FaultPlan};
+use xg_hpc::site::SiteProfile;
+
+fn chaos_config(seed: u64, faults: FaultPlan) -> FabricConfig {
+    FabricConfig {
+        seed,
+        cfd_cells: [12, 10, 4],
+        cfd_steps: 10,
+        faults,
+        ..Default::default()
+    }
+}
+
+fn partition_5g() -> FaultKind {
+    FaultKind::RoutePartition {
+        from: "UNL-5G".into(),
+        to: "UCSB".into(),
+    }
+}
+
+#[test]
+fn partition_longer_than_reporting_interval_loses_nothing() {
+    // 45 minutes of severed 5G — nine reporting intervals — inside a
+    // 12-hour run. The loop must neither panic nor drop a record, and
+    // the backlog must fully drain after the heal.
+    let faults = FaultPlan::builder(31)
+        .scripted(7_200.0, 2_700.0, partition_5g())
+        .build();
+    let mut fab = XgFabric::new(chaos_config(31, faults));
+    fab.run_cycles(144).unwrap();
+    let rel = fab.reliability_report();
+    assert!(rel.lossless(), "no telemetry loss: {rel}");
+    assert_eq!(rel.records_dropped, 0);
+    assert_eq!(rel.final_backlog, 0, "drained after heal");
+    assert!(rel.max_backlog > 0, "records parked during the outage");
+    // Telemetry cycles kept running straight through the partition.
+    assert_eq!(fab.timeline().telemetry_latencies_ms().len(), 144);
+    // Availability accounting matches the scripted 2700 s exactly.
+    let expected = 1.0 - 2_700.0 / fab.now_s();
+    assert!((rel.availability_experienced - expected).abs() < 1e-9);
+}
+
+#[test]
+fn stochastic_outages_reproduce_analytic_availability() {
+    // Acceptance: a seeded stochastic outage process on the 5G route
+    // over a virtual month (~300 renewal cycles — enough for the sample
+    // availability to converge); the experienced value must land within
+    // 2 points of mtbf/(mtbf+mttr), and nothing may be lost.
+    let cfg = OutageConfig {
+        mtbf_s: 7_200.0,
+        mttr_s: 1_200.0,
+    };
+    let faults = FaultPlan::builder(37)
+        .stochastic(cfg, partition_5g())
+        .build();
+    let mut fab = XgFabric::new(chaos_config(37, faults));
+    fab.run_cycles(8_640).unwrap();
+    let rel = fab.reliability_report();
+    assert!(
+        (rel.availability_experienced - cfg.availability()).abs() < 0.02,
+        "experienced {} vs analytic {}",
+        rel.availability_experienced,
+        cfg.availability()
+    );
+    assert_eq!(rel.records_dropped, 0, "store-and-forward absorbs outages");
+    assert!(rel.impairment_episodes >= 5, "many episodes: {rel}");
+    assert!(rel.loop_mttr_s > 0.0);
+}
+
+#[test]
+fn hpc_outage_mid_pilot_fails_over_and_cfd_completes() {
+    // The router places the triggered CFD on the faster healthy site
+    // (ANVIL); that site dies 100 s later with the task in flight. The
+    // failover layer must resubmit to the survivor and the CFD must
+    // still complete (acceptance criterion).
+    let faults = FaultPlan::builder(41)
+        .scripted(
+            5_500.0,
+            3.0 * 3_600.0,
+            FaultKind::HpcSiteOutage {
+                site: "ANVIL".into(),
+            },
+        )
+        .build();
+    let mut fab = XgFabric::new(FabricConfig {
+        failover_sites: vec![SiteProfile::anvil()],
+        ..chaos_config(3, faults)
+    });
+    fab.run_cycles(12).unwrap();
+    fab.force_front();
+    fab.run_cycles(30).unwrap();
+    let rel = fab.reliability_report();
+    assert!(rel.cfd_triggered >= 1, "front must trigger CFD: {rel}");
+    assert!(rel.failovers >= 1, "in-flight task must fail over: {rel}");
+    assert!(rel.cfd_recovered >= 1, "recovered CFD completed: {rel}");
+    let refired = fab.timeline().events.iter().any(|e| {
+        matches!(
+            e,
+            Event::FailoverTriggered {
+                from_site,
+                to_site: Some(to),
+                ..
+            } if from_site == "ANVIL" && to == "ND-CRC"
+        )
+    });
+    assert!(refired, "resubmission must land on the survivor");
+    assert!(fab.timeline().cfd_runs() >= 1);
+}
+
+#[test]
+fn combined_network_and_site_chaos_keeps_the_loop_alive() {
+    // Everything at once: flaky 5G, a packet-loss surge, a sensor
+    // dropout, and a primary-site stall. The loop must stay lossless and
+    // keep reporting, and the ladder must have engaged at some point.
+    let faults = FaultPlan::builder(43)
+        .stochastic(
+            OutageConfig {
+                mtbf_s: 10_800.0,
+                mttr_s: 1_800.0,
+            },
+            partition_5g(),
+        )
+        .scripted(
+            3_600.0,
+            3_600.0,
+            FaultKind::PacketLossSurge {
+                from: "UNL-5G".into(),
+                to: "UCSB".into(),
+                loss_prob: 0.3,
+            },
+        )
+        .scripted(10_800.0, 7_200.0, FaultKind::SensorDropout { station: 2 })
+        .scripted(
+            14_400.0,
+            3_600.0,
+            FaultKind::HpcQueueStall {
+                site: "ND-CRC".into(),
+            },
+        )
+        .build();
+    let mut fab = XgFabric::new(chaos_config(43, faults));
+    for _ in 0..4 {
+        fab.force_front();
+        fab.run_cycles(72).unwrap();
+    }
+    let rel = fab.reliability_report();
+    assert!(rel.lossless(), "{rel}");
+    assert_eq!(fab.timeline().telemetry_latencies_ms().len(), 288);
+    assert!(fab.timeline().fault_activations() >= 3);
+    assert!((fab.now_s() - 288.0 * 300.0).abs() < 1e-6);
+}

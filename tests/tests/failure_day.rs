@@ -107,7 +107,7 @@ fn fabric_survives_telemetry_partition_pause() {
         cfd_steps: 10,
         ..Default::default()
     });
-    fab.run_cycles(6);
+    fab.run_cycles(6).unwrap();
     let before = fab.timeline().telemetry_latencies_ms().len();
     assert_eq!(before, 6);
     // (The orchestrator's pipeline retries until delivery; a transient
@@ -115,6 +115,6 @@ fn fabric_survives_telemetry_partition_pause() {
     // protocol's retry budget absorbs. A permanent partition would panic
     // by design — the field deployment pauses instead, which the gateway
     // test above models.)
-    fab.run_cycles(6);
+    fab.run_cycles(6).unwrap();
     assert_eq!(fab.timeline().telemetry_latencies_ms().len(), 12);
 }

@@ -18,7 +18,7 @@ fn fast_config(seed: u64) -> FabricConfig {
 #[test]
 fn quiet_day_no_hpc_waste() {
     let mut fab = XgFabric::new(fast_config(101));
-    fab.run_cycles(30);
+    fab.run_cycles(30).unwrap();
     // Telemetry flowed every cycle.
     assert_eq!(fab.timeline().telemetry_latencies_ms().len(), 30);
     // Stable conditions must not burn the HPC allocation.
@@ -32,9 +32,9 @@ fn quiet_day_no_hpc_waste() {
 #[test]
 fn front_drives_full_trigger_chain() {
     let mut fab = XgFabric::new(fast_config(102));
-    fab.run_cycles(12);
+    fab.run_cycles(12).unwrap();
     fab.force_front();
-    fab.run_cycles(12);
+    fab.run_cycles(12).unwrap();
     let tl = fab.timeline();
     // The chain: change detected -> pilot evaluated -> CFD completed.
     assert!(tl.changes_detected() >= 1);
@@ -57,12 +57,12 @@ fn front_drives_full_trigger_chain() {
 #[test]
 fn breach_chain_ends_in_confirmation() {
     let mut fab = XgFabric::new(fast_config(103));
-    fab.run_cycles(12);
+    fab.run_cycles(12).unwrap();
     fab.force_front();
-    fab.run_cycles(12); // calibration run
+    fab.run_cycles(12).unwrap(); // calibration run
     fab.inject_breach(Breach::new(Wall::East, 6, 12.0));
     fab.force_front();
-    fab.run_cycles(18);
+    fab.run_cycles(18).unwrap();
     let tl = fab.timeline();
     assert!(
         tl.count(|e| matches!(
@@ -80,9 +80,9 @@ fn breach_chain_ends_in_confirmation() {
 #[test]
 fn validity_budget_holds_for_every_run() {
     let mut fab = XgFabric::new(fast_config(104));
-    fab.run_cycles(12);
+    fab.run_cycles(12).unwrap();
     fab.force_front();
-    fab.run_cycles(18);
+    fab.run_cycles(18).unwrap();
     for e in &fab.timeline().events {
         if let Event::CfdCompleted {
             model_runtime_s,
@@ -102,9 +102,9 @@ fn validity_budget_holds_for_every_run() {
 fn operator_receives_results_downlink() {
     let mut fab = XgFabric::new(fast_config(106));
     assert!(fab.operator_view().is_none(), "no results before any run");
-    fab.run_cycles(12);
+    fab.run_cycles(12).unwrap();
     fab.force_front();
-    fab.run_cycles(12);
+    fab.run_cycles(12).unwrap();
     let view = fab
         .operator_view()
         .expect("a CFD summary reached the field");
@@ -123,10 +123,10 @@ fn backtest_reports_after_enough_runs() {
     let mut fab = XgFabric::new(fast_config(107));
     assert!(fab.backtest_calibration().is_none(), "no history yet");
     // Drive several triggers: repeated fronts across hours.
-    fab.run_cycles(12);
+    fab.run_cycles(12).unwrap();
     for _ in 0..6 {
         fab.force_front();
-        fab.run_cycles(12);
+        fab.run_cycles(12).unwrap();
     }
     if fab.timeline().cfd_runs() >= 5 {
         let report = fab
@@ -144,9 +144,9 @@ fn busy_cluster_still_serves_tasks_via_pilot() {
     let mut cfg = fast_config(105);
     cfg.busy_cluster = true;
     let mut fab = XgFabric::new(cfg);
-    fab.run_cycles(12);
+    fab.run_cycles(12).unwrap();
     fab.force_front();
-    fab.run_cycles(24);
+    fab.run_cycles(24).unwrap();
     // Despite background load, triggered CFD tasks complete (the pilot
     // was admitted before the queue saturated).
     assert!(fab.timeline().cfd_runs() >= 1);
@@ -156,7 +156,7 @@ fn busy_cluster_still_serves_tasks_via_pilot() {
 fn distinct_seeds_distinct_weather_same_invariants() {
     for seed in [7u64, 77, 777] {
         let mut fab = XgFabric::new(fast_config(seed));
-        fab.run_cycles(14);
+        fab.run_cycles(14).unwrap();
         let latencies = fab.timeline().telemetry_latencies_ms();
         assert_eq!(latencies.len(), 14);
         // Every cycle's transfer is positive and far below the duty cycle.

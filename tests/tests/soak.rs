@@ -14,7 +14,7 @@ fn three_day_soak_stays_sane() {
     // 3 days = 864 report cycles; a front every ~8 hours.
     for day_eighth in 0..9 {
         fab.force_front();
-        fab.run_cycles(96);
+        fab.run_cycles(96).unwrap();
         let _ = day_eighth;
     }
     let tl = fab.timeline();
