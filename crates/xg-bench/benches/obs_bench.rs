@@ -1,0 +1,53 @@
+//! Criterion bench for observability overhead: the full closed loop with
+//! metrics + tracing enabled must stay within 5% of the uninstrumented
+//! runtime (the disabled handle reduces every call-site to an `Option`
+//! branch).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use xg_fabric::orchestrator::{FabricConfig, XgFabric};
+use xg_hpc::site::SiteProfile;
+use xg_obs::Obs;
+
+fn config(obs: Obs) -> FabricConfig {
+    FabricConfig {
+        seed: 71,
+        cfd_cells: [12, 10, 4],
+        cfd_steps: 10,
+        failover_sites: vec![SiteProfile::anvil()],
+        obs,
+        ..Default::default()
+    }
+}
+
+/// Two hours of reports around a forced front: telemetry, detection, a
+/// triggered CFD, and the results return all execute.
+fn run_loop(mut fab: XgFabric) -> XgFabric {
+    fab.force_front();
+    fab.run_cycles(48).expect("healthy run");
+    fab
+}
+
+fn obs_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+
+    group.bench_function("closed_loop_disabled", |b| {
+        b.iter_batched(
+            || XgFabric::new(config(Obs::disabled())),
+            run_loop,
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("closed_loop_enabled", |b| {
+        b.iter_batched(
+            || XgFabric::new(config(Obs::enabled())),
+            run_loop,
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -14,7 +14,7 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin ablations`
 
-use xg_bench::write_results;
+use xg_bench::{effective_seed, write_results};
 use xg_hpc::cluster::ClusterSim;
 use xg_hpc::pilot::{PilotController, PilotControllerConfig, PilotStrategy};
 use xg_hpc::site::SiteProfile;
@@ -28,21 +28,26 @@ use xg_sensors::facility::CupsFacility;
 use xg_sensors::network::SensorNetwork;
 
 fn main() {
+    // Each study derives its own stream from the base seed with a fixed
+    // offset, chosen so the historical per-study seeds are reproduced when
+    // XG_SEED is unset.
+    let seed = effective_seed(7);
+    println!("seed = {seed}\n");
     let mut csv = String::from("study,variant,metric,value\n");
 
-    pilot_strategies(&mut csv);
-    interactive_vs_batch(&mut csv);
-    tdd_patterns(&mut csv);
-    scheduler_fairness(&mut csv);
-    vote_thresholds(&mut csv);
-    dynamic_vs_static_slicing(&mut csv);
+    pilot_strategies(&mut csv, seed);
+    interactive_vs_batch(&mut csv, seed.wrapping_add(6));
+    tdd_patterns(&mut csv, seed.wrapping_add(4));
+    scheduler_fairness(&mut csv, seed.wrapping_add(6));
+    vote_thresholds(&mut csv, seed.wrapping_add(70));
+    dynamic_vs_static_slicing(&mut csv, seed.wrapping_add(48));
 
     let path = write_results("ablations.csv", &csv);
     println!("\nwrote {}", path.display());
 }
 
 /// Ablation 2: pilot strategies on a busy 32-node cluster.
-fn pilot_strategies(csv: &mut String) {
+fn pilot_strategies(csv: &mut String, seed: u64) {
     println!("Ablation: pilot provisioning strategies (busy 32-node cluster)\n");
     println!(
         "{:<22} {:>14} {:>16}",
@@ -57,7 +62,7 @@ fn pilot_strategies(csv: &mut String) {
         ("adaptive warm=4", PilotStrategy::Adaptive { warm_nodes: 4 }),
         ("reactive", PilotStrategy::Reactive),
     ] {
-        let cluster = ClusterSim::new(32).with_background_load(900.0, 5400.0, 8, 7);
+        let cluster = ClusterSim::new(32).with_background_load(900.0, 5400.0, 8, seed);
         let mut cfg = PilotControllerConfig::paper_default(32);
         cfg.strategy = strategy;
         let mut ctl = PilotController::new(cluster, cfg);
@@ -89,7 +94,7 @@ fn pilot_strategies(csv: &mut String) {
 /// resource utilization ... at the cost of latency from scheduling").
 /// The interactive path is a small dedicated partition with no competing
 /// load; the batch path is the busy main queue.
-fn interactive_vs_batch(csv: &mut String) {
+fn interactive_vs_batch(csv: &mut String, seed: u64) {
     println!("Ablation: interactive vs batch pilots (busy main queue)\n");
     println!("{:<24} {:>16}", "pilot kind", "task wait (s)");
     // Batch: the busy 32-node main machine, pilot through the queue.
@@ -114,7 +119,7 @@ fn interactive_vs_batch(csv: &mut String) {
         // Saturate before the pilot is submitted so the batch pilot truly
         // queues: pre-load, then create the controller.
         let mut cluster = if busy {
-            site.build_cluster(13)
+            site.build_cluster(seed)
         } else {
             site.build_idle_cluster()
         };
@@ -138,7 +143,7 @@ fn interactive_vs_batch(csv: &mut String) {
 }
 
 /// Ablation 3: TDD slot pattern sensitivity at 40 MHz.
-fn tdd_patterns(csv: &mut String) {
+fn tdd_patterns(csv: &mut String, seed: u64) {
     println!("Ablation: TDD slot pattern (RPi, 40 MHz)\n");
     println!(
         "{:<18} {:>10} {:>14}",
@@ -150,7 +155,7 @@ fn tdd_patterns(csv: &mut String) {
         ("DSUUU", TddPattern::parse("DSUUU").unwrap()),
     ] {
         let cell = CellConfig::new(Rat::Nr5g, Duplex::Tdd(pattern.clone()), MHz(40.0));
-        let mut sim = LinkSimulator::new(cell, 11);
+        let mut sim = LinkSimulator::new(cell, seed);
         let ue = sim
             .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
             .expect("attach");
@@ -167,7 +172,7 @@ fn tdd_patterns(csv: &mut String) {
 }
 
 /// Ablation 4: scheduler discipline under asymmetric UEs.
-fn scheduler_fairness(csv: &mut String) {
+fn scheduler_fairness(csv: &mut String, seed: u64) {
     println!("Ablation: MAC scheduler discipline (2 UEs, one 4.5 dB weaker)\n");
     println!(
         "{:<20} {:>12} {:>12} {:>12} {:>10}",
@@ -178,7 +183,7 @@ fn scheduler_fairness(csv: &mut String) {
         ("proportional-fair", SchedulerKind::ProportionalFair),
     ] {
         let cell = CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0)).with_scheduler(kind);
-        let mut sim = LinkSimulator::new(cell, 13);
+        let mut sim = LinkSimulator::new(cell, seed);
         sim.attach_with(
             DeviceClass::RaspberryPi,
             Modem::Rm530nGl,
@@ -211,7 +216,7 @@ fn scheduler_fairness(csv: &mut String) {
 
 /// Ablation: dynamic (demand-tracking) vs static slicing under a bursty
 /// co-tenant — the §5 future-work controller's payoff.
-fn dynamic_vs_static_slicing(csv: &mut String) {
+fn dynamic_vs_static_slicing(csv: &mut String, seed: u64) {
     println!("Ablation: dynamic vs static slicing (bursty video + burst uploads)\n");
     println!(
         "{:<18} {:>16} {:>16}",
@@ -231,7 +236,7 @@ fn dynamic_vs_static_slicing(csv: &mut String) {
             ])
             .unwrap(),
         );
-        let mut sim = LinkSimulator::new(cell, 55);
+        let mut sim = LinkSimulator::new(cell, seed);
         let uploader = sim
             .attach_with(
                 DeviceClass::RaspberryPi,
@@ -291,7 +296,7 @@ fn dynamic_vs_static_slicing(csv: &mut String) {
 }
 
 /// Ablation 6: vote threshold vs wasted HPC runs and missed fronts.
-fn vote_thresholds(csv: &mut String) {
+fn vote_thresholds(csv: &mut String, seed: u64) {
     println!("Ablation: change-detector vote threshold (30 days of telemetry)\n");
     println!(
         "{:<10} {:>14} {:>14} {:>14}",
@@ -306,7 +311,7 @@ fn vote_thresholds(csv: &mut String) {
         // detection cycles). A trigger within 3 checks of a front start
         // (onset or decay of the front both shift conditions) counts as a
         // hit; any other trigger is a false positive.
-        let mut net = SensorNetwork::cups_default(CupsFacility::default(), 77);
+        let mut net = SensorNetwork::cups_default(CupsFacility::default(), seed);
         let mut history: Vec<f64> = Vec::new();
         let mut false_triggers = 0u32;
         let mut fronts_hit = 0u32;

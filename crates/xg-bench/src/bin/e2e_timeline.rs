@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin e2e_timeline`
 
-use xg_bench::write_results;
+use xg_bench::{effective_seed, write_results};
 use xg_fabric::prelude::*;
 use xg_fabric::timeline::Event;
 use xg_hpc::cluster::{ClusterSim, JobRequest};
@@ -16,8 +16,13 @@ use xg_sensors::breach::Breach;
 use xg_sensors::facility::Wall;
 
 fn main() {
-    let mut fab = XgFabric::new(xg_fabric::orchestrator::FabricConfig::default());
-    println!("End-to-end timeline — scripted day at the CUPS facility\n");
+    let seed = effective_seed(42);
+    let mut fab = XgFabric::new(xg_fabric::orchestrator::FabricConfig {
+        seed,
+        ..Default::default()
+    });
+    println!("End-to-end timeline — scripted day at the CUPS facility");
+    println!("seed = {seed}\n");
 
     // Phase 1: an hour of stable weather (history build-up).
     fab.run_cycles(12).unwrap();
@@ -165,7 +170,8 @@ fn main() {
     // The queueing-masking demonstration: on a saturated cluster, direct
     // batch submission waits; a pre-activated pilot does not.
     println!("\nQueueing-delay masking (saturated 16-node cluster):");
-    let mut direct = ClusterSim::new(16).with_background_load(350.0, 10_800.0, 8, 99);
+    let mut direct =
+        ClusterSim::new(16).with_background_load(350.0, 10_800.0, 8, seed.wrapping_add(57));
     direct.advance_to(4.0 * 3600.0);
     let submit_t = direct.now();
     let id = direct

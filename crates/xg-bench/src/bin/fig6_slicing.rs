@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin fig6_slicing`
 
-use xg_bench::{cell, iperf_samples, write_results};
+use xg_bench::{cell, effective_seed, iperf_samples, write_results};
 use xg_net::device::UnitVariation;
 use xg_net::prelude::*;
 
@@ -22,10 +22,12 @@ const PAPER_ANCHORS: &[(u32, f64, f64)] =
 
 fn main() {
     let samples = iperf_samples();
+    let base_seed = effective_seed(0xF166);
     let mut csv = String::from("rpi1_share_pct,rpi1_mean,rpi1_sd,rpi2_mean,rpi2_sd\n");
     let mut table: Vec<(u32, f64, f64, f64, f64)> = Vec::new();
 
-    println!("Figure 6 — PRB slicing on 40 MHz 5G TDD ({samples} samples/device/point)\n");
+    println!("Figure 6 — PRB slicing on 40 MHz 5G TDD ({samples} samples/device/point)");
+    println!("seed = {base_seed}\n");
     println!(
         "{:>10} {:>16} {:>16}",
         "RPi1 share", "RPi1 (Mbps)", "RPi2 (Mbps)"
@@ -35,7 +37,7 @@ fn main() {
         let slices = SliceConfig::complementary_pair(share).expect("valid share");
         let cellcfg =
             CellConfig::new(Rat::Nr5g, Duplex::tdd_default(), MHz(40.0)).with_slices(slices);
-        let mut sim = LinkSimulator::new(cellcfg, 0xF166 ^ pct as u64);
+        let mut sim = LinkSimulator::new(cellcfg, base_seed ^ pct as u64);
         // RPi1 is the paper's weaker unit; RPi2 the stronger.
         let _rpi1 = sim
             .attach_with(

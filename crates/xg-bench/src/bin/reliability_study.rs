@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin reliability_study`
 
-use xg_bench::write_results;
+use xg_bench::{effective_seed, write_results, CsvWriter};
 use xg_cspot::outage::OutageConfig;
 use xg_fabric::orchestrator::{FabricConfig, XgFabric};
 use xg_fabric::reliability::ReliabilityReport;
@@ -31,9 +31,14 @@ fn partition_5g() -> FaultKind {
     }
 }
 
-fn run_scenario(label: &str, faults: FaultPlan, csv: &mut String) -> ReliabilityReport {
+fn run_scenario(
+    label: &str,
+    seed: u64,
+    faults: FaultPlan,
+    csv: &mut CsvWriter,
+) -> ReliabilityReport {
     let mut fab = XgFabric::new(FabricConfig {
-        seed: 71,
+        seed,
         cfd_cells: [12, 10, 4],
         cfd_steps: 10,
         failover_sites: vec![SiteProfile::anvil()],
@@ -59,25 +64,27 @@ fn run_scenario(label: &str, faults: FaultPlan, csv: &mut String) -> Reliability
         r.loop_mttr_s,
     );
     assert!(r.lossless(), "{label}: telemetry must never be lost: {r}");
-    csv.push_str(&format!(
-        "{label},{:.4},{},{},{},{},{},{},{},{},{:.1},{:.1}\n",
-        r.availability_experienced,
-        r.records_buffered,
-        r.records_delivered,
-        r.records_dropped,
-        r.max_backlog,
-        r.detections,
-        r.failovers,
-        r.cfd_completed,
-        r.degraded_cycles,
-        r.mean_detection_inflation_s,
-        r.loop_mttr_s,
-    ));
+    csv.row([
+        label.to_string(),
+        format!("{:.4}", r.availability_experienced),
+        r.records_buffered.to_string(),
+        r.records_delivered.to_string(),
+        r.records_dropped.to_string(),
+        r.max_backlog.to_string(),
+        r.detections.to_string(),
+        r.failovers.to_string(),
+        r.cfd_completed.to_string(),
+        r.degraded_cycles.to_string(),
+        format!("{:.1}", r.mean_detection_inflation_s),
+        format!("{:.1}", r.loop_mttr_s),
+    ]);
     r
 }
 
 fn main() {
-    println!("Reliability study — three days of the full closed loop under chaos\n");
+    let seed = effective_seed(71);
+    println!("Reliability study — three days of the full closed loop under chaos");
+    println!("seed = {seed}\n");
     println!(
         "{:<30} {:>7} {:>9} {:>7} {:>8} {:>6} {:>5} {:>5} {:>7} {:>9}",
         "scenario",
@@ -91,16 +98,28 @@ fn main() {
         "degrad",
         "MTTR(s)"
     );
-    let mut csv = String::from(
-        "scenario,availability,buffered,delivered,dropped,max_backlog,detections,\
-         failovers,cfd_completed,degraded_cycles,mean_detection_inflation_s,loop_mttr_s\n",
-    );
+    let mut csv = CsvWriter::new();
+    csv.row([
+        "scenario",
+        "availability",
+        "buffered",
+        "delivered",
+        "dropped",
+        "max_backlog",
+        "detections",
+        "failovers",
+        "cfd_completed",
+        "degraded_cycles",
+        "mean_detection_inflation_s",
+        "loop_mttr_s",
+    ]);
 
-    let baseline = run_scenario("baseline (no faults)", FaultPlan::none(), &mut csv);
+    let baseline = run_scenario("baseline (no faults)", seed, FaultPlan::none(), &mut csv);
 
     run_scenario(
         "flaky 5G (MTBF 2h, MTTR 4m)",
-        FaultPlan::builder(101)
+        seed,
+        FaultPlan::builder(seed.wrapping_add(30))
             .stochastic(OutageConfig::flaky_5g(), partition_5g())
             .build(),
         &mut csv,
@@ -108,7 +127,8 @@ fn main() {
 
     run_scenario(
         "hostile 5G (MTBF 30m, MTTR 10m)",
-        FaultPlan::builder(103)
+        seed,
+        FaultPlan::builder(seed.wrapping_add(32))
             .stochastic(
                 OutageConfig {
                     mtbf_s: 1_800.0,
@@ -126,7 +146,8 @@ fn main() {
     // sites are briefly dark.
     run_scenario(
         "site outages (overlapping)",
-        FaultPlan::builder(107)
+        seed,
+        FaultPlan::builder(seed.wrapping_add(36))
             .scripted(
                 6.0 * 3_600.0,
                 4.0 * 3_600.0,
@@ -147,7 +168,8 @@ fn main() {
 
     let everything = run_scenario(
         "everything at once",
-        FaultPlan::builder(109)
+        seed,
+        FaultPlan::builder(seed.wrapping_add(38))
             .stochastic(OutageConfig::flaky_5g(), partition_5g())
             .scripted(
                 4.0 * 3_600.0,
@@ -184,6 +206,6 @@ fn main() {
     println!("\nbaseline detail: {baseline}\n\nworst case detail: {everything}\n");
     println!("Every scenario stays lossless: outages surface as backlog, detection");
     println!("inflation, degraded CFD resolution and failovers — never as loss.");
-    let path = write_results("reliability_study.csv", &csv);
+    let path = write_results("reliability_study.csv", csv.as_str());
     println!("\nwrote {}", path.display());
 }

@@ -56,6 +56,68 @@ pub fn iperf_samples() -> usize {
         .unwrap_or(100)
 }
 
+/// The RNG seed every binary runs under: `XG_SEED` when set and parseable,
+/// otherwise the binary's historical default. Each binary prints the
+/// effective seed in its results header so a captured run is reproducible.
+pub fn effective_seed(default: u64) -> u64 {
+    std::env::var("XG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Escape one CSV field per RFC 4180: fields containing a comma, quote,
+/// or line break are quoted, with embedded quotes doubled.
+pub fn csv_escape(field: &str) -> String {
+    if field.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Minimal CSV builder shared by the binaries that emit CSV
+/// (`reliability_study`, `latency_budget`). Every field goes through
+/// [`csv_escape`], so scenario labels with commas stay one column.
+#[derive(Debug, Default)]
+pub struct CsvWriter {
+    out: String,
+}
+
+impl CsvWriter {
+    /// An empty document.
+    pub fn new() -> Self {
+        CsvWriter::default()
+    }
+
+    /// Append one row.
+    pub fn row<I>(&mut self, fields: I)
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let mut first = true;
+        for f in fields {
+            if !first {
+                self.out.push(',');
+            }
+            first = false;
+            self.out.push_str(&csv_escape(f.as_ref()));
+        }
+        self.out.push('\n');
+    }
+
+    /// The document so far.
+    pub fn as_str(&self) -> &str {
+        &self.out
+    }
+
+    /// Consume into the final document.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+}
+
 /// The paper's bandwidth sweeps (MHz).
 pub mod sweeps {
     /// 4G FDD bandwidths (Fig. 4/5).
@@ -94,5 +156,29 @@ mod tests {
         if std::env::var("XG_SAMPLES").is_err() {
             assert_eq!(iperf_samples(), 100);
         }
+    }
+
+    #[test]
+    fn seed_env_default() {
+        if std::env::var("XG_SEED").is_err() {
+            assert_eq!(effective_seed(71), 71);
+        }
+    }
+
+    #[test]
+    fn csv_escaping_quotes_only_when_needed() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn csv_writer_builds_rows() {
+        let mut w = CsvWriter::new();
+        w.row(["stage", "mean_s"]);
+        w.row(["cfd, solve".to_string(), format!("{:.2}", 420.39)]);
+        assert_eq!(w.as_str(), "stage,mean_s\n\"cfd, solve\",420.39\n");
+        assert_eq!(w.into_string().lines().count(), 2);
     }
 }

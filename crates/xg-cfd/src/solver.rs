@@ -20,6 +20,45 @@ use crate::mesh::{CellType, Mesh};
 use crate::poisson;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+use xg_obs::{Counter, Gauge, Histogram, Obs};
+
+/// Pre-resolved solver instruments. The CFD solve is the only stage of
+/// the closed loop that burns real CPU, so its histograms record *wall*
+/// milliseconds (everything else in the fabric records virtual time).
+#[derive(Debug, Clone)]
+struct CfdObs {
+    /// Wall time of one full time step, ms.
+    step_wall_ms: Arc<Histogram>,
+    /// Wall time of one transport sweep (momentum or temperature), ms.
+    sweep_wall_ms: Arc<Histogram>,
+    /// Sweep wall time divided by the rayon worker count, ms.
+    sweep_wall_ms_per_worker: Arc<Histogram>,
+    /// Final Poisson residual per projection.
+    poisson_residual: Arc<Histogram>,
+    /// Jacobi iterations per projection.
+    poisson_iters: Arc<Histogram>,
+    /// Time steps completed.
+    steps: Arc<Counter>,
+    /// Rayon worker count in effect.
+    workers: Arc<Gauge>,
+}
+
+impl CfdObs {
+    fn new(obs: &Obs) -> Option<Self> {
+        let reg = obs.registry()?;
+        Some(CfdObs {
+            step_wall_ms: reg.histogram("cfd.step.wall_ms"),
+            sweep_wall_ms: reg.histogram("cfd.sweep.wall_ms"),
+            sweep_wall_ms_per_worker: reg.histogram("cfd.sweep.wall_ms_per_worker"),
+            poisson_residual: reg.histogram("cfd.poisson.residual"),
+            poisson_iters: reg.histogram("cfd.poisson.iterations"),
+            steps: reg.counter("cfd.steps"),
+            workers: reg.gauge("cfd.rayon.workers"),
+        })
+    }
+}
 
 /// Solver tunables.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,6 +116,7 @@ pub struct Simulation {
     /// Pressure (kinematic).
     pub p: Field3,
     steps_done: usize,
+    obs: Option<CfdObs>,
 }
 
 impl Simulation {
@@ -94,9 +134,18 @@ impl Simulation {
             t,
             p: Field3::zeros(nx, ny, nz),
             steps_done: 0,
+            obs: None,
         };
         sim.apply_velocity_bcs();
         sim
+    }
+
+    /// Attach an observability handle: per-step wall time, per-sweep
+    /// wall time, and per-projection residual/iteration histograms land
+    /// in its registry. Instrumentation only reads clocks — the solve
+    /// stays bitwise deterministic across thread counts.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = CfdObs::new(obs);
     }
 
     /// Steps taken so far.
@@ -197,6 +246,7 @@ impl Simulation {
         diffusivity: f64,
         extra: impl Fn(usize, usize, usize, f64) -> f64 + Sync,
     ) -> Field3 {
+        let sweep_timer = self.obs.as_ref().map(|_| Instant::now());
         let (nx, ny, nz) = (phi.nx, phi.ny, phi.nz);
         let slab = nx * ny;
         let dt = self.config.dt_s;
@@ -245,11 +295,18 @@ impl Simulation {
                     }
                 }
             });
+        if let (Some(o), Some(t0)) = (&self.obs, sweep_timer) {
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            o.sweep_wall_ms.record(ms);
+            o.sweep_wall_ms_per_worker
+                .record(ms / rayon::current_num_threads().max(1) as f64);
+        }
         out
     }
 
     /// Advance one time step.
     pub fn step(&mut self) {
+        let step_timer = self.obs.as_ref().map(|_| Instant::now());
         let cfg = self.config;
         let dt = cfg.dt_s;
         let mesh = &self.mesh;
@@ -294,13 +351,17 @@ impl Simulation {
         // Neumann compatibility: remove the mean source.
         let mean = rhs.mean();
         rhs.as_mut_slice().iter_mut().for_each(|x| *x -= mean);
-        poisson::solve(
+        let stats = poisson::solve(
             &mut self.p,
             &rhs,
             self.mesh.d,
             cfg.poisson_iters,
             cfg.poisson_tol,
         );
+        if let Some(o) = &self.obs {
+            o.poisson_residual.record(stats.residual);
+            o.poisson_iters.record(stats.iterations as f64);
+        }
 
         // 3. Velocity correction: u -= dt ∇p (interior, central gradient).
         let (nx, ny, nz) = (self.u.nx, self.u.ny, self.u.nz);
@@ -356,6 +417,11 @@ impl Simulation {
                 self.t.set(i, 0, k, t_ref);
                 self.t.set(i, ny - 1, k, t_ref);
             }
+        }
+        if let (Some(o), Some(t0)) = (&self.obs, step_timer) {
+            o.step_wall_ms.record(t0.elapsed().as_secs_f64() * 1e3);
+            o.steps.inc();
+            o.workers.set(rayon::current_num_threads() as f64);
         }
         self.steps_done += 1;
     }
@@ -460,6 +526,28 @@ mod tests {
         let mesh = Mesh::generate(&spec);
         let bc = BoundarySpec::intact(wind, dir, 22.0);
         Simulation::new(mesh, bc, SolverConfig::default())
+    }
+
+    #[test]
+    fn obs_records_sweep_and_poisson_metrics() {
+        let obs = Obs::enabled();
+        let mut sim = small_sim(5.0, 270.0);
+        sim.set_obs(&obs);
+        sim.run(3);
+        let reg = obs.registry().unwrap();
+        assert_eq!(reg.counter("cfd.steps").get(), 3);
+        assert_eq!(reg.histogram("cfd.step.wall_ms").count(), 3);
+        // Four sweeps per step: u, v, w, temperature.
+        assert_eq!(reg.histogram("cfd.sweep.wall_ms").count(), 12);
+        assert_eq!(reg.histogram("cfd.sweep.wall_ms_per_worker").count(), 12);
+        assert_eq!(reg.histogram("cfd.poisson.residual").count(), 3);
+        assert_eq!(reg.histogram("cfd.poisson.iterations").count(), 3);
+        assert!(reg.gauge("cfd.rayon.workers").get() >= 1.0);
+        // Instrumentation must not perturb the solve itself.
+        let mut plain = small_sim(5.0, 270.0);
+        plain.run(3);
+        assert_eq!(sim.u.as_slice(), plain.u.as_slice());
+        assert_eq!(sim.p.as_slice(), plain.p.as_slice());
     }
 
     #[test]

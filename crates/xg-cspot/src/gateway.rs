@@ -85,7 +85,8 @@ impl Gateway {
                 log.latest_seq().and_then(|seq| {
                     log.get(seq)
                         .ok()
-                        .map(|b| u64::from_le_bytes(b[..8].try_into().expect("8-byte cursor")))
+                        .and_then(|b| b.get(..8).and_then(|s| s.try_into().ok()))
+                        .map(u64::from_le_bytes)
                 })
             })
             .unwrap_or(0)
@@ -158,6 +159,12 @@ impl Gateway {
     /// Mutable access to the underlying route (partition injection).
     pub fn route_mut(&mut self) -> &mut crate::netsim::RoutePath {
         self.appender.route_mut()
+    }
+
+    /// Attach observability to the underlying remote appender (per-phase
+    /// append RTTs and retry counters for every relayed element).
+    pub fn set_obs(&mut self, obs: &xg_obs::Obs) {
+        self.appender.set_obs(obs);
     }
 }
 

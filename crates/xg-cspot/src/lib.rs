@@ -31,6 +31,10 @@
 //! token, yields exactly-once delivery; tests in [`protocol`] verify this
 //! under injected ack loss.
 //!
+//! This crate owns durable state, so panicking escape hatches are gated:
+//! non-test code converts fallible paths to [`CspotError`] instead of
+//! unwrapping.
+//!
 //! ```
 //! use xg_cspot::prelude::*;
 //!
@@ -44,6 +48,9 @@
 //! let back = node.get("telemetry", seq).unwrap();
 //! assert!(back.starts_with(b"t=21.5C"));
 //! ```
+
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod error;
 pub mod gateway;

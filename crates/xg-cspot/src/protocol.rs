@@ -20,6 +20,43 @@ use crate::node::CspotNode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
+use xg_obs::{Counter, Histogram, Obs};
+
+/// Pre-resolved instruments for the append protocol (one registry lookup
+/// at attach time; the hot path touches only `Arc`s).
+#[derive(Debug, Clone)]
+struct ProtocolObs {
+    /// Phase-1 (size fetch) duration per attempt, ms of virtual time.
+    phase1_ms: Arc<Histogram>,
+    /// Phase-2 (ship + storage + ack) duration on success, ms.
+    phase2_ms: Arc<Histogram>,
+    /// End-to-end logical append latency including retries, ms.
+    total_ms: Arc<Histogram>,
+    /// Attempts per successful logical append.
+    attempts: Arc<Histogram>,
+    /// Successful logical appends.
+    ok: Arc<Counter>,
+    /// Attempts beyond the first (timeouts, lost acks).
+    retries: Arc<Counter>,
+    /// Logical appends that exhausted the retry budget.
+    exhausted: Arc<Counter>,
+}
+
+impl ProtocolObs {
+    fn new(obs: &Obs) -> Option<Self> {
+        let reg = obs.registry()?;
+        Some(ProtocolObs {
+            phase1_ms: reg.histogram("cspot.append.phase1_ms"),
+            phase2_ms: reg.histogram("cspot.append.phase2_ms"),
+            total_ms: reg.histogram("cspot.append.total_ms"),
+            attempts: reg.histogram("cspot.append.attempts"),
+            ok: reg.counter("cspot.append.ok"),
+            retries: reg.counter("cspot.append.retries"),
+            exhausted: reg.counter("cspot.append.exhausted"),
+        })
+    }
+}
 
 /// Tunables of the remote append protocol.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +115,7 @@ pub struct RemoteAppender {
     connected: bool,
     /// Fault injection: number of upcoming server acks to drop.
     drop_acks: u32,
+    obs: Option<ProtocolObs>,
 }
 
 impl RemoteAppender {
@@ -93,7 +131,14 @@ impl RemoteAppender {
             token_counter: 0,
             connected: false,
             drop_acks: 0,
+            obs: None,
         }
+    }
+
+    /// Attach an observability handle: per-phase RTT histograms and
+    /// retry counters land in its registry. A disabled handle detaches.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = ProtocolObs::new(obs);
     }
 
     /// Mutable access to the route, for partition injection mid-test.
@@ -167,6 +212,10 @@ impl RemoteAppender {
         loop {
             attempts += 1;
             if attempts > self.config.max_attempts {
+                if let Some(o) = &self.obs {
+                    o.exhausted.inc();
+                    o.retries.add((attempts - 1) as u64);
+                }
                 return Err(CspotError::RetriesExhausted {
                     attempts: attempts - 1,
                     elapsed_ms: self.clock.now_ms() - start,
@@ -179,6 +228,7 @@ impl RemoteAppender {
                 self.connected = true;
             }
             // Phase 1: fetch the element size (unless cached).
+            let phase1_start = self.clock.now_ms();
             let element_size = if self.config.use_size_cache {
                 match self.size_cache.get(log).copied() {
                     Some(sz) => sz,
@@ -196,6 +246,10 @@ impl RemoteAppender {
                     None => continue,
                 }
             };
+            let phase2_start = self.clock.now_ms();
+            if let Some(o) = &self.obs {
+                o.phase1_ms.record(phase2_start - phase1_start);
+            }
             if payload.len() != element_size {
                 // With a stale cache this surfaces as a failed append — the
                 // exact failure mode the paper warns about.
@@ -223,9 +277,17 @@ impl RemoteAppender {
             if !self.cross() {
                 continue;
             }
+            let latency_ms = self.clock.now_ms() - start;
+            if let Some(o) = &self.obs {
+                o.phase2_ms.record(self.clock.now_ms() - phase2_start);
+                o.total_ms.record(latency_ms);
+                o.attempts.record(attempts as f64);
+                o.ok.inc();
+                o.retries.add((attempts - 1) as u64);
+            }
             return Ok(AppendOutcome {
                 seq,
-                latency_ms: self.clock.now_ms() - start,
+                latency_ms,
                 attempts,
             });
         }
@@ -482,6 +544,35 @@ mod tests {
         let mean = series.iter().sum::<f64>() / series.len() as f64;
         // Paper Table 1: UNL->UCSB (Internet) = 17 ms +/- 0.8.
         assert!((mean - 17.0).abs() < 1.5, "mean {mean}");
+    }
+
+    #[test]
+    fn obs_records_per_phase_rtt_and_retries() {
+        let server = server_1kb();
+        let cfg = RemoteConfig {
+            storage_jitter_ms: 0.0,
+            connect_ms: 0.0,
+            ..Default::default()
+        };
+        let mut a = appender(RoutePath::single(PathModel::wired(3.75, 0.0)), cfg);
+        let obs = Obs::enabled();
+        a.set_obs(&obs);
+        a.inject_ack_loss(1);
+        a.append(&server, "data", &vec![0u8; 1024]).unwrap();
+        let reg = obs.registry().unwrap();
+        // Phase 1 = two crossings = 7.5 ms on every attempt.
+        let p1 = reg.histogram("cspot.append.phase1_ms").snapshot();
+        assert_eq!(p1.count(), 2, "one per attempt");
+        assert!((p1.max().unwrap() - 7.5).abs() < 0.1, "{:?}", p1.max());
+        // Phase 2 = ship + storage + ack = 9.5 ms, success only.
+        let p2 = reg.histogram("cspot.append.phase2_ms").snapshot();
+        assert_eq!(p2.count(), 1);
+        assert!((p2.max().unwrap() - 9.5).abs() < 0.1, "{:?}", p2.max());
+        assert_eq!(reg.counter("cspot.append.ok").get(), 1);
+        assert_eq!(reg.counter("cspot.append.retries").get(), 1);
+        // Total latency includes the lost-ack timeout.
+        let total = reg.histogram("cspot.append.total_ms").snapshot();
+        assert!(total.max().unwrap() > 500.0);
     }
 
     #[test]

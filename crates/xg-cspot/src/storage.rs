@@ -16,6 +16,14 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+/// Decode a fixed-width field at `off`; `None` when the buffer is too
+/// short (a torn tail, never an error during recovery).
+fn field<const N: usize>(bytes: &[u8], off: usize) -> Option<[u8; N]> {
+    bytes
+        .get(off..off.checked_add(N)?)
+        .and_then(|s| s.try_into().ok())
+}
+
 /// A durable record: sequence number, idempotency token, payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
@@ -167,19 +175,27 @@ impl StorageBackend for FileBackend {
         let mut off = 0usize;
         let mut valid_end = 0usize;
         while off + 4 + 8 + 16 + 4 <= bytes.len() {
-            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            let Some(len_bytes) = field::<4>(&bytes, off) else {
+                break; // torn tail
+            };
+            let len = u32::from_le_bytes(len_bytes) as usize;
             let total = 4 + 8 + 16 + len + 4;
             if off + total > bytes.len() {
                 break; // torn tail
             }
             let body = &bytes[off..off + total - 4];
-            let crc_stored =
-                u32::from_le_bytes(bytes[off + total - 4..off + total].try_into().unwrap());
-            if fnv1a(body) != crc_stored {
+            let (Some(crc_bytes), Some(seq_bytes), Some(token_bytes)) = (
+                field::<4>(&bytes, off + total - 4),
+                field::<8>(&bytes, off + 4),
+                field::<16>(&bytes, off + 12),
+            ) else {
+                break; // torn tail
+            };
+            if fnv1a(body) != u32::from_le_bytes(crc_bytes) {
                 break; // corrupt record: truncate here
             }
-            let seq = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap());
-            let token = u128::from_le_bytes(bytes[off + 12..off + 28].try_into().unwrap());
+            let seq = u64::from_le_bytes(seq_bytes);
+            let token = u128::from_le_bytes(token_bytes);
             let payload = bytes[off + 28..off + 28 + len].to_vec();
             records.push(Record {
                 seq,

@@ -36,6 +36,13 @@
 //! fabric.run_cycles(2).unwrap(); // two 5-minute reporting cycles
 //! assert_eq!(fabric.timeline().telemetry_latencies_ms().len(), 2);
 //! ```
+//!
+//! This crate drives the whole loop, so panicking escape hatches are
+//! gated: non-test code converts fallible paths to [`FabricError`] (or a
+//! propagated `CspotError`) instead of unwrapping.
+
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod backtest;
 pub mod error;

@@ -47,6 +47,7 @@ use xg_hpc::site::SiteProfile;
 use xg_laminar::change::{build_change_graph, ChangeDetector};
 use xg_laminar::runtime::LaminarRuntime;
 use xg_laminar::value::Value;
+use xg_obs::{Obs, SpanId, TraceId};
 use xg_sensors::breach::Breach;
 use xg_sensors::facility::CupsFacility;
 use xg_sensors::network::{BoundaryConditions, SensorNetwork};
@@ -84,6 +85,11 @@ pub struct FabricConfig {
     pub gateway_capacity: usize,
     /// Fault schedule applied as virtual time advances.
     pub faults: FaultPlan,
+    /// Observability handle. Disabled by default; an enabled handle is
+    /// propagated to every layer (CSPOT appenders, pilot controllers, the
+    /// in-loop CFD solver) and records one causal trace per closed-loop
+    /// cycle.
+    pub obs: Obs,
 }
 
 impl Default for FabricConfig {
@@ -103,7 +109,26 @@ impl Default for FabricConfig {
             twin: DigitalTwin::default(),
             gateway_capacity: 4096,
             faults: FaultPlan::none(),
+            obs: Obs::disabled(),
         }
+    }
+}
+
+/// Pre-resolved fabric-level instruments (one registry lookup at attach).
+struct FabricObs {
+    report_cycles: Arc<xg_obs::Counter>,
+    degradation_level: Arc<xg_obs::Gauge>,
+    degradation_transitions: Arc<xg_obs::Counter>,
+}
+
+impl FabricObs {
+    fn new(obs: &Obs) -> Option<Self> {
+        let reg = obs.registry()?;
+        Some(FabricObs {
+            report_cycles: reg.counter("fabric.report_cycles"),
+            degradation_level: reg.gauge("fabric.degradation.level"),
+            degradation_transitions: reg.counter("fabric.degradation.transitions"),
+        })
     }
 }
 
@@ -115,6 +140,9 @@ struct PendingCfd {
     interior: Vec<Measurement>,
     cells: [usize; 3],
     steps: usize,
+    /// Closed-loop trace this run belongs to, with the detection span it
+    /// is causally downstream of (None when observability is disabled).
+    trace: Option<(TraceId, SpanId)>,
 }
 
 /// A CFD task placed at a site, expected to finish at `finishes_at`.
@@ -181,6 +209,10 @@ pub struct XgFabric {
     /// Twin calibration factor (measured/predicted), set by the first
     /// completed comparison ("once the model is calibrated", §2).
     calibration: Option<f64>,
+    obs: Option<FabricObs>,
+    /// Transfer latency of the most recent report cycle (ms, virtual),
+    /// charged to the trace of any detection that cycle triggers.
+    last_transfer_ms: f64,
 }
 
 impl XgFabric {
@@ -191,25 +223,29 @@ impl XgFabric {
         let net = SensorNetwork::cups_default(facility, config.seed);
         let repo = Arc::new(CspotNode::in_memory("UCSB"));
         let field = Arc::new(CspotNode::in_memory("UNL"));
-        let gateway = FieldGateway::new(
+        let mut gateway = FieldGateway::new(
             Arc::clone(&repo),
             Arc::clone(&field),
             SimClock::new(),
             config.seed,
             config.gateway_capacity,
         )?;
+        gateway.set_obs(&config.obs);
         let mut sites = vec![(config.site.clone(), config.busy_cluster)];
         for s in &config.failover_sites {
             sites.push((s.clone(), config.busy_cluster));
         }
         let mut hpc = MultiSiteController::new(sites, config.seed);
         hpc.set_est_task_runtime(config.perf.total_time_s(config.cfd_cores));
-        let results_return = ResultsReturn::new(field, SimClock::new(), config.seed ^ 0x5255)?;
+        hpc.set_obs(&config.obs);
+        let mut results_return = ResultsReturn::new(field, SimClock::new(), config.seed ^ 0x5255)?;
+        results_return.set_obs(&config.obs);
         let laminar = LaminarRuntime::deploy(
             build_change_graph("cups_change", config.detector)?,
             Arc::clone(&gateway.repo),
         )?;
         let faults = config.faults.clone();
+        let obs = FabricObs::new(&config.obs);
         Ok(XgFabric {
             config,
             net,
@@ -244,6 +280,8 @@ impl XgFabric {
             impairment_episodes: 0,
             impairment_total_s: 0.0,
             calibration: None,
+            obs,
+            last_transfer_ms: 0.0,
         })
     }
 
@@ -316,6 +354,10 @@ impl XgFabric {
         // condition (§2's data-calibration concern).
         let (records, _rejected) = self.qc.filter(&raw);
         let cycle = self.gateway.ship_cycle(&records)?;
+        self.last_transfer_ms = cycle.latency_ms;
+        if let Some(o) = &self.obs {
+            o.report_cycles.inc();
+        }
         self.timeline.push(Event::TelemetryShipped {
             t_s: self.t_s,
             latency_ms: cycle.latency_ms,
@@ -526,7 +568,8 @@ impl XgFabric {
             if f.attempts > 0 {
                 self.cfd_recovered += 1;
             }
-            self.execute_cfd(f.pending, f.finishes_at);
+            let site = f.site;
+            self.execute_cfd(f.pending, f.finishes_at, &site, f.attempts);
         }
     }
 
@@ -543,6 +586,10 @@ impl XgFabric {
         };
         if level != self.degradation {
             self.degradation = level;
+            if let Some(o) = &self.obs {
+                o.degradation_transitions.inc();
+                o.degradation_level.set(f64::from(level));
+            }
             self.timeline.push(Event::DegradationChanged {
                 t_s: self.t_s,
                 level,
@@ -621,9 +668,12 @@ impl XgFabric {
         // Inflation: how long the duty cycle sat deferred behind a
         // partition before this check could finally run (0 on a healthy
         // link).
-        if let Some(since) = self.deferred_check_since.take() {
-            self.detection_inflation_sum_s += (self.t_s - since).max(0.0);
-        }
+        let inflation_s = self
+            .deferred_check_since
+            .take()
+            .map(|since| (self.t_s - since).max(0.0))
+            .unwrap_or(0.0);
+        self.detection_inflation_sum_s += inflation_s;
         self.timeline.push(Event::ChangeChecked {
             t_s: self.t_s,
             changed,
@@ -643,12 +693,40 @@ impl XgFabric {
             return Ok(());
         };
         let (cells, steps) = self.effective_resolution();
+        // Open the closed-loop trace: the transfer that carried the
+        // triggering window, then the detection that fired. The CFD
+        // stages chain onto the detection span when the run completes.
+        let trace = self.config.obs.tracer().map(|tr| {
+            let trace = tr.new_trace();
+            let transfer_end_s = self.t_s + self.last_transfer_ms / 1e3;
+            let transfer = tr.record_sim_s(
+                trace,
+                None,
+                "telemetry.transfer",
+                self.t_s,
+                transfer_end_s,
+                vec![("records".into(), records.len().to_string())],
+            );
+            let detect = tr.record_sim_s(
+                trace,
+                Some(transfer),
+                "change.detection",
+                transfer_end_s,
+                transfer_end_s + inflation_s,
+                vec![
+                    ("votes".into(), vote.votes.to_string()),
+                    ("deferred_s".into(), format!("{inflation_s:.0}")),
+                ],
+            );
+            (trace, detect)
+        });
         let pending = PendingCfd {
             trigger_t_s: self.t_s,
             bc,
             interior: self.interior_measurements(records),
             cells,
             steps,
+            trace,
         };
         self.cfd_triggered += 1;
         match self
@@ -701,7 +779,7 @@ impl XgFabric {
             .collect()
     }
 
-    fn execute_cfd(&mut self, pending: PendingCfd, finished_at: f64) {
+    fn execute_cfd(&mut self, pending: PendingCfd, finished_at: f64, site: &str, attempts: u32) {
         // Predicted field: always intact-screen boundary conditions — the
         // twin detects breaches as measurement/model divergence.
         let spec = DomainSpec::cups_default().with_cells(
@@ -716,9 +794,45 @@ impl XgFabric {
             pending.bc.ambient_temp_c,
         );
         let mut sim = Simulation::new(mesh, bc, SolverConfig::default());
+        sim.set_obs(&self.config.obs);
         sim.run(pending.steps);
         let model_runtime = self.config.perf.total_time_s(self.config.cfd_cores);
         let window_s = self.config.report_interval_s * self.config.detect_every_reports as f64;
+        // Close out the trace's HPC stages: expected completion minus the
+        // modelled runtime is queue wait masked (or not) by warm pilots.
+        let return_parent = self.config.obs.tracer().and_then(|tr| {
+            let (trace, detect) = pending.trace?;
+            let solve_start = (finished_at - model_runtime).max(pending.trigger_t_s);
+            let qm = tr.record_sim_s(
+                trace,
+                Some(detect),
+                "hpc.queue_mask",
+                pending.trigger_t_s,
+                solve_start,
+                vec![
+                    ("site".into(), site.to_string()),
+                    ("attempts".into(), attempts.to_string()),
+                ],
+            );
+            let cfd = tr.record_sim_s(
+                trace,
+                Some(qm),
+                "cfd.solve",
+                solve_start,
+                finished_at,
+                vec![
+                    (
+                        "cells".into(),
+                        format!(
+                            "{}x{}x{}",
+                            pending.cells[0], pending.cells[1], pending.cells[2]
+                        ),
+                    ),
+                    ("steps".into(), pending.steps.to_string()),
+                ],
+            );
+            Some((trace, cfd))
+        });
         self.timeline.push(Event::CfdCompleted {
             t_s: finished_at,
             model_runtime_s: model_runtime,
@@ -736,6 +850,16 @@ impl XgFabric {
                 validity_s: (window_s - model_runtime).max(0.0),
                 breach_suspected: false,
             }) {
+                if let (Some(tr), Some((trace, cfd))) = (self.config.obs.tracer(), return_parent) {
+                    tr.record_sim_s(
+                        trace,
+                        Some(cfd),
+                        "results.return",
+                        finished_at,
+                        finished_at + latency_ms / 1e3,
+                        Vec::new(),
+                    );
+                }
                 self.timeline.push(Event::ResultsReturned {
                     t_s: finished_at,
                     latency_ms,
@@ -831,7 +955,6 @@ impl XgFabric {
                 });
             }
         }
-        let _ = pending.trigger_t_s;
     }
 }
 
@@ -848,6 +971,50 @@ mod tests {
             cfd_steps: 25,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn obs_traces_full_closed_loop_cycle() {
+        let obs = Obs::enabled();
+        let mut fab = XgFabric::new(FabricConfig {
+            obs: obs.clone(),
+            ..fast_config(3)
+        });
+        fab.run_cycles(12).unwrap();
+        fab.force_front();
+        fab.run_cycles(12).unwrap();
+        assert!(fab.timeline().cfd_runs() >= 1, "CFD must have run");
+        let spans = obs.tracer().unwrap().spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        for stage in [
+            "telemetry.transfer",
+            "change.detection",
+            "hpc.queue_mask",
+            "cfd.solve",
+            "results.return",
+        ] {
+            assert!(names.contains(&stage), "missing {stage}: {names:?}");
+        }
+        // The stages chain causally back from the results return.
+        let ret = spans.iter().find(|s| s.name == "results.return").unwrap();
+        let cfd = spans.iter().find(|s| Some(s.id) == ret.parent).unwrap();
+        assert_eq!(cfd.name, "cfd.solve");
+        let qm = spans.iter().find(|s| Some(s.id) == cfd.parent).unwrap();
+        assert_eq!(qm.name, "hpc.queue_mask");
+        let det = spans.iter().find(|s| Some(s.id) == qm.parent).unwrap();
+        assert_eq!(det.name, "change.detection");
+        let xfer = spans.iter().find(|s| Some(s.id) == det.parent).unwrap();
+        assert_eq!(xfer.name, "telemetry.transfer");
+        assert_eq!(xfer.trace, ret.trace, "one trace per closed-loop cycle");
+        // §4.4 dominance: the CFD solve dwarfs the transfer; queueing is
+        // fully masked on an idle cluster with a warm pilot.
+        assert!(cfd.duration_s() > 100.0 * xfer.duration_s());
+        assert!(qm.duration_s() < 1.0, "warm pilot masks the queue");
+        // Metrics flowed from every instrumented layer below the fabric.
+        let reg = obs.registry().unwrap();
+        assert_eq!(reg.counter("fabric.report_cycles").get(), 24);
+        assert!(reg.histogram("cspot.append.total_ms").count() > 0);
+        assert!(reg.histogram("cfd.step.wall_ms").count() > 0);
     }
 
     #[test]

@@ -26,6 +26,20 @@ pub const RESULTS_LOG: &str = "cups.results";
 /// History retained in the repository logs (plenty for 30-min windows).
 pub const LOG_HISTORY: usize = 8192;
 
+/// Decode an 8-byte little-endian `f64` log element or fail with a typed
+/// error (a wind log only ever holds 8-byte elements, so a mismatch means
+/// corruption, which callers should see rather than panic over).
+fn decode_wind(bytes: &[u8]) -> Result<f64, CspotError> {
+    bytes
+        .get(..8)
+        .and_then(|b| b.try_into().ok())
+        .map(f64::from_le_bytes)
+        .ok_or(CspotError::ElementSizeMismatch {
+            expected: 8,
+            got: bytes.len(),
+        })
+}
+
 /// Resolve a paper-topology route or fail with a typed error.
 fn route_between(from: &str, to: &str) -> Result<xg_cspot::netsim::RoutePath, FabricError> {
     let topo = Topology::paper();
@@ -85,16 +99,20 @@ impl TelemetryPipeline {
     /// first.
     pub fn wind_history(&self, n: usize) -> Result<Vec<f64>, CspotError> {
         let log = self.repo.log(WIND_LOG)?;
-        Ok(log
-            .tail(n)
+        log.tail(n)
             .into_iter()
-            .map(|(_, bytes)| f64::from_le_bytes(bytes[..8].try_into().expect("8-byte element")))
-            .collect())
+            .map(|(_, bytes)| decode_wind(&bytes))
+            .collect()
     }
 
     /// Partition or heal the access route (failure injection).
     pub fn set_partitioned(&mut self, partitioned: bool) {
         self.appender.route_mut().set_partitioned(partitioned);
+    }
+
+    /// Attach observability to the uplink appender.
+    pub fn set_obs(&mut self, obs: &xg_obs::Obs) {
+        self.appender.set_obs(obs);
     }
 }
 
@@ -244,11 +262,12 @@ impl FieldGateway {
     /// the change detector can actually see), oldest first.
     pub fn wind_history(&self, n: usize) -> Result<Vec<f64>, FabricError> {
         let log = self.repo.log(WIND_LOG)?;
-        Ok(log
+        let hist: Result<Vec<f64>, CspotError> = log
             .tail(n)
             .into_iter()
-            .map(|(_, bytes)| f64::from_le_bytes(bytes[..8].try_into().expect("8-byte element")))
-            .collect())
+            .map(|(_, bytes)| decode_wind(&bytes))
+            .collect();
+        Ok(hist?)
     }
 
     /// Mean-wind samples that have reached the repository.
@@ -294,6 +313,13 @@ impl FieldGateway {
                 seg.loss_prob = loss_prob;
             }
         }
+    }
+
+    /// Attach observability to both gateway streams' remote appenders
+    /// (per-phase CSPOT append RTTs for every drained element).
+    pub fn set_obs(&mut self, obs: &xg_obs::Obs) {
+        self.records.set_obs(obs);
+        self.wind.set_obs(obs);
     }
 
     /// Apply or clear a RAN degradation on the 5G access segment: an
@@ -379,6 +405,11 @@ impl ResultsReturn {
     /// Partition or heal the downlink route (failure injection).
     pub fn set_partitioned(&mut self, partitioned: bool) {
         self.appender.route_mut().set_partitioned(partitioned);
+    }
+
+    /// Attach observability to the downlink appender.
+    pub fn set_obs(&mut self, obs: &xg_obs::Obs) {
+        self.appender.set_obs(obs);
     }
 
     /// Deliver one result summary to the field node. Returns the transfer

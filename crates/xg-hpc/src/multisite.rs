@@ -134,6 +134,14 @@ impl MultiSiteController {
         ))
     }
 
+    /// Attach observability to every site's pilot controller (queue-wait
+    /// vs mask-time histograms, pilot/task counters).
+    pub fn set_obs(&mut self, obs: &xg_obs::Obs) {
+        for s in &mut self.sites {
+            s.controller.set_obs(obs);
+        }
+    }
+
     /// Set the estimated application-task runtime (Eq. 4 input) on every
     /// site's controller.
     pub fn set_est_task_runtime(&mut self, runtime_s: f64) {

@@ -21,10 +21,35 @@ use crate::ue::UeContext;
 use crate::units::Db;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
+use xg_obs::{Counter, Histogram, Obs};
 
 /// Opaque handle to an attached UE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct UeHandle(pub(crate) u32);
+
+/// Pre-resolved RAN instruments (resolved once at attach time).
+#[derive(Debug, Clone)]
+struct RanObs {
+    /// Fraction of a slice's PRB quota granted in one TTI, recorded per
+    /// scheduled (slice, TTI) pair.
+    occupancy: Arc<Histogram>,
+    /// Per-UE uplink goodput samples, Mbps, one per simulated second.
+    goodput_mbps: Arc<Histogram>,
+    /// Uplink-capable TTIs simulated.
+    slots: Arc<Counter>,
+}
+
+impl RanObs {
+    fn new(obs: &Obs) -> Option<Self> {
+        let reg = obs.registry()?;
+        Some(RanObs {
+            occupancy: reg.histogram("ran.tti.occupancy"),
+            goodput_mbps: reg.histogram("ran.ue.goodput_mbps"),
+            slots: reg.counter("ran.tti.slots"),
+        })
+    }
+}
 
 /// The uplink link-level simulator for one cell.
 pub struct LinkSimulator {
@@ -42,6 +67,7 @@ pub struct LinkSimulator {
     /// models RAN degradation (interference, weather, detuned antenna)
     /// that collapses every UE's MCS without detaching anyone.
     snr_offset_db: f64,
+    obs: Option<RanObs>,
 }
 
 impl LinkSimulator {
@@ -71,7 +97,14 @@ impl LinkSimulator {
             total_prbs,
             quotas,
             snr_offset_db: 0.0,
+            obs: None,
         }
+    }
+
+    /// Attach an observability handle: per-TTI scheduler occupancy and
+    /// per-UE goodput land in its registry. A disabled handle detaches.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = RanObs::new(obs);
     }
 
     /// Apply a cell-wide SNR offset in dB (fault injection). Negative
@@ -289,6 +322,9 @@ impl LinkSimulator {
         if ul_frac == 0.0 {
             return;
         }
+        if let Some(o) = &self.obs {
+            o.slots.inc();
+        }
         let prb_mhz = self.prb_mhz();
         let re_per_prb = res_per_prb_slot() as f64;
         for slice_idx in 0..self.quotas.len() {
@@ -318,6 +354,10 @@ impl LinkSimulator {
                 })
                 .collect();
             let grants = self.scheds[slice_idx].allocate(quota, &requests);
+            if let Some(o) = &self.obs {
+                let granted: u32 = grants.iter().map(|&(_, prbs)| prbs).sum();
+                o.occupancy.record(granted as f64 / quota as f64);
+            }
             for (ue_id, prbs) in grants {
                 if prbs == 0 {
                     continue;
@@ -377,6 +417,9 @@ impl LinkSimulator {
             let mut mbps = u.window_bits / 1e6 * sdr_penalty * overhead;
             if let Some(cap) = u.profile.host_cap_mbps {
                 mbps = mbps.min(cap);
+            }
+            if let Some(o) = &self.obs {
+                o.goodput_mbps.record(mbps);
             }
             out.push((UeHandle(u.id), mbps));
             u.reset_window();
@@ -723,6 +766,28 @@ mod tests {
         }])
         .unwrap();
         assert!(sim.set_slices(bad).is_err());
+    }
+
+    #[test]
+    fn obs_records_tti_occupancy_and_goodput() {
+        let mut sim = LinkSimulator::new(cell_5g_fdd20(), 6);
+        let obs = Obs::enabled();
+        sim.set_obs(&obs);
+        let ue = sim
+            .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
+            .unwrap();
+        sim.set_backlogged(ue, true).unwrap();
+        let results = sim.run_second();
+        let reg = obs.registry().unwrap();
+        let occ = reg.histogram("ran.tti.occupancy").snapshot();
+        // FDD: every slot is uplink-capable; one full-buffer UE saturates
+        // its slice quota in each of them.
+        assert_eq!(reg.counter("ran.tti.slots").get(), 1000);
+        assert_eq!(occ.count(), 1000);
+        assert!(occ.quantile(0.5).unwrap() > 0.95, "{:?}", occ.quantile(0.5));
+        let gp = reg.histogram("ran.ue.goodput_mbps").snapshot();
+        assert_eq!(gp.count(), 1);
+        assert!((gp.max().unwrap() - results[0].1).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Sim/wall clock abstraction behind span timestamps.
+//!
+//! xGFabric's layers do not share a time base: the closed loop, the HPC
+//! queue model, the network simulator and the fault windows all run on
+//! *virtual* time (nothing sleeps; drivers advance a counter), while the
+//! CFD solver burns real CPU and is timed on the *wall* clock. A span's
+//! timestamps are meaningless without knowing which clock produced them,
+//! so every [`SpanRecord`](crate::span::SpanRecord) carries a
+//! [`ClockDomain`] and timestamps are integer microseconds in that
+//! domain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Which time base a timestamp belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClockDomain {
+    /// Simulated (virtual) time, advanced by a discrete-event driver.
+    Sim,
+    /// Wall-clock time, measured from a process-local epoch.
+    Wall,
+}
+
+impl ClockDomain {
+    /// Stable lowercase label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClockDomain::Sim => "sim",
+            ClockDomain::Wall => "wall",
+        }
+    }
+}
+
+/// The process-local wall epoch: all wall timestamps are microseconds
+/// since the first call in this process, keeping them small and
+/// monotonic (no system-clock steps).
+fn wall_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds of wall time since the process epoch.
+pub fn wall_now_us() -> u64 {
+    wall_epoch().elapsed().as_micros() as u64
+}
+
+/// A clock that yields microsecond timestamps in one [`ClockDomain`].
+///
+/// `Sim` clocks wrap a shared atomic counter so a discrete-event driver
+/// and its instrumentation observe the same virtual now; `Wall` reads the
+/// process-epoch monotonic clock.
+#[derive(Clone, Debug)]
+pub enum Clock {
+    /// Wall time since the process epoch.
+    Wall,
+    /// Shared simulated time in microseconds.
+    Sim(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A wall clock.
+    pub fn wall() -> Self {
+        Clock::Wall
+    }
+
+    /// A fresh simulated clock starting at zero.
+    pub fn sim() -> Self {
+        Clock::Sim(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// A simulated clock sharing an existing microsecond counter.
+    pub fn sim_shared(micros: Arc<AtomicU64>) -> Self {
+        Clock::Sim(micros)
+    }
+
+    /// The domain this clock's timestamps belong to.
+    pub fn domain(&self) -> ClockDomain {
+        match self {
+            Clock::Wall => ClockDomain::Wall,
+            Clock::Sim(_) => ClockDomain::Sim,
+        }
+    }
+
+    /// Current time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        match self {
+            Clock::Wall => wall_now_us(),
+            Clock::Sim(m) => m.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Advance a simulated clock; no-op on a wall clock.
+    pub fn advance_us(&self, us: u64) {
+        if let Clock::Sim(m) = self {
+            m.fetch_add(us, Ordering::Relaxed);
+        }
+    }
+
+    /// Set a simulated clock to an absolute time; no-op on a wall clock.
+    pub fn set_us(&self, us: u64) {
+        if let Clock::Sim(m) = self {
+            m.store(us, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Convert fractional seconds (the fabric's `t_s` convention) to the
+/// integer microseconds spans carry.
+pub fn secs_to_us(s: f64) -> u64 {
+    if s <= 0.0 {
+        0
+    } else {
+        (s * 1e6).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_clock_advances_and_shares() {
+        let c = Clock::sim();
+        let d = c.clone();
+        c.advance_us(250);
+        assert_eq!(d.now_us(), 250);
+        d.set_us(1_000);
+        assert_eq!(c.now_us(), 1_000);
+        assert_eq!(c.domain(), ClockDomain::Sim);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = Clock::wall();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+        assert_eq!(c.domain(), ClockDomain::Wall);
+        // advance/set are no-ops on wall clocks.
+        c.advance_us(10);
+        c.set_us(0);
+    }
+
+    #[test]
+    fn secs_round_trip() {
+        assert_eq!(secs_to_us(0.0), 0);
+        assert_eq!(secs_to_us(-1.0), 0);
+        assert_eq!(secs_to_us(1.5), 1_500_000);
+        assert_eq!(secs_to_us(0.000_2), 200);
+    }
+}

@@ -1,0 +1,273 @@
+//! Exporters: JSONL traces, Prometheus-style text, latency-budget table.
+//!
+//! JSON is emitted by hand — the schema is five fixed fields plus a
+//! string map, and hand-rolling keeps the crate dependency-free. The
+//! budget table is the §4.4 artifact: group a span stream by stage name
+//! and attribute the closed-loop latency per stage.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRecord;
+use std::fmt::Write as _;
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render spans as JSON Lines: one object per span, stable field order,
+/// timestamps in integer microseconds of the span's clock domain.
+pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        let _ = write!(out, "{{\"trace\":{},\"span\":{},\"parent\":", s.trace, s.id);
+        match s.parent {
+            Some(p) => {
+                let _ = write!(out, "{p}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"name\":\"{}\",\"clock\":\"{}\",\"start_us\":{},\"end_us\":{},\"attrs\":{{",
+            json_escape(&s.name),
+            s.domain.label(),
+            s.start_us,
+            s.end_us
+        );
+        for (i, (k, v)) in s.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+/// Sanitize a metric name into the Prometheus charset.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Render a metrics snapshot as Prometheus-style exposition text:
+/// counters and gauges verbatim, histograms as summaries with
+/// p50/p90/p99 quantile series plus `_count`/`_sum`/`_max`.
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = prom_name(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for q in [0.5, 0.9, 0.99] {
+            let est = h.quantile(q).unwrap_or(f64::NAN);
+            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {est}");
+        }
+        let _ = writeln!(out, "{n}_count {}", h.count());
+        let _ = writeln!(out, "{n}_sum {}", h.sum());
+        let _ = writeln!(out, "{n}_max {}", h.max().unwrap_or(f64::NAN));
+    }
+    out
+}
+
+/// Per-stage latency attribution derived from measured spans.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BudgetRow {
+    /// Stage (span) name.
+    pub stage: String,
+    /// Spans observed for this stage.
+    pub count: usize,
+    /// Mean duration, seconds.
+    pub mean_s: f64,
+    /// Median duration, seconds.
+    pub p50_s: f64,
+    /// 99th-percentile duration, seconds.
+    pub p99_s: f64,
+    /// Worst duration, seconds.
+    pub max_s: f64,
+    /// This stage's share of the summed mean across all stages.
+    pub share: f64,
+}
+
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).floor() as usize;
+    sorted[idx]
+}
+
+/// Build the per-stage budget table for the given stage names, in the
+/// given order (the closed-loop pipeline order). Stages with no spans
+/// appear with zero counts so a broken pipeline is visible, not silent.
+pub fn budget_table(spans: &[SpanRecord], stages: &[&str]) -> Vec<BudgetRow> {
+    let mut rows: Vec<BudgetRow> = stages
+        .iter()
+        .map(|stage| {
+            let mut durs: Vec<f64> = spans
+                .iter()
+                .filter(|s| s.name == *stage)
+                .map(SpanRecord::duration_s)
+                .collect();
+            durs.sort_by(f64::total_cmp);
+            let count = durs.len();
+            let mean = if count == 0 {
+                0.0
+            } else {
+                durs.iter().sum::<f64>() / count as f64
+            };
+            BudgetRow {
+                stage: stage.to_string(),
+                count,
+                mean_s: mean,
+                p50_s: exact_quantile(&durs, 0.5),
+                p99_s: exact_quantile(&durs, 0.99),
+                max_s: durs.last().copied().unwrap_or(0.0),
+                share: 0.0,
+            }
+        })
+        .collect();
+    let total: f64 = rows.iter().map(|r| r.mean_s).sum();
+    if total > 0.0 {
+        for r in &mut rows {
+            r.share = r.mean_s / total;
+        }
+    }
+    rows
+}
+
+/// Render the budget table for humans, one row per stage.
+pub fn render_budget_table(rows: &[BudgetRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:>6} {:>12} {:>12} {:>12} {:>12} {:>7}",
+        "stage", "count", "mean(s)", "p50(s)", "p99(s)", "max(s)", "share"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>6.1}%",
+            r.stage,
+            r.count,
+            r.mean_s,
+            r.p50_s,
+            r.p99_s,
+            r.max_s,
+            r.share * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockDomain;
+    use crate::metrics::MetricsRegistry;
+    use crate::span::Tracer;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        let t = Tracer::new();
+        let tr = t.new_trace();
+        let root = t.record_sim_s(tr, None, "cycle", 0.0, 500.0, vec![]);
+        t.record_sim_s(tr, Some(root), "transfer", 0.0, 0.2, vec![]);
+        t.record_sim_s(
+            tr,
+            Some(root),
+            "cfd.solve",
+            10.0,
+            430.0,
+            vec![("quote\"key".into(), "line\nbreak".into())],
+        );
+        t.spans()
+    }
+
+    #[test]
+    fn jsonl_is_parseable_and_escaped() {
+        let spans = sample_spans();
+        let jsonl = spans_to_jsonl(&spans);
+        let lines: Vec<&str> = jsonl.trim_end().lines().collect();
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+        assert!(lines[0].contains("\"parent\":null"));
+        assert!(lines[1].contains(&format!("\"parent\":{}", spans[0].id)));
+        assert!(lines[2].contains("quote\\\"key"));
+        assert!(lines[2].contains("line\\nbreak"));
+        assert!(lines[1].contains("\"clock\":\"sim\""));
+        assert!(lines[1].contains("\"end_us\":200000"));
+    }
+
+    #[test]
+    fn prometheus_text_covers_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("loop.cycles").add(7);
+        reg.gauge("ran/occupancy").set(0.5);
+        let h = reg.histogram("append_ms");
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE loop_cycles counter\nloop_cycles 7"));
+        assert!(text.contains("# TYPE ran_occupancy gauge\nran_occupancy 0.5"));
+        assert!(text.contains("# TYPE append_ms summary"));
+        assert!(text.contains("append_ms_count 100"));
+        assert!(text.contains("append_ms{quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn budget_table_attributes_shares_in_pipeline_order() {
+        let rows = budget_table(&sample_spans(), &["transfer", "queue.mask", "cfd.solve"]);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].stage, "transfer");
+        assert_eq!(rows[0].count, 1);
+        assert!((rows[0].mean_s - 0.2).abs() < 1e-9);
+        assert_eq!(rows[1].count, 0, "missing stage visible with zero count");
+        assert!((rows[2].mean_s - 420.0).abs() < 1e-9);
+        assert!(rows[2].share > 0.99, "CFD dominates");
+        let rendered = render_budget_table(&rows);
+        assert!(rendered.contains("cfd.solve"));
+        assert!(rendered.contains("queue.mask"));
+    }
+
+    #[test]
+    fn wall_spans_export_with_wall_clock_label() {
+        let t = Tracer::new();
+        let tr = t.new_trace();
+        t.start_wall(tr, None, "sweep").finish();
+        let jsonl = spans_to_jsonl(&t.spans());
+        assert!(jsonl.contains("\"clock\":\"wall\""));
+        assert_eq!(t.spans()[0].domain, ClockDomain::Wall);
+    }
+}

@@ -1,0 +1,528 @@
+//! Sharded metrics registry: counters, gauges, log-linear histograms.
+//!
+//! The registry is built for the fabric's hot paths: name lookup happens
+//! once (components resolve their instruments at construction and hold
+//! the `Arc`s), after which a counter increment is a relaxed atomic add
+//! and a histogram record is one striped-mutex bucket bump. Histograms
+//! are **log-linear** (DDSketch-style): bucket boundaries at powers of
+//! `γ = (1+α)/(1-α)` guarantee every quantile estimate is within relative
+//! error `α` of an actual sample, and two histograms merge by adding
+//! bucket counts — the property the shard striping (and multi-site
+//! aggregation) relies on.
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins floating-point gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Histogram accuracy/concurrency knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct HistogramConfig {
+    /// Guaranteed relative error of quantile estimates (0 < α < 1).
+    pub rel_err: f64,
+    /// Number of independently locked stripes `record` spreads over.
+    pub stripes: usize,
+}
+
+impl Default for HistogramConfig {
+    fn default() -> Self {
+        HistogramConfig {
+            rel_err: 0.01,
+            stripes: 4,
+        }
+    }
+}
+
+/// Values at or below this threshold land in the dedicated zero bucket
+/// (log buckets cannot represent zero).
+const ZERO_THRESHOLD: f64 = 1e-12;
+
+/// One stripe's bucket state. Sparse: the closed loop's latencies span
+/// ~10 decades (µs transfers to multi-minute solves) but touch only a
+/// few hundred buckets.
+#[derive(Debug, Default, Clone, PartialEq)]
+struct HistCore {
+    buckets: BTreeMap<i32, u64>,
+    zero: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl HistCore {
+    fn record(&mut self, v: f64, idx: Option<i32>) {
+        match idx {
+            Some(i) => *self.buckets.entry(i).or_insert(0) += 1,
+            None => self.zero += 1,
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    fn merge(&mut self, other: &HistCore) {
+        for (&i, &n) in &other.buckets {
+            *self.buckets.entry(i).or_insert(0) += n;
+        }
+        self.zero += other.zero;
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A mergeable log-linear histogram with bounded relative error.
+///
+/// `record` is thread-safe and spreads contention over `stripes`
+/// independently locked cores; queries merge the stripes on demand.
+#[derive(Debug)]
+pub struct Histogram {
+    rel_err: f64,
+    ln_gamma: f64,
+    stripes: Vec<Mutex<HistCore>>,
+}
+
+/// Round-robin stripe assignment, one slot per thread.
+fn stripe_slot() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    SLOT.with(|s| *s)
+}
+
+impl Histogram {
+    /// A histogram with the given accuracy configuration.
+    pub fn with_config(cfg: HistogramConfig) -> Self {
+        let rel_err = cfg.rel_err.clamp(1e-6, 0.5);
+        let gamma = (1.0 + rel_err) / (1.0 - rel_err);
+        Histogram {
+            rel_err,
+            ln_gamma: gamma.ln(),
+            stripes: (0..cfg.stripes.max(1))
+                .map(|_| Mutex::new(HistCore::default()))
+                .collect(),
+        }
+    }
+
+    /// The configured relative-error bound α.
+    pub fn rel_err(&self) -> f64 {
+        self.rel_err
+    }
+
+    fn bucket_index(&self, v: f64) -> Option<i32> {
+        if v <= ZERO_THRESHOLD {
+            None
+        } else {
+            Some((v.ln() / self.ln_gamma).ceil() as i32)
+        }
+    }
+
+    /// Record one sample. Non-finite samples are dropped; non-positive
+    /// samples land in the zero bucket and estimate as 0.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let v = v.max(0.0);
+        let idx = self.bucket_index(v);
+        let slot = stripe_slot() % self.stripes.len();
+        self.stripes[slot].lock().record(v, idx);
+    }
+
+    /// A point-in-time snapshot merging all stripes.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut core = HistCore::default();
+        for s in &self.stripes {
+            core.merge(&s.lock());
+        }
+        HistogramSnapshot {
+            rel_err: self.rel_err,
+            ln_gamma: self.ln_gamma,
+            core,
+        }
+    }
+
+    /// Convenience: quantile straight off a fresh snapshot.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.snapshot().quantile(q)
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.stripes.iter().map(|s| s.lock().count).sum()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::with_config(HistogramConfig::default())
+    }
+}
+
+/// An immutable merged view of a [`Histogram`], itself mergeable: two
+/// snapshots with the same accuracy combine by bucket-count addition into
+/// exactly the state one histogram would hold had it seen both streams.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    rel_err: f64,
+    ln_gamma: f64,
+    core: HistCore,
+}
+
+impl HistogramSnapshot {
+    /// Samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.core.count
+    }
+
+    /// Sum of all samples (exact, not bucketed).
+    pub fn sum(&self) -> f64 {
+        self.core.sum
+    }
+
+    /// Exact smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.core.count > 0).then_some(self.core.min)
+    }
+
+    /// Exact largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.core.count > 0).then_some(self.core.max)
+    }
+
+    /// Mean of all samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.core.count > 0).then_some(self.core.sum / self.core.count as f64)
+    }
+
+    /// The q-quantile (`0.0 ..= 1.0`): an estimate within relative error
+    /// α of the sample at rank `⌊q·(n−1)⌋` of the sorted stream.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.core.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.core.count - 1) as f64).floor() as u64;
+        let mut cum = self.core.zero;
+        if cum > rank {
+            return Some(0.0);
+        }
+        for (&i, &n) in &self.core.buckets {
+            cum += n;
+            if cum > rank {
+                // Midpoint estimate 2γ^i/(γ+1): within ±α of every value
+                // in the bucket's (γ^(i-1), γ^i] range.
+                let gamma = self.ln_gamma.exp();
+                return Some((i as f64 * self.ln_gamma).exp() * 2.0 / (gamma + 1.0));
+            }
+        }
+        self.max()
+    }
+
+    /// Merge another snapshot into this one (accuracies must match).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert!(
+            (self.rel_err - other.rel_err).abs() < f64::EPSILON,
+            "cannot merge histograms with different error bounds"
+        );
+        self.core.merge(&other.core);
+    }
+}
+
+const REGISTRY_SHARDS: usize = 8;
+
+/// One named instrument.
+#[derive(Clone, Debug)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A name-sharded instrument registry.
+///
+/// Lookup is get-or-create; components resolve their instruments once
+/// and hold the `Arc`s. Re-registering a name as a different instrument
+/// kind returns a fresh detached instrument (a programming error made
+/// visible by its absence from snapshots) rather than clobbering data.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    shards: [RwLock<HashMap<String, Instrument>>; REGISTRY_SHARDS],
+}
+
+fn shard_of(name: &str) -> usize {
+    // FNV-1a, cheap and stable.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h % REGISTRY_SHARDS as u64) as usize
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        wrap: impl Fn(Arc<T>) -> Instrument,
+        unwrap: impl Fn(&Instrument) -> Option<Arc<T>>,
+        make: impl Fn() -> T,
+    ) -> Arc<T> {
+        let shard = &self.shards[shard_of(name)];
+        if let Some(found) = shard.read().get(name).and_then(&unwrap) {
+            return found;
+        }
+        let mut map = shard.write();
+        match map.get(name).and_then(&unwrap) {
+            Some(found) => found,
+            None if map.contains_key(name) => Arc::new(make()), // kind mismatch: detached
+            None => {
+                let fresh = Arc::new(make());
+                map.insert(name.to_string(), wrap(Arc::clone(&fresh)));
+                fresh
+            }
+        }
+    }
+
+    /// Get or create a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            Instrument::Counter,
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            Counter::default,
+        )
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            Instrument::Gauge,
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            Gauge::default,
+        )
+    }
+
+    /// Get or create a histogram with default accuracy.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.histogram_with(name, HistogramConfig::default())
+    }
+
+    /// Get or create a histogram with explicit accuracy (the config only
+    /// applies on first registration).
+    pub fn histogram_with(&self, name: &str, cfg: HistogramConfig) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            Instrument::Histogram,
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || Histogram::with_config(cfg),
+        )
+    }
+
+    /// A point-in-time snapshot of every registered instrument, sorted
+    /// by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for shard in &self.shards {
+            for (name, inst) in shard.read().iter() {
+                match inst {
+                    Instrument::Counter(c) => {
+                        snap.counters.insert(name.clone(), c.get());
+                    }
+                    Instrument::Gauge(g) => {
+                        snap.gauges.insert(name.clone(), g.get());
+                    }
+                    Instrument::Histogram(h) => {
+                        snap.histograms.insert(name.clone(), h.snapshot());
+                    }
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A sorted point-in-time view of a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").inc();
+        reg.counter("a").add(4);
+        reg.gauge("g").set(2.5);
+        assert_eq!(reg.counter("a").get(), 5);
+        assert_eq!(reg.gauge("g").get(), 2.5);
+    }
+
+    #[test]
+    fn kind_mismatch_returns_detached_instrument() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").inc();
+        let g = reg.gauge("x"); // wrong kind: detached, does not clobber
+        g.set(9.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["x"], 1);
+        assert!(!snap.gauges.contains_key("x"));
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_error() {
+        let h = Histogram::with_config(HistogramConfig {
+            rel_err: 0.01,
+            stripes: 4,
+        });
+        let mut vals: Vec<f64> = (1..=1000).map(|i| i as f64 * 0.37).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_by(f64::total_cmp);
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            let est = snap.quantile(q).unwrap();
+            let exact = vals[(q * (vals.len() - 1) as f64).floor() as usize];
+            assert!(
+                (est - exact).abs() <= 0.0101 * exact,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(snap.min(), Some(0.37));
+        assert!((snap.max().unwrap() - 370.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_and_negative_samples_estimate_as_zero() {
+        let h = Histogram::default();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::NAN); // dropped
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.5), Some(0.0));
+    }
+
+    #[test]
+    fn merged_snapshots_equal_single_stream() {
+        let cfg = HistogramConfig {
+            rel_err: 0.02,
+            stripes: 1,
+        };
+        let (a, b, all) = (
+            Histogram::with_config(cfg),
+            Histogram::with_config(cfg),
+            Histogram::with_config(cfg),
+        );
+        for i in 0..100u64 {
+            // Integer-valued samples: f64 sums are exact in any order, so
+            // full snapshot equality (including `sum`) is well-defined.
+            let v = ((i * 7919) % 977 + 1) as f64;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn concurrent_records_land_in_stripes() {
+        let h = Arc::new(Histogram::default());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.record((t * 1000 + i) as f64 + 1.0);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().count(), 4000);
+    }
+}

@@ -1,0 +1,258 @@
+//! Causal span tracing across the closed loop.
+//!
+//! A *trace* is one closed-loop cycle: the sensor reading that tripped
+//! Laminar, the gateway drain that carried it, the pilot dispatch, the
+//! CFD solve, and the results return. Each stage is a [`SpanRecord`]
+//! with a parent link and a [`ClockDomain`]: the discrete-event stages
+//! carry simulated timestamps, the CFD solve carries wall time. The
+//! exporters in [`crate::export`] turn a span list into a JSONL dump and
+//! the §4.4 latency-budget table.
+
+use crate::clock::{secs_to_us, wall_now_us, ClockDomain};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies one closed-loop cycle.
+pub type TraceId = u64;
+/// Identifies one span within a tracer.
+pub type SpanId = u64;
+
+/// One completed stage of a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// The trace (closed-loop cycle) this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub id: SpanId,
+    /// Parent span id, `None` for a trace root.
+    pub parent: Option<SpanId>,
+    /// Stage name, e.g. `"cfd.solve"`.
+    pub name: String,
+    /// Which clock produced the timestamps.
+    pub domain: ClockDomain,
+    /// Start, microseconds in `domain`.
+    pub start_us: u64,
+    /// End, microseconds in `domain`.
+    pub end_us: u64,
+    /// Free-form key/value annotations.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end_us.saturating_sub(self.start_us) as f64 / 1e6
+    }
+}
+
+/// Collects [`SpanRecord`]s and hands out trace/span ids.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    next_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Tracer {
+    /// An empty tracer.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    fn next(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Allocate a fresh trace id.
+    pub fn new_trace(&self) -> TraceId {
+        self.next()
+    }
+
+    /// Record a completed sim-time span given start/end in *seconds* (the
+    /// fabric's `t_s` convention). Returns the span id for parent links.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_sim_s(
+        &self,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        name: &str,
+        start_s: f64,
+        end_s: f64,
+        attrs: Vec<(String, String)>,
+    ) -> SpanId {
+        self.record_raw(
+            trace,
+            parent,
+            name,
+            ClockDomain::Sim,
+            secs_to_us(start_s),
+            secs_to_us(end_s.max(start_s)),
+            attrs,
+        )
+    }
+
+    /// Record a completed span with explicit microsecond timestamps.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_raw(
+        &self,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        name: &str,
+        domain: ClockDomain,
+        start_us: u64,
+        end_us: u64,
+        attrs: Vec<(String, String)>,
+    ) -> SpanId {
+        let id = self.next();
+        self.spans.lock().push(SpanRecord {
+            trace,
+            id,
+            parent,
+            name: name.to_string(),
+            domain,
+            start_us,
+            end_us: end_us.max(start_us),
+            attrs,
+        });
+        id
+    }
+
+    /// Start a wall-clock span; finish it with [`WallSpan::finish`] (or
+    /// let the guard drop).
+    pub fn start_wall(&self, trace: TraceId, parent: Option<SpanId>, name: &str) -> WallSpan<'_> {
+        WallSpan {
+            tracer: self,
+            trace,
+            parent,
+            name: name.to_string(),
+            start_us: wall_now_us(),
+            attrs: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    /// Whether no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clone out every recorded span, ordered by recording time.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().clone()
+    }
+
+    /// Drain every recorded span.
+    pub fn take_spans(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.spans.lock())
+    }
+}
+
+/// An in-flight wall-clock span; records on `finish` or drop.
+#[derive(Debug)]
+pub struct WallSpan<'a> {
+    tracer: &'a Tracer,
+    trace: TraceId,
+    parent: Option<SpanId>,
+    name: String,
+    start_us: u64,
+    attrs: Vec<(String, String)>,
+    done: bool,
+}
+
+impl WallSpan<'_> {
+    /// Attach an annotation.
+    pub fn attr(&mut self, key: &str, value: impl ToString) {
+        self.attrs.push((key.to_string(), value.to_string()));
+    }
+
+    /// Finish now and return the recorded span id.
+    pub fn finish(mut self) -> SpanId {
+        self.done = true;
+        self.tracer.record_raw(
+            self.trace,
+            self.parent,
+            &self.name,
+            ClockDomain::Wall,
+            self.start_us,
+            wall_now_us(),
+            std::mem::take(&mut self.attrs),
+        )
+    }
+}
+
+impl Drop for WallSpan<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.tracer.record_raw(
+                self.trace,
+                self.parent,
+                &self.name,
+                ClockDomain::Wall,
+                self.start_us,
+                wall_now_us(),
+                std::mem::take(&mut self.attrs),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_spans_link_causally() {
+        let t = Tracer::new();
+        let trace = t.new_trace();
+        let root = t.record_sim_s(trace, None, "cycle", 0.0, 10.0, vec![]);
+        let child = t.record_sim_s(
+            trace,
+            Some(root),
+            "transfer",
+            0.0,
+            0.2,
+            vec![("records".into(), "12".into())],
+        );
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].id, child);
+        assert_eq!(spans[1].parent, Some(root));
+        assert_eq!(spans[1].domain, ClockDomain::Sim);
+        assert!((spans[1].duration_s() - 0.2).abs() < 1e-9);
+        assert_eq!(spans[0].parent, None);
+    }
+
+    #[test]
+    fn wall_span_guard_records_on_finish_and_drop() {
+        let t = Tracer::new();
+        let trace = t.new_trace();
+        let mut s = t.start_wall(trace, None, "solve");
+        s.attr("cells", 42);
+        s.finish();
+        {
+            let _dropped = t.start_wall(trace, None, "sweep");
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "solve");
+        assert_eq!(spans[0].domain, ClockDomain::Wall);
+        assert_eq!(
+            spans[0].attrs,
+            vec![("cells".to_string(), "42".to_string())]
+        );
+        assert_eq!(spans[1].name, "sweep");
+        assert!(spans[1].end_us >= spans[1].start_us);
+    }
+
+    #[test]
+    fn inverted_sim_interval_clamps_to_zero_duration() {
+        let t = Tracer::new();
+        let tr = t.new_trace();
+        t.record_sim_s(tr, None, "x", 5.0, 1.0, vec![]);
+        assert_eq!(t.spans()[0].duration_s(), 0.0);
+    }
+}

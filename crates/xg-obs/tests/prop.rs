@@ -1,0 +1,71 @@
+//! Property-based invariants of the log-linear histogram.
+
+use proptest::prelude::*;
+use xg_obs::{Histogram, HistogramConfig};
+
+/// Exact nearest-rank quantile of a sorted sample vector, matching the
+/// rank convention `HistogramSnapshot::quantile` documents.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = (q * (sorted.len() - 1) as f64).floor() as usize;
+    sorted[rank]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every quantile estimate is within the configured relative error of
+    /// the exact sample at that rank, for arbitrary positive streams
+    /// spanning many decades and arbitrary accuracy settings.
+    #[test]
+    fn quantiles_within_relative_error_bound(
+        values in proptest::collection::vec(1e-6f64..1e9, 1..400),
+        rel_err in 0.001f64..0.1,
+        stripes in 1usize..6,
+    ) {
+        let h = Histogram::with_config(HistogramConfig { rel_err, stripes });
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = snap.quantile(q).unwrap();
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                (est - exact).abs() <= rel_err * exact * 1.0001,
+                "q={} est={} exact={} rel_err={}",
+                q, est, exact, rel_err
+            );
+        }
+        prop_assert_eq!(snap.min().unwrap(), sorted[0]);
+        prop_assert_eq!(snap.max().unwrap(), sorted[sorted.len() - 1]);
+    }
+
+    /// Merging per-shard snapshots yields exactly the state one histogram
+    /// would hold had it seen the whole stream: same buckets, count,
+    /// min/max, sum, and therefore identical quantile answers. Samples are
+    /// integer-valued so the f64 sums are exact in any addition order and
+    /// full structural equality is well-defined.
+    #[test]
+    fn shard_merge_equals_single_stream(
+        values in proptest::collection::vec(1u32..1_000_000, 1..300),
+        assignment in proptest::collection::vec(0usize..4, 300),
+        rel_err in 0.005f64..0.05,
+    ) {
+        let cfg = HistogramConfig { rel_err, stripes: 2 };
+        let shards: Vec<Histogram> = (0..4).map(|_| Histogram::with_config(cfg)).collect();
+        let single = Histogram::with_config(cfg);
+        for (i, &v) in values.iter().enumerate() {
+            let v = f64::from(v);
+            shards[assignment[i]].record(v);
+            single.record(v);
+        }
+        let mut merged = shards[0].snapshot();
+        for s in &shards[1..] {
+            merged.merge(&s.snapshot());
+        }
+        prop_assert_eq!(merged, single.snapshot());
+    }
+}
