@@ -14,7 +14,7 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin ablations`
 
-use xg_bench::{effective_seed, write_results};
+use xg_bench::{effective_seed, obs_from_env, print_run_header, write_results};
 use xg_hpc::cluster::ClusterSim;
 use xg_hpc::pilot::{PilotController, PilotControllerConfig, PilotStrategy};
 use xg_hpc::site::SiteProfile;
@@ -32,7 +32,8 @@ fn main() {
     // offset, chosen so the historical per-study seeds are reproduced when
     // XG_SEED is unset.
     let seed = effective_seed(7);
-    println!("seed = {seed}\n");
+    print_run_header(seed, &obs_from_env());
+    println!();
     let mut csv = String::from("study,variant,metric,value\n");
 
     pilot_strategies(&mut csv, seed);

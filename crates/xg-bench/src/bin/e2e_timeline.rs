@@ -8,7 +8,7 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin e2e_timeline`
 
-use xg_bench::{effective_seed, write_results};
+use xg_bench::{effective_seed, obs_from_env, print_run_header, write_results};
 use xg_fabric::prelude::*;
 use xg_fabric::timeline::Event;
 use xg_hpc::cluster::{ClusterSim, JobRequest};
@@ -17,12 +17,15 @@ use xg_sensors::facility::Wall;
 
 fn main() {
     let seed = effective_seed(42);
+    let obs = obs_from_env();
     let mut fab = XgFabric::new(xg_fabric::orchestrator::FabricConfig {
         seed,
+        obs: obs.clone(),
         ..Default::default()
     });
     println!("End-to-end timeline — scripted day at the CUPS facility");
-    println!("seed = {seed}\n");
+    print_run_header(seed, &obs);
+    println!();
 
     // Phase 1: an hour of stable weather (history build-up).
     fab.run_cycles(12).unwrap();
@@ -136,6 +139,30 @@ fn main() {
             Event::DegradationChanged { t_s, level } => {
                 println!("t={:>6.0}s  degradation level -> {level}", t_s);
                 csv.push_str(&format!("degradation,{t_s},level={level}\n"));
+            }
+            Event::SloBreached {
+                t_s,
+                slo,
+                value,
+                threshold,
+            } => {
+                println!(
+                    "t={:>6.0}s  SLO breached: {slo} ({value:.1} vs {threshold:.1})",
+                    t_s
+                );
+                csv.push_str(&format!("slo_breached,{t_s},{slo} value={value:.2}\n"));
+            }
+            Event::SloRecovered {
+                t_s,
+                slo,
+                value,
+                threshold,
+            } => {
+                println!(
+                    "t={:>6.0}s  SLO recovered: {slo} ({value:.1} vs {threshold:.1})",
+                    t_s
+                );
+                csv.push_str(&format!("slo_recovered,{t_s},{slo} value={value:.2}\n"));
             }
             Event::FailoverTriggered {
                 t_s,

@@ -8,7 +8,9 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin fig3_cfd_field`
 
-use xg_bench::{effective_seed, write_results, write_results_bytes};
+use xg_bench::{
+    effective_seed, obs_from_env, print_run_header, write_results, write_results_bytes,
+};
 use xg_cfd::output::{slice_to_csv, slice_to_pgm, to_vtk, velocity_magnitude_slice};
 use xg_cfd::prelude::*;
 
@@ -19,7 +21,7 @@ fn main() {
     let mesh = Mesh::generate(&spec);
     // The solve itself is deterministic; the seed is reported for header
     // uniformity across the regeneration binaries.
-    println!("seed = {}", effective_seed(0));
+    print_run_header(effective_seed(0), &obs_from_env());
     println!(
         "Figure 3 — CFD field: {} cells ({}x{}x{}), screen house {:?} m",
         mesh.cell_count(),

@@ -7,7 +7,9 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin fig4_single_user`
 
-use xg_bench::{cell, effective_seed, iperf_samples, sweeps, write_results};
+use xg_bench::{
+    cell, effective_seed, iperf_samples, obs_from_env, print_run_header, sweeps, write_results,
+};
 use xg_net::prelude::*;
 
 /// Paper anchor values (Mbps) for the printed comparison.
@@ -35,7 +37,8 @@ fn main() {
         (Rat::Nr5g, Duplex::tdd_default(), sweeps::NR_TDD.to_vec()),
     ];
     println!("Figure 4 — single-user uplink throughput ({samples} samples/point)");
-    println!("seed = {base_seed}\n");
+    print_run_header(base_seed, &obs_from_env());
+    println!();
     println!(
         "{:<16} {:<12} {:>16}",
         "config", "device", "mean ± sd (Mbps)"

@@ -9,7 +9,9 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin fig5_two_user`
 
-use xg_bench::{cell, effective_seed, iperf_samples, sweeps, write_results};
+use xg_bench::{
+    cell, effective_seed, iperf_samples, obs_from_env, print_run_header, sweeps, write_results,
+};
 use xg_net::prelude::*;
 
 /// Paper anchors: (config, device, aggregate Mbps).
@@ -34,7 +36,8 @@ fn main() {
         (Rat::Nr5g, Duplex::tdd_default(), sweeps::NR_TDD.to_vec()),
     ];
     println!("Figure 5 — two-user uplink throughput ({samples} samples/point)");
-    println!("seed = {base_seed}\n");
+    print_run_header(base_seed, &obs_from_env());
+    println!();
     println!(
         "{:<16} {:<12} {:>16} {:>16} {:>10}",
         "config", "device", "user 1 (Mbps)", "user 2 (Mbps)", "aggregate"

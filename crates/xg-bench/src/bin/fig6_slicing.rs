@@ -9,7 +9,9 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin fig6_slicing`
 
-use xg_bench::{cell, effective_seed, iperf_samples, write_results};
+use xg_bench::{
+    cell, effective_seed, iperf_samples, obs_from_env, print_run_header, write_results,
+};
 use xg_net::device::UnitVariation;
 use xg_net::prelude::*;
 
@@ -27,7 +29,8 @@ fn main() {
     let mut table: Vec<(u32, f64, f64, f64, f64)> = Vec::new();
 
     println!("Figure 6 — PRB slicing on 40 MHz 5G TDD ({samples} samples/device/point)");
-    println!("seed = {base_seed}\n");
+    print_run_header(base_seed, &obs_from_env());
+    println!();
     println!(
         "{:>10} {:>16} {:>16}",
         "RPi1 share", "RPi1 (Mbps)", "RPi2 (Mbps)"

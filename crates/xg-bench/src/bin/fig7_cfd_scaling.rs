@@ -18,7 +18,7 @@
 //! Run: `cargo run -p xg-bench --release --bin fig7_cfd_scaling`
 
 use std::time::Instant;
-use xg_bench::{effective_seed, write_results};
+use xg_bench::{effective_seed, obs_from_env, print_run_header, write_results};
 use xg_cfd::prelude::*;
 
 const RUNS_PER_POINT: u32 = 10;
@@ -44,7 +44,7 @@ fn main() {
     // Offsets the modelled run-jitter sequence; the measured part is
     // wall-clock and the model mean is seed-independent.
     let seed = effective_seed(0);
-    println!("seed = {seed}");
+    print_run_header(seed, &obs_from_env());
     let mut csv = String::from("cores,kind,mean_total_s,two_sd_s,speedup\n");
 
     // Part 1: real solver, reduced problem, up to the host's cores.

@@ -20,7 +20,7 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin latency_budget`
 
-use xg_bench::{effective_seed, write_results, CsvWriter};
+use xg_bench::{claim_results, effective_seed, print_run_header, write_results, CsvWriter};
 use xg_fabric::orchestrator::{FabricConfig, XgFabric};
 use xg_hpc::site::SiteProfile;
 use xg_obs::{budget_table, prometheus_text, render_budget_table, spans_to_jsonl, Obs};
@@ -40,7 +40,16 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(6);
-    let obs = Obs::enabled();
+    // Drop any earlier run's outputs first: a crash after the CSV write
+    // must not leave a previous run's trace/metrics beside a fresh CSV.
+    claim_results(&[
+        "latency_budget.csv",
+        "latency_budget_trace.jsonl",
+        "latency_budget_metrics.prom",
+    ]);
+    // This binary's whole point is measured spans, so observability
+    // defaults on; XG_OBS=0 still turns it off for a dry run.
+    let obs = Obs::from_env_or(true);
     let mut fab = XgFabric::new(FabricConfig {
         seed,
         cfd_cells: [12, 10, 4],
@@ -51,8 +60,12 @@ fn main() {
     });
 
     println!("Latency budget — measured spans from the instrumented closed loop");
-    println!("seed = {seed}");
+    print_run_header(seed, &obs);
     println!("fronts = {fronts} (override with XG_BUDGET_FRONTS)\n");
+    if !obs.is_enabled() {
+        println!("observability disabled (XG_OBS=0) — nothing to attribute");
+        return;
+    }
 
     // History build-up, then one weather front per triggered cycle; two
     // hours of reports after each front lets the CFD finish and the

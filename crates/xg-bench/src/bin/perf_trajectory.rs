@@ -1,0 +1,425 @@
+//! Perf trajectory: a schema-versioned performance snapshot of the hot
+//! paths, plus a regression gate over a committed baseline.
+//!
+//! Five probes cover the layers a PR typically touches:
+//!
+//! * `histogram_record_ns` — one log-linear histogram record (the cost
+//!   every instrumented call site pays when observability is on);
+//! * `span_record_ns` — one completed span through the tracer *and* the
+//!   black-box flight-recorder sink;
+//! * `cspot_append_us` — one two-phase remote append over the paper
+//!   topology (protocol + storage CPU; the virtual clock makes the
+//!   simulated network free);
+//! * `cfd_sweep_ms` — one solver step on a small mesh;
+//! * `cycle_wall_ms` — one full orchestrated report cycle, wall clock,
+//!   with `cycle_transfer_virtual_ms` (deterministic virtual time) from
+//!   the same run as a machine-independent companion.
+//!
+//! Run: `cargo run -p xg-bench --release --bin perf_trajectory`
+//! (writes `results/perf_trajectory.json`), or
+//! `-- --emit BENCH_pr3.json` to write a baseline, or
+//! `-- --compare BENCH_pr3.json [--tolerance 0.10]` to run the gate: it
+//! exits nonzero when any metric's p99 regresses more than the tolerance
+//! over the baseline. `XG_PERF_SCALE=0.1` shrinks iteration counts for
+//! CI; wall-clock numbers move with the host, so CI gates should widen
+//! the tolerance rather than trust a baseline from another machine.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+use xg_bench::{effective_seed, obs_from_env, print_run_header, write_results};
+use xg_cfd::prelude::*;
+use xg_cspot::netsim::{SimClock, Topology};
+use xg_cspot::node::CspotNode;
+use xg_cspot::protocol::{RemoteAppender, RemoteConfig};
+use xg_fabric::orchestrator::{FabricConfig, XgFabric};
+use xg_obs::Obs;
+
+/// The emitted document's schema tag; bump on any field change.
+const SCHEMA: &str = "xg-perf-trajectory/1";
+
+/// Summary statistics of one probe's samples.
+struct Summary {
+    name: &'static str,
+    unit: &'static str,
+    n: usize,
+    p50: f64,
+    p99: f64,
+    mean: f64,
+    max: f64,
+}
+
+fn summarize(name: &'static str, unit: &'static str, mut samples: Vec<f64>) -> Summary {
+    assert!(!samples.is_empty(), "{name}: no samples");
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    let rank = |q: f64| samples[(q * (n - 1) as f64).floor() as usize];
+    Summary {
+        name,
+        unit,
+        n,
+        p50: rank(0.5),
+        p99: rank(0.99),
+        mean: samples.iter().sum::<f64>() / n as f64,
+        max: samples[n - 1],
+    }
+}
+
+/// Iteration count scaled by `XG_PERF_SCALE` (floor 8 keeps quantiles
+/// meaningful on the smallest CI runs).
+fn scaled(base: usize) -> usize {
+    ((base as f64 * perf_scale()) as usize).max(8)
+}
+
+fn perf_scale() -> f64 {
+    std::env::var("XG_PERF_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|s: &f64| s.is_finite() && *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+fn bench_histogram_record() -> Summary {
+    let obs = Obs::enabled();
+    let h = obs.registry().expect("obs enabled").histogram("bench.hist");
+    const BATCH: usize = 128;
+    let batches = scaled(256);
+    let mut samples = Vec::with_capacity(batches);
+    for b in 0..batches {
+        let start = Instant::now();
+        for i in 0..BATCH {
+            h.record(1.0 + (b * BATCH + i) as f64);
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / BATCH as f64);
+    }
+    summarize("histogram_record_ns", "ns", samples)
+}
+
+fn bench_span_record() -> Summary {
+    let obs = Obs::enabled();
+    let tracer = obs.tracer().expect("obs enabled");
+    let trace = tracer.new_trace();
+    const BATCH: usize = 32;
+    let batches = scaled(128);
+    let mut samples = Vec::with_capacity(batches);
+    for b in 0..batches {
+        let start = Instant::now();
+        for i in 0..BATCH {
+            let t = (b * BATCH + i) as f64;
+            tracer.record_sim_s(trace, None, "bench.span", t, t + 0.5, vec![]);
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / BATCH as f64);
+        // Keep the tracer's buffer flat so later batches don't pay for
+        // earlier ones; the recorder ring is bounded by construction.
+        tracer.take_spans();
+    }
+    summarize("span_record_ns", "ns", samples)
+}
+
+fn bench_cspot_append(seed: u64) -> Summary {
+    let topo = Topology::paper();
+    let server = Arc::new(CspotNode::in_memory("UCSB"));
+    server.create_log("bench", 1024, 4096).expect("fresh log");
+    let mut appender = RemoteAppender::new(
+        SimClock::new(),
+        topo.route("UNL-5G", "UCSB").expect("route exists").clone(),
+        RemoteConfig::default(),
+        seed,
+    );
+    let payload = vec![0u8; 1024];
+    let appends = scaled(400);
+    let mut samples = Vec::with_capacity(appends);
+    for _ in 0..appends {
+        let start = Instant::now();
+        appender
+            .append(&server, "bench", &payload)
+            .expect("append over healthy route");
+        samples.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+    }
+    summarize("cspot_append_us", "us", samples)
+}
+
+fn bench_cfd_sweep() -> Summary {
+    let mesh = Mesh::generate(&DomainSpec::cups_default().with_cells(16, 12, 4));
+    let bc = BoundarySpec::intact(6.0, 270.0, 24.0);
+    let mut sim = Simulation::new(mesh, bc, SolverConfig::default());
+    let steps = scaled(40);
+    let mut samples = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let start = Instant::now();
+        sim.step();
+        samples.push(start.elapsed().as_secs_f64() * 1_000.0);
+    }
+    summarize("cfd_sweep_ms", "ms", samples)
+}
+
+fn bench_closed_loop(seed: u64) -> (Summary, Summary) {
+    let mut fab = XgFabric::new(FabricConfig {
+        seed,
+        cfd_cells: [14, 12, 5],
+        cfd_steps: 25,
+        obs: Obs::enabled(),
+        ..Default::default()
+    });
+    let cycles = scaled(30);
+    let mut wall = Vec::with_capacity(cycles);
+    for c in 0..cycles {
+        // A weather front partway through makes some cycles carry the
+        // full detect → CFD → return path, not just telemetry.
+        if c == cycles / 2 {
+            fab.force_front();
+        }
+        let start = Instant::now();
+        fab.run_report_cycle().expect("healthy closed loop");
+        wall.push(start.elapsed().as_secs_f64() * 1_000.0);
+    }
+    let virtual_ms = fab.timeline().telemetry_latencies_ms();
+    (
+        summarize("cycle_wall_ms", "ms", wall),
+        summarize("cycle_transfer_virtual_ms", "ms", virtual_ms),
+    )
+}
+
+fn run_probes(seed: u64) -> Vec<Summary> {
+    let mut out = Vec::new();
+    eprintln!("  histogram record ...");
+    out.push(bench_histogram_record());
+    eprintln!("  span record ...");
+    out.push(bench_span_record());
+    eprintln!("  cspot append ...");
+    out.push(bench_cspot_append(seed));
+    eprintln!("  cfd sweep ...");
+    out.push(bench_cfd_sweep());
+    eprintln!("  closed loop ...");
+    let (wall, virt) = bench_closed_loop(seed);
+    out.push(wall);
+    out.push(virt);
+    out
+}
+
+/// Render the document. One metric per line: greppable, diffable, and
+/// parseable by [`parse_metrics`] without a JSON library.
+fn render(seed: u64, metrics: &[Summary]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"scale\": {},\n", perf_scale()));
+    s.push_str("  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\":\"{}\",\"unit\":\"{}\",\"n\":{},\"p50\":{:.3},\"p99\":{:.3},\"mean\":{:.3},\"max\":{:.3}}}{}\n",
+            m.name,
+            m.unit,
+            m.n,
+            m.p50,
+            m.p99,
+            m.mean,
+            m.max,
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extract `(name, p99)` pairs from a document [`render`] produced.
+///
+/// Deliberately line-oriented rather than a JSON parser: the gate only
+/// ever reads files this binary wrote, and a format drift should fail
+/// loudly (no metrics parsed) rather than half-parse.
+fn parse_metrics(doc: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let Some(name) = extract_str(line, "name") else {
+            continue;
+        };
+        if let Some(p99) = extract_f64(line, "p99") {
+            out.push((name, p99));
+        }
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let rest = line.split(&format!("\"{key}\":\"")).nth(1)?;
+    Some(rest.split('"').next()?.to_string())
+}
+
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let rest = line.split(&format!("\"{key}\":")).nth(1)?;
+    rest.trim_start()
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+fn schema_of(doc: &str) -> Option<String> {
+    doc.lines()
+        .find(|l| l.contains("\"schema\""))
+        .and_then(|l| l.split('"').nth(3).map(str::to_string))
+}
+
+/// Atomic write for arbitrary paths (baselines live outside `results/`).
+fn write_atomic(path: &Path, contents: &str) {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents).expect("baseline writable");
+    std::fs::rename(&tmp, path).expect("baseline renamable");
+}
+
+fn compare(baseline_path: &Path, current: &[Summary], tolerance: f64) -> ExitCode {
+    let doc = match std::fs::read_to_string(baseline_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match schema_of(&doc).as_deref() {
+        Some(SCHEMA) => {}
+        other => {
+            eprintln!("baseline schema {other:?}, expected {SCHEMA:?}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let baseline = parse_metrics(&doc);
+    if baseline.is_empty() {
+        eprintln!("baseline {} holds no metrics", baseline_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>8}  verdict (tolerance +{:.0}%)",
+        "metric",
+        "base p99",
+        "now p99",
+        "delta",
+        tolerance * 100.0
+    );
+    let mut failed = false;
+    for (name, base_p99) in &baseline {
+        let Some(m) = current.iter().find(|m| m.name == *name) else {
+            println!(
+                "{name:<28} {base_p99:>12.3} {:>12} {:>8}  MISSING",
+                "-", "-"
+            );
+            failed = true;
+            continue;
+        };
+        let delta = m.p99 / base_p99 - 1.0;
+        let regressed = delta > tolerance;
+        failed |= regressed;
+        println!(
+            "{:<28} {:>12.3} {:>12.3} {:>7.1}%  {}",
+            name,
+            base_p99,
+            m.p99,
+            delta * 100.0,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for m in current {
+        if !baseline.iter().any(|(n, _)| n == m.name) {
+            println!(
+                "{:<28} {:>12} {:>12.3} {:>8}  new (no baseline)",
+                m.name, "-", m.p99, "-"
+            );
+        }
+    }
+    if failed {
+        eprintln!(
+            "\nperf gate FAILED: p99 regression beyond {:.0}%",
+            tolerance * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("\nperf gate passed");
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let mut emit: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut tolerance = 0.10;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--emit" => emit = args.next().map(PathBuf::from),
+            "--compare" => baseline = args.next().map(PathBuf::from),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--tolerance takes a fraction, e.g. 0.10");
+            }
+            other => {
+                eprintln!("unknown argument {other}; flags: --emit PATH | --compare PATH | --tolerance FRAC");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let seed = effective_seed(42);
+    println!("Perf trajectory — {SCHEMA} (scale {})", perf_scale());
+    print_run_header(seed, &obs_from_env());
+    let metrics = run_probes(seed);
+    println!(
+        "\n{:<28} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "metric", "n", "p50", "p99", "mean", "max"
+    );
+    for m in &metrics {
+        println!(
+            "{:<28} {:>6} {:>9.3} {} {:>9.3} {} {:>9.3} {} {:>9.3} {}",
+            m.name, m.n, m.p50, m.unit, m.p99, m.unit, m.mean, m.unit, m.max, m.unit
+        );
+    }
+    let doc = render(seed, &metrics);
+    if let Some(path) = &emit {
+        write_atomic(path, &doc);
+        println!("\nwrote {}", path.display());
+    } else {
+        let p = write_results("perf_trajectory.json", &doc);
+        println!("\nwrote {}", p.display());
+    }
+    match &baseline {
+        Some(b) => compare(b, &metrics, tolerance),
+        None => ExitCode::SUCCESS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Summary {
+        Summary {
+            name: "histogram_record_ns",
+            unit: "ns",
+            n: 100,
+            p50: 10.0,
+            p99: 42.5,
+            mean: 12.0,
+            max: 80.0,
+        }
+    }
+
+    #[test]
+    fn render_roundtrips_through_parser() {
+        let doc = render(7, &[sample()]);
+        assert_eq!(schema_of(&doc).as_deref(), Some(SCHEMA));
+        let parsed = parse_metrics(&doc);
+        assert_eq!(parsed, vec![("histogram_record_ns".to_string(), 42.5)]);
+    }
+
+    #[test]
+    fn summarize_orders_quantiles() {
+        let s = summarize("cfd_sweep_ms", "ms", (1..=100).map(f64::from).collect());
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+}

@@ -11,7 +11,9 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin reliability_study`
 
-use xg_bench::{effective_seed, write_results, CsvWriter};
+use xg_bench::{
+    claim_results, effective_seed, obs_from_env, print_run_header, write_results, CsvWriter,
+};
 use xg_cspot::outage::OutageConfig;
 use xg_fabric::orchestrator::{FabricConfig, XgFabric};
 use xg_fabric::reliability::ReliabilityReport;
@@ -83,8 +85,10 @@ fn run_scenario(
 
 fn main() {
     let seed = effective_seed(71);
+    claim_results(&["reliability_study.csv"]);
     println!("Reliability study — three days of the full closed loop under chaos");
-    println!("seed = {seed}\n");
+    print_run_header(seed, &obs_from_env());
+    println!();
     println!(
         "{:<30} {:>7} {:>9} {:>7} {:>8} {:>6} {:>5} {:>5} {:>7} {:>9}",
         "scenario",

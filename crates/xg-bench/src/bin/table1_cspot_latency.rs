@@ -16,7 +16,7 @@
 //! Run: `cargo run -p xg-bench --release --bin table1_cspot_latency`
 
 use std::sync::Arc;
-use xg_bench::{effective_seed, write_results};
+use xg_bench::{effective_seed, obs_from_env, print_run_header, write_results};
 use xg_cspot::prelude::*;
 use xg_net::units::SampleStats;
 
@@ -50,7 +50,8 @@ fn measure(route_from: &str, route_to: &str, use_cache: bool, seed: u64) -> Samp
 fn main() {
     let base_seed = effective_seed(0x7AB1E0);
     println!("Table 1 — CSPOT 1 KB message latency (30 back-to-back, first discarded)");
-    println!("seed = {base_seed}\n");
+    print_run_header(base_seed, &obs_from_env());
+    println!();
     println!(
         "{:<26} {:>12} {:>10} {:>12} {:>10}",
         "path", "paper (ms)", "paper SD", "measured", "SD"

@@ -34,17 +34,48 @@ pub fn workspace_root() -> PathBuf {
 }
 
 /// Write a results file, returning its path.
+///
+/// The write is atomic (temp file + rename in the same directory): a
+/// crash mid-write can never leave a truncated file at the final name,
+/// and readers only ever see the previous run or the complete new one.
 pub fn write_results(name: &str, contents: &str) -> PathBuf {
-    let path = results_dir().join(name);
-    std::fs::write(&path, contents).expect("results file writable");
+    write_results_bytes(name, contents.as_bytes())
+}
+
+/// Write binary results (e.g. PGM images), atomically like
+/// [`write_results`].
+pub fn write_results_bytes(name: &str, contents: &[u8]) -> PathBuf {
+    let dir = results_dir();
+    let path = dir.join(name);
+    let tmp = dir.join(format!(".{name}.tmp"));
+    std::fs::write(&tmp, contents).expect("results file writable");
+    std::fs::rename(&tmp, &path).expect("results file renamable");
     path
 }
 
-/// Write binary results (e.g. PGM images).
-pub fn write_results_bytes(name: &str, contents: &[u8]) -> PathBuf {
-    let path = results_dir().join(name);
-    std::fs::write(&path, contents).expect("results file writable");
-    path
+/// Delete any stale copies of a binary's outputs before it starts
+/// computing. A run that dies between its first and last `write_results`
+/// call would otherwise leave the untouched files from an *earlier* run
+/// sitting next to the fresh ones, silently mixing two configurations in
+/// one `results/` directory.
+pub fn claim_results(names: &[&str]) {
+    let dir = results_dir();
+    for name in names {
+        std::fs::remove_file(dir.join(name)).ok();
+    }
+}
+
+/// The observability handle a figure binary runs under: disabled by
+/// default, enabled with `XG_OBS=1` (or `true`/`on`/`yes`).
+pub fn obs_from_env() -> xg_obs::Obs {
+    xg_obs::Obs::from_env()
+}
+
+/// Print the standard reproducibility header every binary emits before
+/// its results: the effective RNG seed and whether observability is on.
+pub fn print_run_header(seed: u64, obs: &xg_obs::Obs) {
+    println!("seed = {seed}");
+    println!("obs = {}", obs.status());
 }
 
 /// Samples per iperf configuration. The paper collects 100; override with
@@ -148,6 +179,18 @@ mod tests {
         let p = write_results("selftest.txt", "hello");
         assert_eq!(std::fs::read_to_string(&p).unwrap(), "hello");
         std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn writes_are_atomic_and_claimable() {
+        let p = write_results("selftest_atomic.txt", "v1");
+        let tmp = p.parent().unwrap().join(".selftest_atomic.txt.tmp");
+        assert!(!tmp.exists(), "temp file must not outlive the rename");
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "v1");
+        claim_results(&["selftest_atomic.txt"]);
+        assert!(!p.exists(), "claiming deletes the stale output");
+        // Claiming a file that never existed is not an error.
+        claim_results(&["selftest_never_written.txt"]);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::reliability::ReliabilityReport;
 use crate::robot::Robot;
 use crate::route::RoutePlanner;
 use crate::timeline::{Event, Timeline};
+use std::path::PathBuf;
 use std::sync::Arc;
 use xg_cfd::boundary::BoundarySpec;
 use xg_cfd::mesh::{DomainSpec, Mesh};
@@ -47,6 +48,10 @@ use xg_hpc::site::SiteProfile;
 use xg_laminar::change::{build_change_graph, ChangeDetector};
 use xg_laminar::runtime::LaminarRuntime;
 use xg_laminar::value::Value;
+use xg_obs::clock::secs_to_us;
+use xg_obs::recorder::{dump_bundle, BundleContext};
+use xg_obs::slo::{Hysteresis, SloEventKind, SloOp, SloSpec, SloStat, SloWatchdog};
+use xg_obs::window::{MetricsWindow, WindowConfig};
 use xg_obs::{Obs, SpanId, TraceId};
 use xg_sensors::breach::Breach;
 use xg_sensors::facility::CupsFacility;
@@ -90,6 +95,39 @@ pub struct FabricConfig {
     /// in-loop CFD solver) and records one causal trace per closed-loop
     /// cycle.
     pub obs: Obs,
+    /// Service-level objectives the watchdog evaluates each report cycle
+    /// (requires an enabled `obs`). Breaches drive the degradation
+    /// ladder; see [`default_slos`].
+    pub slos: Vec<SloSpec>,
+    /// Shape of the sliding window the SLOs are judged over.
+    pub slo_window: WindowConfig,
+    /// Consecutive-tick hysteresis preventing degradation flapping.
+    pub slo_hysteresis: Hysteresis,
+    /// Where to dump black-box diagnostic bundles (SLO breaches, fault
+    /// activations). `None` disables dumping; the in-memory flight
+    /// recorder still runs whenever `obs` is enabled.
+    pub blackbox_dir: Option<PathBuf>,
+}
+
+/// The fabric's default objectives, stated against §4.4's budget:
+///
+/// * `p99(fabric.cycle.transfer_ms) < 5000` — a report cycle's transfer
+///   must stay well inside the 300 s duty cycle; a RAN collapse blows
+///   this long before any backlog forms. Breach requests ladder level 1.
+/// * `delta(fabric.gateway.dropped) <= 0` — the bounded gateway buffer
+///   must not shed telemetry over any window. Breach requests level 2
+///   (shed the non-critical results-return before science data).
+/// * `delta(fabric.gateway.delivered) > 0` — the repository must receive
+///   *something* every window; total delivery stall (partition) requests
+///   level 1 while the buffer absorbs the outage.
+pub fn default_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec::new("fabric.cycle.transfer_ms", SloStat::P99, SloOp::Lt, 5_000.0)
+            .min_count(2)
+            .degrade_to(1),
+        SloSpec::new("fabric.gateway.dropped", SloStat::Delta, SloOp::Le, 0.0).degrade_to(2),
+        SloSpec::new("fabric.gateway.delivered", SloStat::Delta, SloOp::Gt, 0.0).degrade_to(1),
+    ]
 }
 
 impl Default for FabricConfig {
@@ -110,6 +148,10 @@ impl Default for FabricConfig {
             gateway_capacity: 4096,
             faults: FaultPlan::none(),
             obs: Obs::disabled(),
+            slos: default_slos(),
+            slo_window: WindowConfig::default(),
+            slo_hysteresis: Hysteresis::default(),
+            blackbox_dir: None,
         }
     }
 }
@@ -119,6 +161,12 @@ struct FabricObs {
     report_cycles: Arc<xg_obs::Counter>,
     degradation_level: Arc<xg_obs::Gauge>,
     degradation_transitions: Arc<xg_obs::Counter>,
+    cycle_transfer_ms: Arc<xg_obs::Histogram>,
+    gateway_backlog: Arc<xg_obs::Gauge>,
+    gateway_dropped: Arc<xg_obs::Counter>,
+    gateway_delivered: Arc<xg_obs::Counter>,
+    slo_breaches: Arc<xg_obs::Counter>,
+    slo_recoveries: Arc<xg_obs::Counter>,
 }
 
 impl FabricObs {
@@ -128,6 +176,12 @@ impl FabricObs {
             report_cycles: reg.counter("fabric.report_cycles"),
             degradation_level: reg.gauge("fabric.degradation.level"),
             degradation_transitions: reg.counter("fabric.degradation.transitions"),
+            cycle_transfer_ms: reg.histogram("fabric.cycle.transfer_ms"),
+            gateway_backlog: reg.gauge("fabric.gateway.backlog"),
+            gateway_dropped: reg.counter("fabric.gateway.dropped"),
+            gateway_delivered: reg.counter("fabric.gateway.delivered"),
+            slo_breaches: reg.counter("fabric.slo.breaches"),
+            slo_recoveries: reg.counter("fabric.slo.recoveries"),
         })
     }
 }
@@ -213,6 +267,17 @@ pub struct XgFabric {
     /// Transfer latency of the most recent report cycle (ms, virtual),
     /// charged to the trace of any detection that cycle triggers.
     last_transfer_ms: f64,
+    /// Sliding window + watchdog over the registry (enabled `obs` only).
+    window: Option<MetricsWindow>,
+    watchdog: Option<SloWatchdog>,
+    /// Degradation level the active SLO breaches currently request; the
+    /// ladder runs at max(backlog level, this).
+    slo_degradation: u8,
+    /// Cumulative gateway counters at the previous cycle, for deltas.
+    prev_dropped: u64,
+    prev_delivered: u64,
+    /// Black-box bundles dumped so far (paths in `blackbox_dir`).
+    bundles: Vec<PathBuf>,
 }
 
 impl XgFabric {
@@ -246,6 +311,26 @@ impl XgFabric {
         )?;
         let faults = config.faults.clone();
         let obs = FabricObs::new(&config.obs);
+        let (window, watchdog) = if config.obs.is_enabled() {
+            (
+                Some(MetricsWindow::new(config.slo_window)),
+                Some(SloWatchdog::new(config.slos.clone(), config.slo_hysteresis)),
+            )
+        } else {
+            (None, None)
+        };
+        // The first fabric configured with a black-box directory arms the
+        // process-wide panic hook: a crash anywhere dumps that fabric's
+        // flight recorder next to the SLO/fault bundles. One recorder per
+        // process is deliberate — stacking a hook per fabric would dump
+        // the same panic many times over.
+        if let (Some(dir), Some(recorder)) = (&config.blackbox_dir, config.obs.recorder()) {
+            static PANIC_HOOK: std::sync::Once = std::sync::Once::new();
+            let (recorder, dir, seed) = (Arc::clone(recorder), dir.clone(), config.seed);
+            PANIC_HOOK.call_once(move || {
+                xg_obs::recorder::install_panic_hook(recorder, dir, seed);
+            });
+        }
         Ok(XgFabric {
             config,
             net,
@@ -282,6 +367,12 @@ impl XgFabric {
             calibration: None,
             obs,
             last_transfer_ms: 0.0,
+            window,
+            watchdog,
+            slo_degradation: 0,
+            prev_dropped: 0,
+            prev_delivered: 0,
+            bundles: Vec::new(),
         })
     }
 
@@ -318,6 +409,21 @@ impl XgFabric {
     /// Current degradation ladder level.
     pub fn degradation_level(&self) -> u8 {
         self.degradation
+    }
+
+    /// The SLO watchdog, when observability is enabled.
+    pub fn slo_watchdog(&self) -> Option<&SloWatchdog> {
+        self.watchdog.as_ref()
+    }
+
+    /// Degradation level the active SLO breaches currently request.
+    pub fn slo_degradation_target(&self) -> u8 {
+        self.slo_degradation
+    }
+
+    /// Black-box bundles dumped so far, in dump order.
+    pub fn blackbox_bundles(&self) -> &[PathBuf] {
+        &self.bundles
     }
 
     /// Telemetry records parked at the field gateway.
@@ -368,6 +474,9 @@ impl XgFabric {
         self.hpc.advance_to(self.t_s);
         self.service_retries();
         self.service_completions();
+        // Measured SLO evaluation first, so this cycle's breach can move
+        // the ladder this cycle (within the 300 s duty cycle).
+        self.observe_cycle(cycle.latency_ms);
         self.update_degradation(records.len());
         // 30-minute change-detection duty cycle, gated on telemetry that
         // actually reached the repository: a partition defers detection
@@ -451,8 +560,9 @@ impl XgFabric {
                 self.gateway
                     .set_loss(if change.active { *loss_prob } else { 0.0 });
             }
-            FaultKind::RanDegradation { .. } => {
-                self.gateway.set_access_degraded(change.active);
+            FaultKind::RanDegradation { snr_offset_db, .. } => {
+                self.gateway
+                    .set_access_degraded(change.active.then_some(*snr_offset_db));
             }
             FaultKind::HpcSiteOutage { site } => {
                 self.hpc.set_site_down(site, change.active);
@@ -482,6 +592,25 @@ impl XgFabric {
             fault: format!("{:?}", change.kind),
             active: change.active,
         });
+        if let Some(rec) = self.config.obs.recorder() {
+            rec.note(
+                secs_to_us(self.t_s),
+                format!(
+                    "fault {}: {}",
+                    if change.active {
+                        "activated"
+                    } else {
+                        "cleared"
+                    },
+                    change.kind.describe()
+                ),
+            );
+        }
+        // An injected-fault window opening is itself a dump trigger: the
+        // bundle captures the loop state the fault is about to distort.
+        if change.active {
+            self.dump_blackbox(&format!("fault-window: {}", change.kind.describe()));
+        }
     }
 
     /// Move every task expected to still be running at the dead site into
@@ -573,22 +702,141 @@ impl XgFabric {
         }
     }
 
+    /// Feed this cycle's measurements into the registry, advance the
+    /// sliding window, and let the SLO watchdog judge it. Breach and
+    /// recovery edges land on the timeline, in the flight recorder, and
+    /// (when a `blackbox_dir` is configured) on disk as bundles; the
+    /// resulting degradation request feeds [`Self::update_degradation`].
+    fn observe_cycle(&mut self, transfer_latency_ms: f64) {
+        let Some(o) = &self.obs else { return };
+        o.cycle_transfer_ms.record(transfer_latency_ms);
+        o.gateway_backlog.set(self.gateway.backlog() as f64);
+        let dropped = self.gateway.dropped();
+        let delivered = self.gateway.delivered();
+        o.gateway_dropped
+            .add(dropped.saturating_sub(self.prev_dropped));
+        o.gateway_delivered
+            .add(delivered.saturating_sub(self.prev_delivered));
+        self.prev_dropped = dropped;
+        self.prev_delivered = delivered;
+        let (Some(window), Some(watchdog)) = (self.window.as_mut(), self.watchdog.as_mut()) else {
+            return;
+        };
+        let Some(reg) = self.config.obs.registry() else {
+            return;
+        };
+        window.tick(reg, self.t_s);
+        let events = watchdog.evaluate(self.t_s, &window.view());
+        self.slo_degradation = watchdog.degradation_target();
+        for ev in events {
+            let breached = ev.kind == SloEventKind::Breached;
+            if let Some(o) = &self.obs {
+                if breached {
+                    o.slo_breaches.inc();
+                } else {
+                    o.slo_recoveries.inc();
+                }
+            }
+            if let Some(rec) = self.config.obs.recorder() {
+                rec.note(
+                    secs_to_us(self.t_s),
+                    format!(
+                        "slo {}: {} (value {:.3} vs {:.3}, window {:.0}..{:.0}s)",
+                        if breached { "breached" } else { "recovered" },
+                        ev.slo,
+                        ev.value,
+                        ev.threshold,
+                        ev.window_from_s,
+                        ev.window_to_s,
+                    ),
+                );
+            }
+            self.timeline.push(if breached {
+                Event::SloBreached {
+                    t_s: self.t_s,
+                    slo: ev.slo.clone(),
+                    value: ev.value,
+                    threshold: ev.threshold,
+                }
+            } else {
+                Event::SloRecovered {
+                    t_s: self.t_s,
+                    slo: ev.slo.clone(),
+                    value: ev.value,
+                    threshold: ev.threshold,
+                }
+            });
+            let reason = format!(
+                "slo-{}: {}",
+                if breached { "breach" } else { "recovery" },
+                ev.slo
+            );
+            self.dump_blackbox(&reason);
+        }
+    }
+
+    /// Dump a black-box bundle if a `blackbox_dir` is configured and the
+    /// observability layer is live; failures to write are swallowed (the
+    /// black box must never take down the loop it is diagnosing).
+    fn dump_blackbox(&mut self, reason: &str) {
+        let Some(dir) = &self.config.blackbox_dir else {
+            return;
+        };
+        let Some(rec) = self.config.obs.recorder() else {
+            return;
+        };
+        let snapshot = self.config.obs.registry().map(|r| r.snapshot());
+        let breached = self
+            .watchdog
+            .as_ref()
+            .map(|w| w.breached().join("; "))
+            .unwrap_or_default();
+        let ctx = BundleContext {
+            reason: reason.to_string(),
+            t_s: self.t_s,
+            seed: self.config.seed,
+            context: vec![
+                ("active_faults".into(), self.faults.describe_active()),
+                ("degradation_level".into(), self.degradation.to_string()),
+                ("breached_slos".into(), breached),
+                ("gateway_backlog".into(), self.gateway.backlog().to_string()),
+            ],
+        };
+        if let Ok(path) = dump_bundle(dir, rec, snapshot.as_ref(), &ctx) {
+            self.bundles.push(path);
+        }
+    }
+
     /// Degradation ladder: level 1 once the loop runs ~2 cycles behind
-    /// (or a CFD task waits on failover), level 2 once it is badly behind.
+    /// (or a CFD task waits on failover), level 2 once it is badly
+    /// behind. The measured side raises it further: the ladder runs at
+    /// the max of the backlog level and whatever the active SLO breaches
+    /// request, so a latency collapse that creates *no* backlog (a RAN
+    /// fade: every record still delivers, slowly) still degrades the CFD.
     fn update_degradation(&mut self, records_per_cycle: usize) {
         let cycles_behind = self.gateway.backlog() / records_per_cycle.max(1);
-        let level = if cycles_behind >= 6 {
+        let backlog_level = if cycles_behind >= 6 {
             2
         } else if cycles_behind >= 2 || !self.retries.is_empty() {
             1
         } else {
             0
         };
+        let level = backlog_level.max(self.slo_degradation);
         if level != self.degradation {
             self.degradation = level;
             if let Some(o) = &self.obs {
                 o.degradation_transitions.inc();
                 o.degradation_level.set(f64::from(level));
+            }
+            if let Some(rec) = self.config.obs.recorder() {
+                rec.note(
+                    secs_to_us(self.t_s),
+                    format!(
+                        "degradation -> level {level} (backlog level {backlog_level}, slo level {})",
+                        self.slo_degradation
+                    ),
+                );
             }
             self.timeline.push(Event::DegradationChanged {
                 t_s: self.t_s,
@@ -1281,6 +1529,73 @@ mod tests {
             .timeline()
             .count(|e| matches!(e, Event::DegradationChanged { .. }));
         assert!(level_changes >= 2, "up and back down");
+    }
+
+    #[test]
+    fn ran_collapse_degrades_via_slo_watchdog_without_backlog() {
+        // A *moderate* RAN fade (HARQ still recovers every transport
+        // block) multiplies per-append transfer latency ~8x but every
+        // record still delivers inside its 300 s cycle: the backlog-based
+        // ladder sees nothing. Only the measured p99 SLO can notice — the
+        // ladder must rise on the watchdog's breach and return after the
+        // recovery hysteresis.
+        let faults = FaultPlan::builder(29)
+            .scripted(
+                1_800.0,
+                3_600.0,
+                FaultKind::RanDegradation {
+                    cell: "UNL-5G".into(),
+                    snr_offset_db: -12.0,
+                },
+            )
+            .build();
+        let obs = Obs::enabled();
+        let mut fab = XgFabric::new(FabricConfig {
+            faults,
+            obs: obs.clone(),
+            // Small window + tight hysteresis so breach and recovery both
+            // land inside a short run.
+            slo_window: WindowConfig {
+                interval_s: 300.0,
+                intervals: 3,
+            },
+            slo_hysteresis: Hysteresis {
+                breach_after: 2,
+                clear_after: 2,
+            },
+            ..fast_config(29)
+        });
+        let mut saw_level1_with_empty_backlog = false;
+        let mut max_backlog = 0;
+        for _ in 0..40 {
+            fab.run_report_cycle().unwrap();
+            max_backlog = max_backlog.max(fab.telemetry_backlog());
+            if fab.degradation_level() >= 1 && fab.telemetry_backlog() == 0 {
+                saw_level1_with_empty_backlog = true;
+            }
+        }
+        assert_eq!(max_backlog, 0, "a RAN fade must not park telemetry");
+        assert!(
+            saw_level1_with_empty_backlog,
+            "ladder must rise on the SLO breach alone"
+        );
+        assert_eq!(fab.degradation_level(), 0, "recovered after the window");
+        assert!(fab.timeline().slo_breaches() >= 1);
+        assert!(fab.timeline().slo_recoveries() >= 1);
+        let wd = fab.slo_watchdog().unwrap();
+        assert!(wd.breach_events() >= 1 && wd.recovery_events() >= 1);
+        assert_eq!(fab.slo_degradation_target(), 0);
+        // The breach/recovery edges were counted on the registry and the
+        // flight recorder holds the annotated story.
+        let reg = obs.registry().unwrap();
+        assert!(reg.counter("fabric.slo.breaches").get() >= 1);
+        assert!(reg.counter("fabric.slo.recoveries").get() >= 1);
+        let notes = obs.recorder().unwrap().notes();
+        assert!(notes.iter().any(|(_, n)| n.contains("slo breached")));
+        assert!(notes
+            .iter()
+            .any(|(_, n)| n.contains("degradation -> level 1")));
+        assert!(notes.iter().any(|(_, n)| n.contains("ran-degradation")));
     }
 
     #[test]

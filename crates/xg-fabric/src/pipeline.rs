@@ -322,17 +322,21 @@ impl FieldGateway {
         self.wind.set_obs(obs);
     }
 
-    /// Apply or clear a RAN degradation on the 5G access segment: an
-    /// SNR/MCS collapse shows up at this layer as a much slower, lossier
-    /// first hop (long serialization at the lowest MCS plus HARQ losses).
-    pub fn set_access_degraded(&mut self, degraded: bool) {
+    /// Apply or clear a RAN degradation on the 5G access segment.
+    ///
+    /// `fade` is the SNR offset in dB (`None` restores the nominal link).
+    /// An SNR/MCS collapse shows up at this layer as a much slower first
+    /// hop (long serialization at the lowest MCS). Only a *deep* fade
+    /// (≤ −20 dB) also loses packets: above that, HARQ retransmissions
+    /// recover every transport block and the IP layer sees pure latency.
+    pub fn set_access_degraded(&mut self, fade: Option<f64>) {
         let nominal = self.access_nominal.clone();
         for route in [self.records.route_mut(), self.wind.route_mut()] {
             let seg = &mut route.segments[0];
-            if degraded {
+            if let Some(snr_offset_db) = fade {
                 seg.base_one_way_ms = nominal.base_one_way_ms * 8.0;
                 seg.jitter_sigma_ms = nominal.jitter_sigma_ms * 4.0;
-                seg.loss_prob = 0.25;
+                seg.loss_prob = if snr_offset_db <= -20.0 { 0.25 } else { 0.0 };
             } else {
                 let partitioned = seg.partitioned;
                 *seg = nominal.clone();

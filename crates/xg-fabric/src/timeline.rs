@@ -102,6 +102,28 @@ pub enum Event {
         /// non-critical results-return.
         level: u8,
     },
+    /// The SLO watchdog declared an objective breached (after hysteresis).
+    SloBreached {
+        /// Wall-clock time (s).
+        t_s: f64,
+        /// The breached objective's name, e.g. `p99(fabric.cycle.transfer_ms) < 5000`.
+        slo: String,
+        /// The offending windowed value.
+        value: f64,
+        /// The objective's threshold.
+        threshold: f64,
+    },
+    /// A previously breached objective recovered (after hysteresis).
+    SloRecovered {
+        /// Wall-clock time (s).
+        t_s: f64,
+        /// The recovered objective's name.
+        slo: String,
+        /// The windowed value at recovery.
+        value: f64,
+        /// The objective's threshold.
+        threshold: f64,
+    },
     /// A lost CFD task was resubmitted to another site.
     FailoverTriggered {
         /// Wall-clock time (s).
@@ -169,6 +191,16 @@ impl Timeline {
     /// Number of fault activations recorded.
     pub fn fault_activations(&self) -> usize {
         self.count(|e| matches!(e, Event::FaultChanged { active: true, .. }))
+    }
+
+    /// Number of SLO breach events.
+    pub fn slo_breaches(&self) -> usize {
+        self.count(|e| matches!(e, Event::SloBreached { .. }))
+    }
+
+    /// Number of SLO recovery events.
+    pub fn slo_recoveries(&self) -> usize {
+        self.count(|e| matches!(e, Event::SloRecovered { .. }))
     }
 
     /// True if any breach was confirmed by the robot.

@@ -88,6 +88,33 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// A compact human-readable description for diagnostics (black-box
+    /// bundles, timeline rendering) — stable across runs, unlike `Debug`
+    /// formatting, and free of struct syntax noise.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultKind::RoutePartition { from, to } => format!("route-partition {from}<->{to}"),
+            FaultKind::PacketLossSurge {
+                from,
+                to,
+                loss_prob,
+            } => format!("packet-loss {from}->{to} p={loss_prob}"),
+            FaultKind::RanDegradation {
+                cell,
+                snr_offset_db,
+            } => format!("ran-degradation {cell} snr{snr_offset_db:+}dB"),
+            FaultKind::HpcSiteOutage { site } => format!("hpc-outage {site}"),
+            FaultKind::HpcQueueStall { site } => format!("hpc-queue-stall {site}"),
+            FaultKind::SensorDropout { station } => format!("sensor-dropout station{station}"),
+            FaultKind::SensorStuck { station } => format!("sensor-stuck station{station}"),
+            FaultKind::StorageAppendFailure { log, failures } => {
+                format!("storage-append-failure {log} x{failures}")
+            }
+        }
+    }
+}
+
 /// A visible fault state change at an observation boundary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultChange {
@@ -264,6 +291,22 @@ impl FaultPlan {
         self.entries.iter().any(|e| e.active && e.kind == *kind)
     }
 
+    /// Human-readable summary of the currently active faults, or
+    /// `"none"` — the string a black-box bundle carries as context.
+    pub fn describe_active(&self) -> String {
+        let active: Vec<String> = self
+            .entries
+            .iter()
+            .filter(|e| e.active)
+            .map(|e| e.kind.describe())
+            .collect();
+        if active.is_empty() {
+            "none".to_string()
+        } else {
+            active.join("; ")
+        }
+    }
+
     /// Exact cumulative active seconds summed over entries matching
     /// `pred`. With one entry per resource this is that resource's
     /// downtime; overlapping entries on the same resource are summed.
@@ -409,6 +452,28 @@ mod tests {
             (plan.active_seconds(|k| *k == snr) - 300.0).abs() < 1e-9,
             "scripted entry accounted independently"
         );
+    }
+
+    #[test]
+    fn describe_active_summarises_for_bundles() {
+        let mut plan = FaultPlan::builder(9)
+            .scripted(10.0, 10.0, partition_5g())
+            .scripted(
+                12.0,
+                10.0,
+                FaultKind::RanDegradation {
+                    cell: "UNL-5G".into(),
+                    snr_offset_db: -25.0,
+                },
+            )
+            .build();
+        assert_eq!(plan.describe_active(), "none");
+        plan.advance_to(15.0);
+        let s = plan.describe_active();
+        assert!(s.contains("route-partition UNL-5G<->UCSB"), "{s}");
+        assert!(s.contains("ran-degradation UNL-5G snr-25dB"), "{s}");
+        plan.advance_to(30.0);
+        assert_eq!(plan.describe_active(), "none");
     }
 
     #[test]

@@ -22,6 +22,9 @@ struct SiteSlot {
 /// A task router across several HPC facilities.
 pub struct MultiSiteController {
     sites: Vec<SiteSlot>,
+    /// Number of reachable sites, exported as the `hpc.sites.up` gauge so
+    /// SLOs can alarm on shrinking capacity (`None` until obs attaches).
+    sites_up: Option<std::sync::Arc<xg_obs::Gauge>>,
 }
 
 /// Where a task was placed and why.
@@ -56,7 +59,10 @@ impl MultiSiteController {
                 }
             })
             .collect();
-        MultiSiteController { sites: slots }
+        MultiSiteController {
+            sites: slots,
+            sites_up: None,
+        }
     }
 
     /// Advance every site to virtual time `t`.
@@ -135,10 +141,19 @@ impl MultiSiteController {
     }
 
     /// Attach observability to every site's pilot controller (queue-wait
-    /// vs mask-time histograms, pilot/task counters).
+    /// vs mask-time histograms, pilot/task counters) and export the
+    /// `hpc.sites.up` reachable-site gauge.
     pub fn set_obs(&mut self, obs: &xg_obs::Obs) {
         for s in &mut self.sites {
             s.controller.set_obs(obs);
+        }
+        self.sites_up = obs.registry().map(|reg| reg.gauge("hpc.sites.up"));
+        self.update_sites_up();
+    }
+
+    fn update_sites_up(&self) {
+        if let Some(g) = &self.sites_up {
+            g.set(self.reachable_sites() as f64);
         }
     }
 
@@ -159,11 +174,13 @@ impl MultiSiteController {
             return 0;
         };
         let aborted = slot.controller.set_offline(down).len();
-        if down {
+        let lost = if down {
             aborted + slot.controller.drain_pending().len()
         } else {
             0
-        }
+        };
+        self.update_sites_up();
+        lost
     }
 
     /// Inject or clear a batch-queue stall at the named site. Returns
@@ -301,5 +318,26 @@ mod tests {
         // Both sites down: placement is refused, not panicked.
         ctl.set_site_down("ND-CRC", true);
         assert!(ctl.submit_task(1, 420.0).is_none());
+    }
+
+    #[test]
+    fn sites_up_gauge_follows_outages() {
+        let mut ctl = MultiSiteController::new(
+            vec![
+                (SiteProfile::notre_dame_crc(), false),
+                (SiteProfile::anvil(), false),
+            ],
+            9,
+        );
+        let obs = xg_obs::Obs::enabled();
+        ctl.set_obs(&obs);
+        let g = obs.registry().unwrap().gauge("hpc.sites.up");
+        assert_eq!(g.get(), 2.0);
+        ctl.set_site_down("ANVIL", true);
+        assert_eq!(g.get(), 1.0);
+        ctl.set_site_down("ND-CRC", true);
+        assert_eq!(g.get(), 0.0);
+        ctl.set_site_down("ANVIL", false);
+        assert_eq!(g.get(), 1.0);
     }
 }

@@ -38,6 +38,9 @@ struct RanObs {
     goodput_mbps: Arc<Histogram>,
     /// Uplink-capable TTIs simulated.
     slots: Arc<Counter>,
+    /// Currently applied cell-wide SNR offset (dB); 0 when nominal, so an
+    /// SLO or dashboard can correlate goodput dips with injected fades.
+    snr_offset_db: Arc<xg_obs::Gauge>,
 }
 
 impl RanObs {
@@ -47,6 +50,7 @@ impl RanObs {
             occupancy: reg.histogram("ran.tti.occupancy"),
             goodput_mbps: reg.histogram("ran.ue.goodput_mbps"),
             slots: reg.counter("ran.tti.slots"),
+            snr_offset_db: reg.gauge("ran.snr_offset_db"),
         })
     }
 }
@@ -105,6 +109,9 @@ impl LinkSimulator {
     /// per-UE goodput land in its registry. A disabled handle detaches.
     pub fn set_obs(&mut self, obs: &Obs) {
         self.obs = RanObs::new(obs);
+        if let Some(o) = &self.obs {
+            o.snr_offset_db.set(self.snr_offset_db);
+        }
     }
 
     /// Apply a cell-wide SNR offset in dB (fault injection). Negative
@@ -112,6 +119,9 @@ impl LinkSimulator {
     /// operation.
     pub fn set_snr_offset_db(&mut self, offset_db: f64) {
         self.snr_offset_db = offset_db;
+        if let Some(o) = &self.obs {
+            o.snr_offset_db.set(offset_db);
+        }
     }
 
     /// The currently applied cell-wide SNR offset (dB).
@@ -788,6 +798,19 @@ mod tests {
         let gp = reg.histogram("ran.ue.goodput_mbps").snapshot();
         assert_eq!(gp.count(), 1);
         assert!((gp.max().unwrap() - results[0].1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_offset_gauge_tracks_injected_fades() {
+        let mut sim = LinkSimulator::new(cell_5g_fdd20(), 7);
+        sim.set_snr_offset_db(-12.0);
+        let obs = Obs::enabled();
+        // Attaching after the fade began must still publish its level.
+        sim.set_obs(&obs);
+        let g = obs.registry().unwrap().gauge("ran.snr_offset_db");
+        assert_eq!(g.get(), -12.0);
+        sim.set_snr_offset_db(0.0);
+        assert_eq!(g.get(), 0.0);
     }
 
     #[test]

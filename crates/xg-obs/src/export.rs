@@ -10,7 +10,7 @@ use crate::span::SpanRecord;
 use std::fmt::Write as _;
 
 /// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -88,13 +88,20 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     for (name, h) in &snap.histograms {
         let n = prom_name(name);
         let _ = writeln!(out, "# TYPE {n} summary");
-        for q in [0.5, 0.9, 0.99] {
-            let est = h.quantile(q).unwrap_or(f64::NAN);
-            let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {est}");
+        // An empty histogram has no quantiles or max; emitting NaN breaks
+        // most scrapers, so only `_count`/`_sum` appear until data lands.
+        if h.count() > 0 {
+            for q in [0.5, 0.9, 0.99] {
+                if let Some(est) = h.quantile(q) {
+                    let _ = writeln!(out, "{n}{{quantile=\"{q}\"}} {est}");
+                }
+            }
         }
         let _ = writeln!(out, "{n}_count {}", h.count());
         let _ = writeln!(out, "{n}_sum {}", h.sum());
-        let _ = writeln!(out, "{n}_max {}", h.max().unwrap_or(f64::NAN));
+        if let Some(max) = h.max() {
+            let _ = writeln!(out, "{n}_max {max}");
+        }
     }
     out
 }
@@ -244,6 +251,22 @@ mod tests {
         assert!(text.contains("# TYPE append_ms summary"));
         assert!(text.contains("append_ms_count 100"));
         assert!(text.contains("append_ms{quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn empty_histograms_emit_no_nan_series() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.histogram("never_recorded_ms");
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE never_recorded_ms summary"));
+        assert!(text.contains("never_recorded_ms_count 0"));
+        assert!(text.contains("never_recorded_ms_sum 0"));
+        assert!(!text.contains("quantile"), "no quantile series when empty");
+        assert!(!text.contains("_max"), "no max series when empty");
+        assert!(
+            !text.contains("NaN"),
+            "NaN is invalid for scrapers:\n{text}"
+        );
     }
 
     #[test]

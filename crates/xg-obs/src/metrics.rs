@@ -279,6 +279,68 @@ impl HistogramSnapshot {
         );
         self.core.merge(&other.core);
     }
+
+    /// The samples recorded between `earlier` and this snapshot, as a new
+    /// snapshot: bucket counts subtract exactly (the same mergeability
+    /// property run backwards), so quantiles of the delta keep the α
+    /// relative-error bound. `min`/`max` cannot be recovered exactly from
+    /// cumulative state; the delta estimates them from its outermost
+    /// occupied buckets, which stays within α of the true extremes.
+    ///
+    /// `earlier` must be an older snapshot of the *same* histogram;
+    /// mismatched accuracies panic and counter-intuitive (negative)
+    /// deltas saturate to empty.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        assert!(
+            (self.rel_err - earlier.rel_err).abs() < f64::EPSILON,
+            "cannot diff histograms with different error bounds"
+        );
+        let mut buckets = BTreeMap::new();
+        for (&i, &n) in &self.core.buckets {
+            let before = earlier.core.buckets.get(&i).copied().unwrap_or(0);
+            let d = n.saturating_sub(before);
+            if d > 0 {
+                buckets.insert(i, d);
+            }
+        }
+        let zero = self.core.zero.saturating_sub(earlier.core.zero);
+        let count = self.core.count.saturating_sub(earlier.core.count);
+        let sum = (self.core.sum - earlier.core.sum).max(0.0);
+        let gamma = self.ln_gamma.exp();
+        let (min, max) = if count == 0 {
+            (0.0, 0.0)
+        } else {
+            // Midpoint estimates (2γ^i/(γ+1)) are within α of any value
+            // in bucket i; the bucket *edge* would only be within 2α.
+            let lo = if zero > 0 {
+                0.0
+            } else {
+                buckets
+                    .keys()
+                    .next()
+                    .map(|&i| (i as f64 * self.ln_gamma).exp() * 2.0 / (gamma + 1.0))
+                    .unwrap_or(0.0)
+            };
+            let hi = buckets
+                .keys()
+                .next_back()
+                .map(|&i| (i as f64 * self.ln_gamma).exp() * 2.0 / (gamma + 1.0))
+                .unwrap_or(0.0);
+            (lo, hi)
+        };
+        HistogramSnapshot {
+            rel_err: self.rel_err,
+            ln_gamma: self.ln_gamma,
+            core: HistCore {
+                buckets,
+                zero,
+                count,
+                sum,
+                min,
+                max,
+            },
+        }
+    }
 }
 
 const REGISTRY_SHARDS: usize = 8;
@@ -504,6 +566,32 @@ mod tests {
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
         assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn delta_since_recovers_the_interval_stream() {
+        let h = Histogram::with_config(HistogramConfig {
+            rel_err: 0.01,
+            stripes: 1,
+        });
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        let early = h.snapshot();
+        for i in 500..=600 {
+            h.record(i as f64);
+        }
+        let delta = h.snapshot().delta_since(&early);
+        assert_eq!(delta.count(), 101);
+        // Quantiles of the delta see only the second stream, within α.
+        let p50 = delta.quantile(0.5).unwrap();
+        assert!((p50 - 550.0).abs() <= 0.0101 * 550.0, "p50 {p50}");
+        // Extremes are bucket estimates, still within α of 500/600.
+        assert!((delta.min().unwrap() - 500.0).abs() <= 0.011 * 500.0);
+        assert!((delta.max().unwrap() - 600.0).abs() <= 0.011 * 600.0);
+        // Empty delta: identical snapshots.
+        let snap = h.snapshot();
+        assert_eq!(snap.delta_since(&snap).count(), 0);
     }
 
     #[test]

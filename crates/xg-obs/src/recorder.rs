@@ -1,0 +1,493 @@
+//! Black-box flight recorder: bounded memory, dump-on-disaster.
+//!
+//! Aircraft flight recorders keep the *recent past* in a fixed budget and
+//! survive the crash. [`FlightRecorder`] does the same for the fabric: a
+//! sharded ring of the most recent spans and free-form notes (fault
+//! activations, degradation transitions, SLO edges), capped at a fixed
+//! entry count so an unattended soak can run forever without growing.
+//! When something goes wrong — SLO breach, injected-fault window, or a
+//! panic — [`dump_bundle`] writes a self-contained JSONL diagnostic
+//! bundle (schema `xg-blackbox/v1`): one meta line with the trigger
+//! reason, seed, and run context, then the buffered notes, the spans in
+//! causal parent-before-child order, and a metrics snapshot. Bundles are
+//! written via temp-file + atomic rename so a crash mid-dump cannot leave
+//! a truncated file that parses as a complete one.
+
+use crate::export::json_escape;
+use crate::metrics::MetricsSnapshot;
+use crate::span::{SpanId, SpanRecord};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One buffered event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlightEntry {
+    /// A completed span forwarded from the tracer.
+    Span(SpanRecord),
+    /// A free-form annotation (fault edge, degradation transition, …).
+    Note {
+        /// Timestamp, microseconds (sim domain by convention).
+        t_us: u64,
+        /// The annotation text.
+        text: String,
+    },
+}
+
+/// Bounded ring buffer of recent [`FlightEntry`]s.
+///
+/// Entries are stamped with a global sequence number and spread across
+/// shards (each an independently locked ring) so concurrent recorders
+/// rarely contend; reads re-merge by sequence. Memory is bounded by
+/// `capacity` entries total — once full, the oldest entry *in the
+/// arriving entry's shard* is evicted, which keeps eviction O(1) and the
+/// global buffer within one shard-length of strict LRU order.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    shards: Vec<Mutex<VecDeque<(u64, FlightEntry)>>>,
+    shard_cap: usize,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` entries across 8 shards.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder::with_shards(capacity, 8)
+    }
+
+    /// A recorder with an explicit shard count (tests use 1 for strict
+    /// FIFO eviction). The budget rounds down to a multiple of the shard
+    /// count so the bound is exact: [`FlightRecorder::capacity`] reports
+    /// the effective value.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let shard_cap = (capacity / shards).max(1);
+        FlightRecorder {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            shard_cap,
+            capacity: shard_cap * shards,
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, entry: FlightEntry) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[(seq as usize) % self.shards.len()];
+        let mut ring = shard.lock();
+        ring.push_back((seq, entry));
+        while ring.len() > self.shard_cap {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Buffer a completed span.
+    pub fn record_span(&self, span: SpanRecord) {
+        self.push(FlightEntry::Span(span));
+    }
+
+    /// Buffer an annotation at `t_us` microseconds.
+    pub fn note(&self, t_us: u64, text: impl Into<String>) {
+        self.push(FlightEntry::Note {
+            t_us,
+            text: text.into(),
+        });
+    }
+
+    /// Entries currently buffered (≤ capacity by construction).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured entry budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted so far to stay within budget.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the buffer in global sequence order.
+    pub fn entries(&self) -> Vec<(u64, FlightEntry)> {
+        let mut all: Vec<(u64, FlightEntry)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            all.extend(shard.lock().iter().cloned());
+        }
+        all.sort_by_key(|(seq, _)| *seq);
+        all
+    }
+
+    /// Buffered notes in sequence order.
+    pub fn notes(&self) -> Vec<(u64, String)> {
+        self.entries()
+            .into_iter()
+            .filter_map(|(_, e)| match e {
+                FlightEntry::Note { t_us, text } => Some((t_us, text)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Buffered spans in *causal* order: every span whose parent is also
+    /// buffered appears after that parent; spans whose parent was evicted
+    /// (or that have none) are roots, emitted in arrival order. Children
+    /// of the same parent keep arrival order. This is the order bundles
+    /// use, so a reader can reconstruct each trace in one forward pass.
+    pub fn ordered_spans(&self) -> Vec<SpanRecord> {
+        let spans: Vec<SpanRecord> = self
+            .entries()
+            .into_iter()
+            .filter_map(|(_, e)| match e {
+                FlightEntry::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        let present: HashSet<(u64, SpanId)> = spans.iter().map(|s| (s.trace, s.id)).collect();
+        // Children grouped per buffered parent, arrival order preserved.
+        let mut children: BTreeMap<(u64, SpanId), Vec<usize>> = BTreeMap::new();
+        let mut roots: Vec<usize> = Vec::new();
+        for (i, s) in spans.iter().enumerate() {
+            match s.parent {
+                Some(p) if present.contains(&(s.trace, p)) => {
+                    children.entry((s.trace, p)).or_default().push(i);
+                }
+                _ => roots.push(i),
+            }
+        }
+        let mut out = Vec::with_capacity(spans.len());
+        let mut stack: Vec<usize> = roots.into_iter().rev().collect();
+        let mut emitted = vec![false; spans.len()];
+        while let Some(i) = stack.pop() {
+            if emitted[i] {
+                continue;
+            }
+            emitted[i] = true;
+            out.push(spans[i].clone());
+            if let Some(kids) = children.get(&(spans[i].trace, spans[i].id)) {
+                for &k in kids.iter().rev() {
+                    stack.push(k);
+                }
+            }
+        }
+        // Defensive: a parent-cycle (malformed input) would strand spans;
+        // append any stragglers so the dump never silently loses data.
+        for (i, s) in spans.iter().enumerate() {
+            if !emitted[i] {
+                out.push(s.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Everything a diagnostic bundle captures besides the recorder buffer.
+#[derive(Clone, Debug, Default)]
+pub struct BundleContext {
+    /// Why the bundle was dumped (`"slo-breach"`, `"fault-window"`, …).
+    pub reason: String,
+    /// Virtual time of the trigger, seconds.
+    pub t_s: f64,
+    /// The run's RNG seed, for deterministic replay.
+    pub seed: u64,
+    /// Free-form key/value context (active faults, breached SLOs, …).
+    pub context: Vec<(String, String)>,
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render the bundle JSONL (schema `xg-blackbox/v1`) without touching the
+/// filesystem. Line 1 is the meta object; then notes, spans in causal
+/// order, and the metrics snapshot, one object per line.
+pub fn render_bundle(
+    recorder: &FlightRecorder,
+    metrics: Option<&MetricsSnapshot>,
+    ctx: &BundleContext,
+) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"kind\":\"meta\",\"schema\":\"xg-blackbox/v1\",\"reason\":\"{}\",\"t_s\":{},\"seed\":{},\"entries\":{},\"dropped\":{},\"context\":{{",
+        json_escape(&ctx.reason),
+        fmt_f64(ctx.t_s),
+        ctx.seed,
+        recorder.len(),
+        recorder.dropped(),
+    );
+    for (i, (k, v)) in ctx.context.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push_str("}}\n");
+    for (t_us, text) in recorder.notes() {
+        let _ = writeln!(
+            out,
+            "{{\"kind\":\"note\",\"t_us\":{},\"text\":\"{}\"}}",
+            t_us,
+            json_escape(&text)
+        );
+    }
+    for s in recorder.ordered_spans() {
+        let _ = write!(
+            out,
+            "{{\"kind\":\"span\",\"trace\":{},\"span\":{},\"parent\":",
+            s.trace, s.id
+        );
+        match s.parent {
+            Some(p) => {
+                let _ = write!(out, "{p}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = write!(
+            out,
+            ",\"name\":\"{}\",\"clock\":\"{}\",\"start_us\":{},\"end_us\":{},\"attrs\":{{",
+            json_escape(&s.name),
+            s.domain.label(),
+            s.start_us,
+            s.end_us
+        );
+        for (i, (k, v)) in s.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+        }
+        out.push_str("}}\n");
+    }
+    if let Some(snap) = metrics {
+        for (name, v) in &snap.counters {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+                json_escape(name),
+                v
+            );
+        }
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                json_escape(name),
+                fmt_f64(*v)
+            );
+        }
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                json_escape(name),
+                h.count(),
+                fmt_f64(h.sum()),
+                fmt_f64(h.quantile(0.5).unwrap_or(f64::NAN)),
+                fmt_f64(h.quantile(0.99).unwrap_or(f64::NAN)),
+                fmt_f64(h.max().unwrap_or(f64::NAN)),
+            );
+        }
+    }
+    out
+}
+
+static BUNDLE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Dump a diagnostic bundle to `dir` (created if absent), returning the
+/// bundle's path. The file is written to a temp name and atomically
+/// renamed into place, so readers never observe a partial bundle.
+pub fn dump_bundle(
+    dir: &Path,
+    recorder: &FlightRecorder,
+    metrics: Option<&MetricsSnapshot>,
+    ctx: &BundleContext,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let n = BUNDLE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let slug: String = ctx
+        .reason
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .take(40)
+        .collect();
+    let name = format!("blackbox-{}-{:03}-{}.jsonl", std::process::id(), n, slug);
+    let path = dir.join(&name);
+    let tmp = dir.join(format!(".{name}.tmp"));
+    std::fs::write(&tmp, render_bundle(recorder, metrics, ctx))?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Install a panic hook that dumps a bundle (reason `"panic"`) before the
+/// default hook runs, so a crashing soak still leaves its black box.
+pub fn install_panic_hook(recorder: Arc<FlightRecorder>, dir: PathBuf, seed: u64) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let ctx = BundleContext {
+            reason: "panic".to_string(),
+            t_s: -1.0,
+            seed,
+            context: vec![("panic".to_string(), info.to_string())],
+        };
+        let _ = dump_bundle(&dir, &recorder, None, &ctx);
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockDomain;
+    use crate::span::Tracer;
+
+    fn span(trace: u64, id: u64, parent: Option<u64>, name: &str) -> SpanRecord {
+        SpanRecord {
+            trace,
+            id,
+            parent,
+            name: name.to_string(),
+            domain: ClockDomain::Sim,
+            start_us: id * 1000,
+            end_us: id * 1000 + 500,
+            attrs: vec![],
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_and_counts_drops() {
+        let rec = FlightRecorder::with_shards(64, 4);
+        for i in 0..1000u64 {
+            rec.record_span(span(1, i + 1, None, "s"));
+        }
+        assert!(rec.len() <= rec.capacity());
+        assert_eq!(rec.dropped() as usize, 1000 - rec.len());
+        // The survivors are the most recent entries.
+        let entries = rec.entries();
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(entries.last().unwrap().0, 999);
+    }
+
+    #[test]
+    fn ordered_spans_put_parents_before_children() {
+        let rec = FlightRecorder::with_shards(64, 1);
+        // Record children before their parents — causal order must still
+        // come out parent-first.
+        rec.record_span(span(7, 3, Some(2), "grandchild"));
+        rec.record_span(span(7, 2, Some(1), "child"));
+        rec.record_span(span(7, 1, None, "root"));
+        rec.record_span(span(8, 5, Some(4), "orphan")); // parent 4 never buffered
+        let ordered = rec.ordered_spans();
+        assert_eq!(ordered.len(), 4);
+        let pos = |id: u64| ordered.iter().position(|s| s.id == id).unwrap();
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+        // The orphan survives as a root.
+        assert!(ordered.iter().any(|s| s.id == 5));
+    }
+
+    #[test]
+    fn eviction_of_a_parent_promotes_children_to_roots() {
+        let rec = FlightRecorder::with_shards(2, 1);
+        rec.record_span(span(1, 1, None, "root"));
+        rec.record_span(span(1, 2, Some(1), "a"));
+        rec.record_span(span(1, 3, Some(1), "b")); // evicts the root
+        let ordered = rec.ordered_spans();
+        assert_eq!(ordered.len(), 2);
+        assert_eq!(ordered[0].id, 2);
+        assert_eq!(ordered[1].id, 3);
+    }
+
+    #[test]
+    fn bundle_renders_meta_notes_spans_and_metrics() {
+        let rec = FlightRecorder::new(128);
+        rec.note(5_000_000, "fault ran-degradation activated");
+        rec.record_span(span(1, 1, None, "telemetry.transfer"));
+        let reg = crate::metrics::MetricsRegistry::new();
+        reg.counter("cycles").add(3);
+        reg.gauge("level").set(1.0);
+        reg.histogram("lat_ms").record(42.0);
+        let ctx = BundleContext {
+            reason: "slo-breach: p99(lat_ms) < 10".to_string(),
+            t_s: 600.0,
+            seed: 7,
+            context: vec![("slo".to_string(), "p99(lat_ms) < 10".to_string())],
+        };
+        let text = render_bundle(&rec, Some(&reg.snapshot()), &ctx);
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        assert!(lines[0].contains("\"schema\":\"xg-blackbox/v1\""));
+        assert!(lines[0].contains("\"seed\":7"));
+        assert!(lines[0].contains("slo-breach"));
+        assert!(lines.iter().any(|l| l.contains("\"kind\":\"note\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"kind\":\"span\"") && l.contains("telemetry.transfer")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"kind\":\"counter\"") && l.contains("\"value\":3")));
+        assert!(lines.iter().any(|l| l.contains("\"kind\":\"histogram\"")));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "bad line {l}");
+        }
+    }
+
+    #[test]
+    fn dump_bundle_writes_atomically() {
+        let dir = std::env::temp_dir().join(format!("xg-blackbox-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = FlightRecorder::new(16);
+        rec.note(0, "hello");
+        let ctx = BundleContext {
+            reason: "unit/test".to_string(),
+            t_s: 0.0,
+            seed: 1,
+            ..Default::default()
+        };
+        let path = dump_bundle(&dir, &rec, None, &ctx).unwrap();
+        assert!(path.exists());
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .contains("unit-test"));
+        // No temp litter.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tracer_sink_forwards_spans() {
+        let rec = Arc::new(FlightRecorder::new(8));
+        let tracer = Tracer::new();
+        tracer.set_sink(rec.clone());
+        let tr = tracer.new_trace();
+        let root = tracer.record_sim_s(tr, None, "cycle", 0.0, 1.0, vec![]);
+        tracer.record_sim_s(tr, Some(root), "stage", 0.0, 0.5, vec![]);
+        assert_eq!(rec.len(), 2);
+        let ordered = rec.ordered_spans();
+        assert_eq!(ordered[0].name, "cycle");
+        assert_eq!(ordered[1].name, "stage");
+    }
+}

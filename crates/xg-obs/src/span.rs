@@ -9,8 +9,10 @@
 //! the §4.4 latency-budget table.
 
 use crate::clock::{secs_to_us, wall_now_us, ClockDomain};
+use crate::recorder::FlightRecorder;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Identifies one closed-loop cycle.
 pub type TraceId = u64;
@@ -50,12 +52,20 @@ impl SpanRecord {
 pub struct Tracer {
     next_id: AtomicU64,
     spans: Mutex<Vec<SpanRecord>>,
+    sink: Mutex<Option<Arc<FlightRecorder>>>,
 }
 
 impl Tracer {
     /// An empty tracer.
     pub fn new() -> Self {
         Tracer::default()
+    }
+
+    /// Forward every recorded span to a flight recorder as well. The
+    /// recorder keeps its own bounded copy, so the tracer's cumulative
+    /// list and the black box stay independent.
+    pub fn set_sink(&self, recorder: Arc<FlightRecorder>) {
+        *self.sink.lock() = Some(recorder);
     }
 
     fn next(&self) -> u64 {
@@ -103,7 +113,7 @@ impl Tracer {
         attrs: Vec<(String, String)>,
     ) -> SpanId {
         let id = self.next();
-        self.spans.lock().push(SpanRecord {
+        let record = SpanRecord {
             trace,
             id,
             parent,
@@ -112,7 +122,11 @@ impl Tracer {
             start_us,
             end_us: end_us.max(start_us),
             attrs,
-        });
+        };
+        if let Some(sink) = self.sink.lock().as_ref() {
+            sink.record_span(record.clone());
+        }
+        self.spans.lock().push(record);
         id
     }
 

@@ -1,0 +1,326 @@
+//! Sliding-window views over a [`MetricsRegistry`].
+//!
+//! Cumulative counters and histograms answer "what happened since the
+//! process started"; an SLO watchdog needs "what happened over the last
+//! 30 minutes". [`MetricsWindow`] bridges the two without touching the
+//! hot recording path: each tick it snapshots the registry and diffs
+//! against the previous snapshot, producing one *interval delta* — per
+//! metric, the counter increments, gauge samples, and histogram
+//! sub-snapshots of that interval. A bounded ring of the most recent
+//! intervals then merges on demand into a [`WindowView`], reusing the
+//! log-linear histograms' mergeability (bucket-count addition runs both
+//! forwards for merges and backwards for deltas), so windowed quantiles
+//! keep the same α relative-error bound as the cumulative ones.
+
+use crate::metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Shape of the sliding window.
+#[derive(Clone, Copy, Debug)]
+pub struct WindowConfig {
+    /// Virtual seconds between ticks (one sub-interval per tick).
+    pub interval_s: f64,
+    /// Sub-intervals retained; the window spans `interval_s * intervals`.
+    pub intervals: usize,
+}
+
+impl Default for WindowConfig {
+    fn default() -> Self {
+        // The paper's loop: 300 s report cycles, 30-minute duty cycle.
+        WindowConfig {
+            interval_s: 300.0,
+            intervals: 6,
+        }
+    }
+}
+
+/// Summary of one gauge's samples inside a window (gauges are sampled at
+/// tick resolution, not per write).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct GaugeStats {
+    /// Ticks sampled.
+    pub samples: u64,
+    /// Sum of sampled values (for the mean).
+    pub sum: f64,
+    /// Smallest sampled value.
+    pub min: f64,
+    /// Largest sampled value.
+    pub max: f64,
+    /// Most recent sampled value.
+    pub last: f64,
+}
+
+impl GaugeStats {
+    fn observe(&mut self, v: f64) {
+        if self.samples == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.samples += 1;
+        self.sum += v;
+        self.last = v;
+    }
+
+    /// Mean of the sampled values, or `None` if never sampled.
+    pub fn mean(&self) -> Option<f64> {
+        (self.samples > 0).then(|| self.sum / self.samples as f64)
+    }
+}
+
+/// One tick's worth of activity.
+#[derive(Clone, Debug, Default)]
+struct IntervalDelta {
+    t_s: f64,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+/// A merged view of the last N intervals.
+#[derive(Clone, Debug, Default)]
+pub struct WindowView {
+    /// Virtual time of the oldest interval in the view (s).
+    pub from_s: f64,
+    /// Virtual time of the newest interval in the view (s).
+    pub to_s: f64,
+    /// Counter increments over the window, by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge sample summaries over the window, by name.
+    pub gauges: BTreeMap<String, GaugeStats>,
+    /// Merged histogram deltas over the window, by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Total wall of virtual time the view covers (s).
+    span_s: f64,
+}
+
+impl WindowView {
+    /// Virtual seconds the view covers.
+    pub fn span_s(&self) -> f64 {
+        self.span_s
+    }
+
+    /// Counter increments over the window (0 for an unknown counter).
+    pub fn delta(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Counter rate over the window, events per second.
+    pub fn rate(&self, name: &str) -> f64 {
+        if self.span_s <= 0.0 {
+            0.0
+        } else {
+            self.delta(name) as f64 / self.span_s
+        }
+    }
+
+    /// Windowed histogram quantile (`None` if absent or empty).
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let h = self.histograms.get(name)?;
+        h.quantile(q)
+    }
+
+    /// Windowed histogram mean (`None` if absent or empty).
+    pub fn hist_mean(&self, name: &str) -> Option<f64> {
+        self.histograms.get(name)?.mean()
+    }
+
+    /// Windowed histogram sample count.
+    pub fn hist_count(&self, name: &str) -> u64 {
+        self.histograms.get(name).map(|h| h.count()).unwrap_or(0)
+    }
+
+    /// Gauge sample summary over the window.
+    pub fn gauge(&self, name: &str) -> Option<&GaugeStats> {
+        self.gauges.get(name)
+    }
+}
+
+/// Maintains the ring of interval deltas over one registry.
+///
+/// Drive it from the discrete-event loop: call [`MetricsWindow::tick`]
+/// once per interval boundary with the registry and the current virtual
+/// time. Memory is bounded by `intervals` × live metric count.
+#[derive(Debug, Default)]
+pub struct MetricsWindow {
+    cfg: WindowConfig,
+    prev: Option<MetricsSnapshot>,
+    ring: VecDeque<IntervalDelta>,
+    ticks: u64,
+}
+
+impl MetricsWindow {
+    /// An empty window with the given shape.
+    pub fn new(cfg: WindowConfig) -> Self {
+        MetricsWindow {
+            cfg,
+            prev: None,
+            ring: VecDeque::with_capacity(cfg.intervals.max(1)),
+            ticks: 0,
+        }
+    }
+
+    /// The configured shape.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// Ticks observed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Close the current interval at virtual time `t_s`: diff the registry
+    /// against the previous tick's snapshot and push the delta into the
+    /// ring (evicting the oldest interval once full).
+    pub fn tick(&mut self, registry: &MetricsRegistry, t_s: f64) {
+        let snap = registry.snapshot();
+        let mut delta = IntervalDelta {
+            t_s,
+            ..Default::default()
+        };
+        for (name, &v) in &snap.counters {
+            let before = self
+                .prev
+                .as_ref()
+                .and_then(|p| p.counters.get(name))
+                .copied()
+                .unwrap_or(0);
+            delta
+                .counters
+                .insert(name.clone(), v.saturating_sub(before));
+        }
+        for (name, &v) in &snap.gauges {
+            delta.gauges.insert(name.clone(), v);
+        }
+        for (name, h) in &snap.histograms {
+            let d = match self.prev.as_ref().and_then(|p| p.histograms.get(name)) {
+                Some(before) => h.delta_since(before),
+                None => h.clone(),
+            };
+            delta.histograms.insert(name.clone(), d);
+        }
+        self.ring.push_back(delta);
+        while self.ring.len() > self.cfg.intervals.max(1) {
+            self.ring.pop_front();
+        }
+        self.prev = Some(snap);
+        self.ticks += 1;
+    }
+
+    /// Merge the retained intervals into one view.
+    pub fn view(&self) -> WindowView {
+        let mut view = WindowView {
+            from_s: self.ring.front().map(|d| d.t_s).unwrap_or(0.0),
+            to_s: self.ring.back().map(|d| d.t_s).unwrap_or(0.0),
+            span_s: self.ring.len() as f64 * self.cfg.interval_s,
+            ..Default::default()
+        };
+        for d in &self.ring {
+            for (name, &v) in &d.counters {
+                *view.counters.entry(name.clone()).or_insert(0) += v;
+            }
+            for (name, &v) in &d.gauges {
+                view.gauges.entry(name.clone()).or_default().observe(v);
+            }
+            for (name, h) in &d.histograms {
+                view.histograms
+                    .entry(name.clone())
+                    .and_modify(|acc| acc.merge(h))
+                    .or_insert_with(|| h.clone());
+            }
+        }
+        view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn window() -> MetricsWindow {
+        MetricsWindow::new(WindowConfig {
+            interval_s: 300.0,
+            intervals: 3,
+        })
+    }
+
+    #[test]
+    fn counter_deltas_slide_out_of_the_window() {
+        let reg = MetricsRegistry::new();
+        let mut w = window();
+        let c = reg.counter("events");
+        // 10 events in interval 1, then silence.
+        c.add(10);
+        w.tick(&reg, 300.0);
+        assert_eq!(w.view().delta("events"), 10);
+        for k in 2..=4 {
+            w.tick(&reg, k as f64 * 300.0);
+        }
+        // Interval 1 has slid out: the burst is gone from the view.
+        assert_eq!(w.view().delta("events"), 0);
+        assert_eq!(w.view().rate("events"), 0.0);
+        assert_eq!(w.view().span_s(), 900.0);
+    }
+
+    #[test]
+    fn windowed_quantiles_see_only_recent_samples() {
+        let reg = MetricsRegistry::new();
+        let mut w = window();
+        let h = reg.histogram("latency_ms");
+        for _ in 0..100 {
+            h.record(1.0);
+        }
+        w.tick(&reg, 300.0);
+        for _ in 0..100 {
+            h.record(1000.0);
+        }
+        w.tick(&reg, 600.0);
+        // Cumulative p50 is 1.0 (or near), but the most recent interval
+        // alone is all-slow; a 2-interval view mixes both.
+        let view = w.view();
+        assert_eq!(view.hist_count("latency_ms"), 200);
+        let p99 = view.quantile("latency_ms", 0.99).unwrap();
+        assert!((p99 - 1000.0).abs() <= 0.02 * 1000.0, "p99 {p99}");
+        // Slide the fast interval out entirely.
+        w.tick(&reg, 900.0);
+        w.tick(&reg, 1200.0);
+        let view = w.view();
+        assert_eq!(view.hist_count("latency_ms"), 100);
+        let p50 = view.quantile("latency_ms", 0.5).unwrap();
+        assert!((p50 - 1000.0).abs() <= 0.02 * 1000.0, "p50 {p50}");
+        assert!((view.hist_mean("latency_ms").unwrap() - 1000.0).abs() < 25.0);
+    }
+
+    #[test]
+    fn gauges_are_sampled_per_tick() {
+        let reg = MetricsRegistry::new();
+        let mut w = window();
+        let g = reg.gauge("backlog");
+        for (t, v) in [(300.0, 5.0), (600.0, 9.0), (900.0, 1.0)] {
+            g.set(v);
+            w.tick(&reg, t);
+        }
+        let view = w.view();
+        let stats = view.gauge("backlog").unwrap();
+        assert_eq!(stats.samples, 3);
+        assert_eq!(stats.max, 9.0);
+        assert_eq!(stats.last, 1.0);
+        assert!((stats.mean().unwrap() - 5.0).abs() < 1e-9);
+        assert_eq!(view.from_s, 300.0);
+        assert_eq!(view.to_s, 900.0);
+    }
+
+    #[test]
+    fn empty_window_is_inert() {
+        let w = window();
+        let view = w.view();
+        assert_eq!(view.delta("anything"), 0);
+        assert_eq!(view.rate("anything"), 0.0);
+        assert!(view.quantile("anything", 0.5).is_none());
+        assert_eq!(view.span_s(), 0.0);
+    }
+}

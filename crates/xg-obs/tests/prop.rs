@@ -1,7 +1,9 @@
-//! Property-based invariants of the log-linear histogram.
+//! Property-based invariants of the log-linear histogram and the
+//! black-box flight recorder.
 
 use proptest::prelude::*;
-use xg_obs::{Histogram, HistogramConfig};
+use xg_obs::clock::ClockDomain;
+use xg_obs::{FlightRecorder, Histogram, HistogramConfig, SpanRecord};
 
 /// Exact nearest-rank quantile of a sorted sample vector, matching the
 /// rank convention `HistogramSnapshot::quantile` documents.
@@ -67,5 +69,107 @@ proptest! {
             merged.merge(&s.snapshot());
         }
         prop_assert_eq!(merged, single.snapshot());
+    }
+}
+
+/// Build a random forest of spans: `parent_pick[i]` selects span i's
+/// parent among the earlier spans of the same trace (or none), and
+/// `order_key` shuffles the order they reach the recorder — children
+/// routinely arrive before their parents, like a multi-threaded run.
+fn span_forest(
+    traces: &[u8],
+    parent_pick: &[u8],
+    order_key: &[u32],
+) -> (Vec<SpanRecord>, Vec<usize>) {
+    let n = traces.len();
+    let mut spans = Vec::with_capacity(n);
+    for i in 0..n {
+        let trace = u64::from(traces[i] % 3) + 1;
+        let earlier: Vec<u64> = spans
+            .iter()
+            .filter(|s: &&SpanRecord| s.trace == trace)
+            .map(|s| s.id)
+            .collect();
+        let parent = if earlier.is_empty() || parent_pick[i].is_multiple_of(4) {
+            None
+        } else {
+            Some(earlier[usize::from(parent_pick[i]) % earlier.len()])
+        };
+        spans.push(SpanRecord {
+            trace,
+            id: i as u64 + 1,
+            parent,
+            name: format!("stage{}", i % 7),
+            domain: ClockDomain::Sim,
+            start_us: i as u64 * 100,
+            end_us: i as u64 * 100 + 50,
+            attrs: vec![],
+        });
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (order_key[i], i));
+    (spans, order)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The recorder's memory stays within its fixed budget under any
+    /// stream, every eviction is accounted for, and the surviving
+    /// entries are the most recent ones in global sequence order.
+    #[test]
+    fn recorder_memory_stays_bounded(
+        traces in proptest::collection::vec(any::<u8>(), 1..250),
+        capacity in 4usize..80,
+        shards in 1usize..6,
+    ) {
+        let n = traces.len();
+        let rec = FlightRecorder::with_shards(capacity, shards);
+        let (spans, _) = span_forest(&traces, &vec![0; n], &vec![0; n]);
+        for s in spans {
+            rec.record_span(s);
+        }
+        prop_assert!(rec.len() <= rec.capacity(),
+            "len {} over capacity {}", rec.len(), rec.capacity());
+        prop_assert_eq!(rec.dropped() as usize + rec.len(), n);
+        let entries = rec.entries();
+        prop_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        if let Some((last_seq, _)) = entries.last() {
+            prop_assert_eq!(*last_seq, n as u64 - 1, "newest entry always survives");
+        }
+    }
+
+    /// However spans interleave (children recorded before parents,
+    /// traces mixed, arbitrary eviction pressure), the dump order puts
+    /// every surviving parent before all of its surviving children.
+    #[test]
+    fn recorder_dump_preserves_causal_order(
+        traces in proptest::collection::vec(any::<u8>(), 1..120),
+        parent_pick in proptest::collection::vec(any::<u8>(), 120),
+        order_key in proptest::collection::vec(any::<u32>(), 120),
+        capacity in 4usize..96,
+        shards in 1usize..5,
+    ) {
+        let rec = FlightRecorder::with_shards(capacity, shards);
+        let (spans, order) = span_forest(&traces, &parent_pick, &order_key);
+        for &i in &order {
+            rec.record_span(spans[i].clone());
+        }
+        let dumped = rec.ordered_spans();
+        prop_assert_eq!(dumped.len(), rec.len());
+        for (pos, s) in dumped.iter().enumerate() {
+            if let Some(p) = s.parent {
+                if let Some(ppos) = dumped
+                    .iter()
+                    .position(|c| c.trace == s.trace && c.id == p)
+                {
+                    prop_assert!(
+                        ppos < pos,
+                        "span {} at {} precedes its parent {} at {}",
+                        s.id, pos, p, ppos
+                    );
+                }
+            }
+        }
     }
 }

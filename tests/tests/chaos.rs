@@ -6,11 +6,30 @@
 //! availability end to end, and an HPC site outage mid-pilot must fail
 //! over to the next-best site with the CFD still completing.
 
+use std::path::PathBuf;
 use xg_cspot::outage::OutageConfig;
 use xg_fabric::orchestrator::{FabricConfig, XgFabric};
 use xg_fabric::timeline::Event;
 use xg_faults::{FaultKind, FaultPlan};
 use xg_hpc::site::SiteProfile;
+use xg_obs::slo::Hysteresis;
+use xg_obs::window::WindowConfig;
+use xg_obs::Obs;
+
+/// A fresh per-test black-box directory under the workspace's
+/// `results/blackbox/`. Passing tests clean up after themselves; a
+/// failing test leaves its bundles behind, where CI uploads them as the
+/// diagnostic artifact.
+fn blackbox_dir(tag: &str) -> PathBuf {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests crate lives one level under the workspace root")
+        .join("results")
+        .join("blackbox")
+        .join(tag);
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
 
 fn chaos_config(seed: u64, faults: FaultPlan) -> FabricConfig {
     FabricConfig {
@@ -159,4 +178,127 @@ fn combined_network_and_site_chaos_keeps_the_loop_alive() {
     assert_eq!(fab.timeline().telemetry_latencies_ms().len(), 288);
     assert!(fab.timeline().fault_activations() >= 3);
     assert!((fab.now_s() - 288.0 * 300.0).abs() < 1e-6);
+}
+
+#[test]
+fn slo_watchdog_alone_degrades_and_recovers_with_black_box_evidence() {
+    // Acceptance criterion for the active-observability PR: a moderate
+    // RAN fade slows every append ~8x but parks nothing (HARQ recovers
+    // the transport blocks), so the backlog ladder never sees it. No
+    // explicit degradation trigger exists anywhere in this test — the
+    // orchestrator must degrade and recover purely on the SLO watchdog's
+    // measured breach/recovery events, and the black-box flight recorder
+    // must dump bundles that show the transition.
+    let dir = blackbox_dir("slo");
+    let faults = FaultPlan::builder(53)
+        .scripted(
+            1_800.0,
+            3_600.0,
+            FaultKind::RanDegradation {
+                cell: "UNL-5G".into(),
+                snr_offset_db: -12.0,
+            },
+        )
+        .build();
+    let mut fab = XgFabric::new(FabricConfig {
+        obs: Obs::enabled(),
+        blackbox_dir: Some(dir.clone()),
+        slo_window: WindowConfig {
+            interval_s: 300.0,
+            intervals: 3,
+        },
+        slo_hysteresis: Hysteresis {
+            breach_after: 2,
+            clear_after: 2,
+        },
+        ..chaos_config(53, faults)
+    });
+    let mut max_backlog = 0;
+    let mut saw_slo_level = false;
+    for _ in 0..40 {
+        fab.run_report_cycle().unwrap();
+        max_backlog = max_backlog.max(fab.telemetry_backlog());
+        saw_slo_level |= fab.slo_degradation_target() >= 1;
+    }
+    assert_eq!(max_backlog, 0, "a moderate fade must not park telemetry");
+    assert!(saw_slo_level, "watchdog must have requested degradation");
+    assert_eq!(fab.degradation_level(), 0, "recovered after the fade");
+    // The breach caused the ladder move: the first SloBreached event
+    // precedes the first DegradationChanged in the timeline.
+    let events = &fab.timeline().events;
+    let breach_idx = events
+        .iter()
+        .position(|e| matches!(e, Event::SloBreached { .. }))
+        .expect("a breach event");
+    let degrade_idx = events
+        .iter()
+        .position(|e| matches!(e, Event::DegradationChanged { level: 1.., .. }))
+        .expect("a degradation event");
+    assert!(breach_idx < degrade_idx, "breach drives the ladder");
+    assert!(
+        fab.timeline().slo_recoveries() >= 1,
+        "recovery event logged"
+    );
+    // Black-box bundles were dumped: one per fault window, breach, and
+    // recovery, and at least one holds the annotated ladder transition.
+    let bundles = fab.blackbox_bundles();
+    assert!(bundles.len() >= 3, "fault + breach + recovery bundles");
+    assert!(bundles.iter().all(|p| p.exists()));
+    let all: String = bundles
+        .iter()
+        .map(|p| std::fs::read_to_string(p).unwrap())
+        .collect();
+    assert!(all.contains("\"schema\":\"xg-blackbox/v1\""));
+    assert!(all.contains("ran-degradation"), "fault context in bundles");
+    assert!(all.contains("slo breached"), "breach note in bundles");
+    assert!(
+        all.contains("degradation -> level 1"),
+        "transition visible in a bundle"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn outage_breaches_delivery_slo_and_heals_after_drain() {
+    // A 5G partition stops deliveries entirely: the `delta(delivered)`
+    // SLO must breach (with its black-box bundle), and the post-heal
+    // drain must clear the breach through the recovery hysteresis.
+    let dir = blackbox_dir("outage");
+    let faults = FaultPlan::builder(59)
+        .scripted(1_800.0, 3_600.0, partition_5g())
+        .build();
+    let mut fab = XgFabric::new(FabricConfig {
+        obs: Obs::enabled(),
+        blackbox_dir: Some(dir.clone()),
+        slo_window: WindowConfig {
+            interval_s: 300.0,
+            intervals: 3,
+        },
+        slo_hysteresis: Hysteresis {
+            breach_after: 2,
+            clear_after: 2,
+        },
+        ..chaos_config(59, faults)
+    });
+    fab.run_cycles(40).unwrap();
+    let rel = fab.reliability_report();
+    assert!(rel.lossless(), "partition delays, never loses: {rel}");
+    let wd = fab.slo_watchdog().expect("watchdog active");
+    assert!(wd.breach_events() >= 1, "outage must breach an SLO");
+    assert!(wd.recovery_events() >= 1, "drain must clear the breach");
+    assert!(wd.breached().is_empty(), "no SLO still breached at the end");
+    let breached_delivery = fab
+        .timeline()
+        .events
+        .iter()
+        .any(|e| matches!(e, Event::SloBreached { slo, .. } if slo.contains("delivered")));
+    assert!(breached_delivery, "the delivery SLO is the one that fired");
+    let bundles = fab.blackbox_bundles();
+    assert!(!bundles.is_empty(), "breach dumped a bundle");
+    let all: String = bundles
+        .iter()
+        .map(|p| std::fs::read_to_string(p).unwrap())
+        .collect();
+    assert!(all.contains("route-partition"), "fault context in bundles");
+    std::fs::remove_dir_all(&dir).ok();
 }
