@@ -14,7 +14,8 @@ fn sim_second(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut sim =
-                    LinkSimulator::new(CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0)), 1);
+                    LinkSimulator::try_new(CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0)), 1)
+                        .unwrap();
                 sim.attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
                     .unwrap();
                 sim
@@ -29,7 +30,7 @@ fn sim_second(c: &mut Criterion) {
             || {
                 let cell = CellConfig::new(Rat::Nr5g, Duplex::tdd_default(), MHz(40.0))
                     .with_slices(SliceConfig::complementary_pair(0.5).unwrap());
-                let mut sim = LinkSimulator::new(cell, 2);
+                let mut sim = LinkSimulator::try_new(cell, 2).unwrap();
                 for sd in [1, 2] {
                     sim.attach_with(
                         DeviceClass::RaspberryPi,

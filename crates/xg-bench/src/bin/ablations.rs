@@ -156,7 +156,7 @@ fn tdd_patterns(csv: &mut String, seed: u64) {
         ("DSUUU", TddPattern::parse("DSUUU").unwrap()),
     ] {
         let cell = CellConfig::new(Rat::Nr5g, Duplex::Tdd(pattern.clone()), MHz(40.0));
-        let mut sim = LinkSimulator::new(cell, seed);
+        let mut sim = LinkSimulator::try_new(cell, seed).expect("ablation configs are valid");
         let ue = sim
             .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
             .expect("attach");
@@ -184,7 +184,7 @@ fn scheduler_fairness(csv: &mut String, seed: u64) {
         ("proportional-fair", SchedulerKind::ProportionalFair),
     ] {
         let cell = CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0)).with_scheduler(kind);
-        let mut sim = LinkSimulator::new(cell, seed);
+        let mut sim = LinkSimulator::try_new(cell, seed).expect("ablation configs are valid");
         sim.attach_with(
             DeviceClass::RaspberryPi,
             Modem::Rm530nGl,
@@ -237,7 +237,7 @@ fn dynamic_vs_static_slicing(csv: &mut String, seed: u64) {
             ])
             .unwrap(),
         );
-        let mut sim = LinkSimulator::new(cell, seed);
+        let mut sim = LinkSimulator::try_new(cell, seed).expect("ablation configs are valid");
         let uploader = sim
             .attach_with(
                 DeviceClass::RaspberryPi,

@@ -164,6 +164,24 @@ fn main() {
                 );
                 csv.push_str(&format!("slo_recovered,{t_s},{slo} value={value:.2}\n"));
             }
+            Event::RanProbed {
+                t_s,
+                cells,
+                worst_cell,
+                worst_goodput_mbps,
+            } => {
+                // One probe per cycle: narrate only unhealthy batches to
+                // keep the timeline readable.
+                if *worst_goodput_mbps < 10.0 {
+                    println!(
+                        "t={:>6.0}s  RAN probe: worst cell {worst_cell} at {worst_goodput_mbps:.1} Mbps ({cells} cells)",
+                        t_s
+                    );
+                }
+                csv.push_str(&format!(
+                    "ran_probe,{t_s},{worst_cell}={worst_goodput_mbps:.2} cells={cells}\n"
+                ));
+            }
             Event::FailoverTriggered {
                 t_s,
                 from_site,

@@ -7,6 +7,7 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin fig4_single_user`
 
+use xg_bench::scenario::ScenarioBuilder;
 use xg_bench::{
     cell, effective_seed, iperf_samples, obs_from_env, print_run_header, sweeps, write_results,
 };
@@ -46,12 +47,13 @@ fn main() {
     for (rat, duplex, bws) in configs {
         for &bw in &bws {
             for device in DeviceClass::all() {
-                let modem = Modem::paper_default(device, rat);
                 let seed = base_seed ^ (bw as u64) << 8 ^ device as u64;
-                let mut sim =
-                    LinkSimulator::new(CellConfig::new(rat, duplex.clone(), MHz(bw)), seed);
-                let ue = sim.attach(device, modem).expect("modem matches RAT");
-                let run = sim.iperf_uplink(ue, samples);
+                let mut sc = ScenarioBuilder::new(rat, duplex.clone(), bw)
+                    .seed(seed)
+                    .ue(device)
+                    .build()
+                    .expect("paper sweep configs are valid");
+                let run = sc.sim.iperf_uplink(sc.ues[0], samples);
                 let summary = run.summary();
                 println!(
                     "{:<16} {:<12} {:>16}",

@@ -9,6 +9,7 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin fig5_two_user`
 
+use xg_bench::scenario::ScenarioBuilder;
 use xg_bench::{
     cell, effective_seed, iperf_samples, obs_from_env, print_run_header, sweeps, write_results,
 };
@@ -45,13 +46,14 @@ fn main() {
     for (rat, duplex, bws) in configs {
         for &bw in &bws {
             for device in DeviceClass::all() {
-                let modem = Modem::paper_default(device, rat);
                 let seed = base_seed ^ (bw as u64) << 8 ^ device as u64;
-                let mut sim =
-                    LinkSimulator::new(CellConfig::new(rat, duplex.clone(), MHz(bw)), seed);
-                sim.attach(device, modem).expect("modem matches RAT");
-                sim.attach(device, modem).expect("modem matches RAT");
-                let runs = sim.iperf_uplink_all(samples);
+                let mut sc = ScenarioBuilder::new(rat, duplex.clone(), bw)
+                    .seed(seed)
+                    .ue(device)
+                    .ue(device)
+                    .build()
+                    .expect("paper sweep configs are valid");
+                let runs = sc.sim.iperf_uplink_all(samples);
                 let s: Vec<IperfSummary> = runs.iter().map(|r| r.summary()).collect();
                 let aggregate: f64 = s.iter().map(|x| x.mean_mbps).sum();
                 println!(

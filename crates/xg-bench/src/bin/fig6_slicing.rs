@@ -9,6 +9,7 @@
 //!
 //! Run: `cargo run -p xg-bench --release --bin fig6_slicing`
 
+use xg_bench::scenario::ScenarioBuilder;
 use xg_bench::{
     cell, effective_seed, iperf_samples, obs_from_env, print_run_header, write_results,
 };
@@ -38,27 +39,23 @@ fn main() {
     for pct in (10..=90).step_by(10) {
         let share = pct as f64 / 100.0;
         let slices = SliceConfig::complementary_pair(share).expect("valid share");
-        let cellcfg =
-            CellConfig::new(Rat::Nr5g, Duplex::tdd_default(), MHz(40.0)).with_slices(slices);
-        let mut sim = LinkSimulator::new(cellcfg, base_seed ^ pct as u64);
         // RPi1 is the paper's weaker unit; RPi2 the stronger.
-        let _rpi1 = sim
-            .attach_with(
+        let mut sc = ScenarioBuilder::new(Rat::Nr5g, Duplex::tdd_default(), 40.0)
+            .slices(slices)
+            .seed(base_seed ^ pct as u64)
+            .ue_on_slice(
                 DeviceClass::RaspberryPi,
-                Modem::Rm530nGl,
                 Snssai::miot(1),
                 UnitVariation::rpi_unit_a(),
             )
-            .expect("attach rpi1");
-        let _rpi2 = sim
-            .attach_with(
+            .ue_on_slice(
                 DeviceClass::RaspberryPi,
-                Modem::Rm530nGl,
                 Snssai::miot(2),
                 UnitVariation::default(),
             )
-            .expect("attach rpi2");
-        let runs = sim.iperf_uplink_all(samples);
+            .build()
+            .expect("40 MHz TDD with complementary slices is valid");
+        let runs = sc.sim.iperf_uplink_all(samples);
         let s1 = runs[0].summary();
         let s2 = runs[1].summary();
         println!(

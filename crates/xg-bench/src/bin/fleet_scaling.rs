@@ -1,0 +1,249 @@
+//! Fleet scaling: serial-vs-parallel wall time for batched TTI stepping
+//! across a sharded multi-cell RAN fleet.
+//!
+//! Sweeps the cell count (1/4/16/64 by default, ~32 backlogged UEs per
+//! cell) and times the same one-second batch twice: once on a
+//! single-worker shard (`run_seconds_serial`) and once sharded across
+//! the host's cores (`run_seconds`). Because cells share no mutable
+//! state and each draws from its own seeded RNG, the two schedules must
+//! produce bitwise-identical per-UE goodput — the sweep cross-checks
+//! that on every repeat, so a data race or shard-order dependency shows
+//! up here as a hard failure, not a perf blip.
+//!
+//! Outputs: `results/fleet_scaling.csv` (per-point wall times, speedup,
+//! mean per-cell goodput) and `results/fleet_scaling.json` in the
+//! `xg-perf-trajectory/1` schema (`fleet{N}_serial_ms` /
+//! `fleet{N}_parallel_ms`), so fleet stepping joins the same p99
+//! regression gate as `perf_trajectory`.
+//!
+//! Run: `cargo run -p xg-bench --release --bin fleet_scaling`
+//! Flags: `--cells 1,4,16` to override the sweep,
+//! `--min-speedup 3.0` to fail unless the largest swept point reaches
+//! that parallel speedup. The speedup gate needs cores to show anything:
+//! below 4 available cores it is skipped, and the required ratio is
+//! capped at 60% of the core count so a 4-core CI runner is asked for
+//! ~2.4x, not a laptop-class 3x. `XG_PERF_SCALE` shrinks UE counts and
+//! repeats for CI.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use xg_bench::traj::{perf_scale, render, scaled, summarize, Summary, SCHEMA};
+use xg_bench::{claim_results, effective_seed, obs_from_env, print_run_header, write_results};
+use xg_net::prelude::*;
+
+/// One swept cell count, measured.
+struct Point {
+    cells: usize,
+    ues_per_cell: usize,
+    workers: usize,
+    serial_ms: Summary,
+    parallel_ms: Summary,
+    mean_goodput_mbps: f64,
+    bitwise_identical: bool,
+}
+
+impl Point {
+    fn speedup(&self) -> f64 {
+        self.serial_ms.mean / self.parallel_ms.mean
+    }
+}
+
+/// Build an n-cell fleet on the paper's 20 MHz 5G FDD cell with
+/// `ues_per_cell` backlogged Raspberry Pis in every cell.
+fn build_fleet(seed: u64, cells: usize, ues_per_cell: usize, workers: usize) -> RanFleet {
+    let mut fleet = RanFleet::builder(seed)
+        .cells(cells, CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0)))
+        .workers(workers)
+        .build()
+        .expect("paper cell config is valid");
+    for c in 0..cells as u32 {
+        for _ in 0..ues_per_cell {
+            let ue = fleet
+                .attach(CellId(c), DeviceClass::RaspberryPi, Modem::Rm530nGl)
+                .expect("cell exists");
+            fleet.set_backlogged(ue, true).expect("ue exists");
+        }
+    }
+    fleet
+}
+
+/// Flatten one batch result to a comparable bit pattern.
+fn fingerprint(batches: &[CellBatch]) -> Vec<(u32, u32, u64)> {
+    let mut out = Vec::new();
+    for b in batches {
+        for second in &b.seconds {
+            for (ue, mbps) in second {
+                out.push((b.cell.0, ue.id(), mbps.to_bits()));
+            }
+        }
+    }
+    out
+}
+
+/// Measure one cell count: `repeats` one-second batches per schedule,
+/// cross-checking bitwise equality on every repeat.
+fn sweep_point(seed: u64, cells: usize, ues_per_cell: usize, repeats: usize) -> Point {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Two fleets from the same seed: per-cell streams depend only on
+    // `cell_seed(seed, id)`, so they stay in lockstep across schedules.
+    let mut serial = build_fleet(seed, cells, ues_per_cell, 1);
+    let mut parallel = build_fleet(seed, cells, ues_per_cell, workers);
+    let mut serial_ms = Vec::with_capacity(repeats);
+    let mut parallel_ms = Vec::with_capacity(repeats);
+    let mut goodput_sum = 0.0;
+    let mut goodput_n = 0usize;
+    let mut bitwise_identical = true;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let a = serial.run_seconds_serial(1);
+        serial_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
+        let start = Instant::now();
+        let b = parallel.run_seconds(1);
+        parallel_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
+        bitwise_identical &= fingerprint(&a) == fingerprint(&b);
+        for batch in &a {
+            goodput_sum += batch.mean_goodput_mbps();
+            goodput_n += 1;
+        }
+    }
+    Point {
+        cells,
+        ues_per_cell,
+        workers,
+        serial_ms: summarize(&format!("fleet{cells}_serial_ms"), "ms", serial_ms),
+        parallel_ms: summarize(&format!("fleet{cells}_parallel_ms"), "ms", parallel_ms),
+        mean_goodput_mbps: goodput_sum / goodput_n.max(1) as f64,
+        bitwise_identical,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut cell_counts: Vec<usize> = vec![1, 4, 16, 64];
+    let mut min_speedup: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--cells" => {
+                cell_counts = args
+                    .next()
+                    .map(|s| {
+                        s.split(',')
+                            .map(|t| t.trim().parse().expect("--cells takes e.g. 1,4,16"))
+                            .collect()
+                    })
+                    .expect("--cells takes a list, e.g. 1,4,16");
+                assert!(!cell_counts.is_empty(), "--cells list must be non-empty");
+            }
+            "--min-speedup" => {
+                min_speedup = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--min-speedup takes a ratio, e.g. 3.0"),
+                );
+            }
+            other => {
+                eprintln!("unknown argument {other}; flags: --cells LIST | --min-speedup RATIO");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let seed = effective_seed(0xF1EE7);
+    let ues_per_cell = ((32.0 * perf_scale()) as usize).max(4);
+    let repeats = scaled(12);
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!("Fleet scaling — sharded multi-cell TTI stepping ({SCHEMA})");
+    print_run_header(seed, &obs_from_env());
+    println!(
+        "cores = {cores}, ues/cell = {ues_per_cell}, repeats = {repeats}, scale = {}",
+        perf_scale()
+    );
+    println!();
+    claim_results(&["fleet_scaling.csv", "fleet_scaling.json"]);
+
+    println!(
+        "{:>6} {:>9} {:>14} {:>14} {:>9} {:>14} {:>9}",
+        "cells", "ues/cell", "serial (ms)", "parallel (ms)", "speedup", "goodput (Mbps)", "bitwise"
+    );
+    let mut csv = String::from(
+        "cells,ues_per_cell,workers,repeats,serial_ms_mean,parallel_ms_mean,speedup,mean_goodput_mbps,bitwise_identical\n",
+    );
+    let mut points = Vec::with_capacity(cell_counts.len());
+    for &n in &cell_counts {
+        let p = sweep_point(seed, n, ues_per_cell, repeats);
+        println!(
+            "{:>6} {:>9} {:>14.2} {:>14.2} {:>8.2}x {:>14.2} {:>9}",
+            p.cells,
+            p.ues_per_cell,
+            p.serial_ms.mean,
+            p.parallel_ms.mean,
+            p.speedup(),
+            p.mean_goodput_mbps,
+            p.bitwise_identical
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{:.3},{:.3},{:.3},{:.3},{}\n",
+            p.cells,
+            p.ues_per_cell,
+            p.workers,
+            repeats,
+            p.serial_ms.mean,
+            p.parallel_ms.mean,
+            p.speedup(),
+            p.mean_goodput_mbps,
+            p.bitwise_identical
+        ));
+        points.push(p);
+    }
+
+    let metrics: Vec<Summary> = points
+        .iter()
+        .flat_map(|p| [p.serial_ms.clone(), p.parallel_ms.clone()])
+        .collect();
+    let csv_path = write_results("fleet_scaling.csv", &csv);
+    let json_path = write_results("fleet_scaling.json", &render(seed, &metrics));
+    println!("\nwrote {}", csv_path.display());
+    println!("wrote {}", json_path.display());
+
+    // The determinism cross-check is unconditional: a mismatch means the
+    // sharding broke the parallel == serial contract.
+    if let Some(p) = points.iter().find(|p| !p.bitwise_identical) {
+        eprintln!(
+            "\nFAILED: parallel and serial schedules diverged at {} cells — \
+             per-UE goodput must be bitwise identical regardless of worker count",
+            p.cells
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("\ndeterminism: parallel == serial bitwise at every swept point");
+
+    // The speedup gate is meaningful only with cores to spend; a
+    // single-core host runs the parallel path through the serial
+    // fast-path and can show no speedup at all.
+    if let Some(want) = min_speedup {
+        if cores < 4 {
+            println!("speedup gate skipped: {cores} core(s) available, need >= 4");
+        } else {
+            let p = points.last().expect("at least one swept point");
+            let required = want.min(0.6 * cores as f64);
+            let got = p.speedup();
+            if got < required {
+                eprintln!(
+                    "\nFAILED: speedup {got:.2}x at {} cells below required {required:.2}x \
+                     (asked {want:.2}x, capped by {cores} cores)",
+                    p.cells
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "speedup gate passed: {got:.2}x at {} cells (required {required:.2}x)",
+                p.cells
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,7 +1,7 @@
 //! Perf trajectory: a schema-versioned performance snapshot of the hot
 //! paths, plus a regression gate over a committed baseline.
 //!
-//! Five probes cover the layers a PR typically touches:
+//! Six probes cover the layers a PR typically touches:
 //!
 //! * `histogram_record_ns` — one log-linear histogram record (the cost
 //!   every instrumented call site pays when observability is on);
@@ -11,74 +11,37 @@
 //!   topology (protocol + storage CPU; the virtual clock makes the
 //!   simulated network free);
 //! * `cfd_sweep_ms` — one solver step on a small mesh;
+//! * `fleet_cell_second_ms` — one cell-second of batched TTI stepping
+//!   across a 4-cell RAN fleet (serial shard, so the number tracks the
+//!   per-cell cost rather than the host's core count);
 //! * `cycle_wall_ms` — one full orchestrated report cycle, wall clock,
 //!   with `cycle_transfer_virtual_ms` (deterministic virtual time) from
 //!   the same run as a machine-independent companion.
 //!
 //! Run: `cargo run -p xg-bench --release --bin perf_trajectory`
 //! (writes `results/perf_trajectory.json`), or
-//! `-- --emit BENCH_pr3.json` to write a baseline, or
-//! `-- --compare BENCH_pr3.json [--tolerance 0.10]` to run the gate: it
+//! `-- --emit BENCH_pr4.json` to write a baseline, or
+//! `-- --compare BENCH_pr4.json [--tolerance 0.10]` to run the gate: it
 //! exits nonzero when any metric's p99 regresses more than the tolerance
 //! over the baseline. `XG_PERF_SCALE=0.1` shrinks iteration counts for
 //! CI; wall-clock numbers move with the host, so CI gates should widen
 //! the tolerance rather than trust a baseline from another machine.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
+use xg_bench::traj::{
+    compare, perf_scale, render, scaled, summarize, write_atomic, Summary, SCHEMA,
+};
 use xg_bench::{effective_seed, obs_from_env, print_run_header, write_results};
 use xg_cfd::prelude::*;
 use xg_cspot::netsim::{SimClock, Topology};
 use xg_cspot::node::CspotNode;
 use xg_cspot::protocol::{RemoteAppender, RemoteConfig};
 use xg_fabric::orchestrator::{FabricConfig, XgFabric};
+use xg_net::prelude::*;
 use xg_obs::Obs;
-
-/// The emitted document's schema tag; bump on any field change.
-const SCHEMA: &str = "xg-perf-trajectory/1";
-
-/// Summary statistics of one probe's samples.
-struct Summary {
-    name: &'static str,
-    unit: &'static str,
-    n: usize,
-    p50: f64,
-    p99: f64,
-    mean: f64,
-    max: f64,
-}
-
-fn summarize(name: &'static str, unit: &'static str, mut samples: Vec<f64>) -> Summary {
-    assert!(!samples.is_empty(), "{name}: no samples");
-    samples.sort_by(f64::total_cmp);
-    let n = samples.len();
-    let rank = |q: f64| samples[(q * (n - 1) as f64).floor() as usize];
-    Summary {
-        name,
-        unit,
-        n,
-        p50: rank(0.5),
-        p99: rank(0.99),
-        mean: samples.iter().sum::<f64>() / n as f64,
-        max: samples[n - 1],
-    }
-}
-
-/// Iteration count scaled by `XG_PERF_SCALE` (floor 8 keeps quantiles
-/// meaningful on the smallest CI runs).
-fn scaled(base: usize) -> usize {
-    ((base as f64 * perf_scale()) as usize).max(8)
-}
-
-fn perf_scale() -> f64 {
-    std::env::var("XG_PERF_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|s: &f64| s.is_finite() && *s > 0.0)
-        .unwrap_or(1.0)
-}
 
 fn bench_histogram_record() -> Summary {
     let obs = Obs::enabled();
@@ -154,6 +117,35 @@ fn bench_cfd_sweep() -> Summary {
     summarize("cfd_sweep_ms", "ms", samples)
 }
 
+fn bench_fleet_step(seed: u64) -> Summary {
+    const CELLS: u32 = 4;
+    const UES_PER_CELL: usize = 4;
+    let mut fleet = RanFleet::builder(seed)
+        .cells(
+            CELLS as usize,
+            CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0)),
+        )
+        .workers(1)
+        .build()
+        .expect("paper cell config is valid");
+    for c in 0..CELLS {
+        for _ in 0..UES_PER_CELL {
+            let ue = fleet
+                .attach(CellId(c), DeviceClass::RaspberryPi, Modem::Rm530nGl)
+                .expect("cell exists");
+            fleet.set_backlogged(ue, true).expect("ue exists");
+        }
+    }
+    let batches = scaled(24);
+    let mut samples = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let start = Instant::now();
+        fleet.run_seconds(1);
+        samples.push(start.elapsed().as_secs_f64() * 1_000.0 / CELLS as f64);
+    }
+    summarize("fleet_cell_second_ms", "ms", samples)
+}
+
 fn bench_closed_loop(seed: u64) -> (Summary, Summary) {
     let mut fab = XgFabric::new(FabricConfig {
         seed,
@@ -191,153 +183,13 @@ fn run_probes(seed: u64) -> Vec<Summary> {
     out.push(bench_cspot_append(seed));
     eprintln!("  cfd sweep ...");
     out.push(bench_cfd_sweep());
+    eprintln!("  fleet step ...");
+    out.push(bench_fleet_step(seed));
     eprintln!("  closed loop ...");
     let (wall, virt) = bench_closed_loop(seed);
     out.push(wall);
     out.push(virt);
     out
-}
-
-/// Render the document. One metric per line: greppable, diffable, and
-/// parseable by [`parse_metrics`] without a JSON library.
-fn render(seed: u64, metrics: &[Summary]) -> String {
-    let mut s = String::new();
-    s.push_str("{\n");
-    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
-    s.push_str(&format!("  \"seed\": {seed},\n"));
-    s.push_str(&format!("  \"scale\": {},\n", perf_scale()));
-    s.push_str("  \"metrics\": [\n");
-    for (i, m) in metrics.iter().enumerate() {
-        s.push_str(&format!(
-            "    {{\"name\":\"{}\",\"unit\":\"{}\",\"n\":{},\"p50\":{:.3},\"p99\":{:.3},\"mean\":{:.3},\"max\":{:.3}}}{}\n",
-            m.name,
-            m.unit,
-            m.n,
-            m.p50,
-            m.p99,
-            m.mean,
-            m.max,
-            if i + 1 < metrics.len() { "," } else { "" }
-        ));
-    }
-    s.push_str("  ]\n}\n");
-    s
-}
-
-/// Extract `(name, p99)` pairs from a document [`render`] produced.
-///
-/// Deliberately line-oriented rather than a JSON parser: the gate only
-/// ever reads files this binary wrote, and a format drift should fail
-/// loudly (no metrics parsed) rather than half-parse.
-fn parse_metrics(doc: &str) -> Vec<(String, f64)> {
-    let mut out = Vec::new();
-    for line in doc.lines() {
-        let Some(name) = extract_str(line, "name") else {
-            continue;
-        };
-        if let Some(p99) = extract_f64(line, "p99") {
-            out.push((name, p99));
-        }
-    }
-    out
-}
-
-fn extract_str(line: &str, key: &str) -> Option<String> {
-    let rest = line.split(&format!("\"{key}\":\"")).nth(1)?;
-    Some(rest.split('"').next()?.to_string())
-}
-
-fn extract_f64(line: &str, key: &str) -> Option<f64> {
-    let rest = line.split(&format!("\"{key}\":")).nth(1)?;
-    rest.trim_start()
-        .split([',', '}'])
-        .next()?
-        .trim()
-        .parse()
-        .ok()
-}
-
-fn schema_of(doc: &str) -> Option<String> {
-    doc.lines()
-        .find(|l| l.contains("\"schema\""))
-        .and_then(|l| l.split('"').nth(3).map(str::to_string))
-}
-
-/// Atomic write for arbitrary paths (baselines live outside `results/`).
-fn write_atomic(path: &Path, contents: &str) {
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, contents).expect("baseline writable");
-    std::fs::rename(&tmp, path).expect("baseline renamable");
-}
-
-fn compare(baseline_path: &Path, current: &[Summary], tolerance: f64) -> ExitCode {
-    let doc = match std::fs::read_to_string(baseline_path) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("cannot read baseline {}: {e}", baseline_path.display());
-            return ExitCode::FAILURE;
-        }
-    };
-    match schema_of(&doc).as_deref() {
-        Some(SCHEMA) => {}
-        other => {
-            eprintln!("baseline schema {other:?}, expected {SCHEMA:?}");
-            return ExitCode::FAILURE;
-        }
-    }
-    let baseline = parse_metrics(&doc);
-    if baseline.is_empty() {
-        eprintln!("baseline {} holds no metrics", baseline_path.display());
-        return ExitCode::FAILURE;
-    }
-    println!(
-        "\n{:<28} {:>12} {:>12} {:>8}  verdict (tolerance +{:.0}%)",
-        "metric",
-        "base p99",
-        "now p99",
-        "delta",
-        tolerance * 100.0
-    );
-    let mut failed = false;
-    for (name, base_p99) in &baseline {
-        let Some(m) = current.iter().find(|m| m.name == *name) else {
-            println!(
-                "{name:<28} {base_p99:>12.3} {:>12} {:>8}  MISSING",
-                "-", "-"
-            );
-            failed = true;
-            continue;
-        };
-        let delta = m.p99 / base_p99 - 1.0;
-        let regressed = delta > tolerance;
-        failed |= regressed;
-        println!(
-            "{:<28} {:>12.3} {:>12.3} {:>7.1}%  {}",
-            name,
-            base_p99,
-            m.p99,
-            delta * 100.0,
-            if regressed { "REGRESSED" } else { "ok" }
-        );
-    }
-    for m in current {
-        if !baseline.iter().any(|(n, _)| n == m.name) {
-            println!(
-                "{:<28} {:>12} {:>12.3} {:>8}  new (no baseline)",
-                m.name, "-", m.p99, "-"
-            );
-        }
-    }
-    if failed {
-        eprintln!(
-            "\nperf gate FAILED: p99 regression beyond {:.0}%",
-            tolerance * 100.0
-        );
-        ExitCode::FAILURE
-    } else {
-        println!("\nperf gate passed");
-        ExitCode::SUCCESS
-    }
 }
 
 fn main() -> ExitCode {
@@ -385,41 +237,13 @@ fn main() -> ExitCode {
         println!("\nwrote {}", p.display());
     }
     match &baseline {
-        Some(b) => compare(b, &metrics, tolerance),
-        None => ExitCode::SUCCESS,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn sample() -> Summary {
-        Summary {
-            name: "histogram_record_ns",
-            unit: "ns",
-            n: 100,
-            p50: 10.0,
-            p99: 42.5,
-            mean: 12.0,
-            max: 80.0,
+        Some(b) => {
+            if compare(b, &metrics, tolerance) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
-    }
-
-    #[test]
-    fn render_roundtrips_through_parser() {
-        let doc = render(7, &[sample()]);
-        assert_eq!(schema_of(&doc).as_deref(), Some(SCHEMA));
-        let parsed = parse_metrics(&doc);
-        assert_eq!(parsed, vec![("histogram_record_ns".to_string(), 42.5)]);
-    }
-
-    #[test]
-    fn summarize_orders_quantiles() {
-        let s = summarize("cfd_sweep_ms", "ms", (1..=100).map(f64::from).collect());
-        assert_eq!(s.p50, 50.0);
-        assert_eq!(s.p99, 99.0);
-        assert_eq!(s.max, 100.0);
-        assert!((s.mean - 50.5).abs() < 1e-9);
+        None => ExitCode::SUCCESS,
     }
 }

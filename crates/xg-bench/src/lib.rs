@@ -7,6 +7,9 @@
 
 use std::path::PathBuf;
 
+pub mod scenario;
+pub mod traj;
+
 /// Directory where figure data lands (`results/` under the workspace).
 pub fn results_dir() -> PathBuf {
     let dir = workspace_root().join("results");

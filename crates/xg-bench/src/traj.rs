@@ -1,0 +1,248 @@
+//! The `xg-perf-trajectory/1` document: summary statistics per metric,
+//! a line-oriented JSON renderer, the matching parser, and the p99
+//! regression gate. Shared by `perf_trajectory` (the cross-layer probe
+//! suite) and `fleet_scaling` (the RAN fleet serial-vs-parallel sweep)
+//! so both emit baselines the same CI gate can consume.
+
+use std::path::Path;
+
+/// The emitted document's schema tag; bump on any field change.
+pub const SCHEMA: &str = "xg-perf-trajectory/1";
+
+/// Summary statistics of one probe's samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Metric name (one token, no quotes).
+    pub name: String,
+    /// Unit label (ns/us/ms).
+    pub unit: String,
+    /// Sample count.
+    pub n: usize,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile (the gated statistic).
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Sort the samples and extract the summary quantiles.
+pub fn summarize(name: &str, unit: &str, mut samples: Vec<f64>) -> Summary {
+    assert!(!samples.is_empty(), "{name}: no samples");
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    let rank = |q: f64| samples[(q * (n - 1) as f64).floor() as usize];
+    Summary {
+        name: name.to_string(),
+        unit: unit.to_string(),
+        n,
+        p50: rank(0.5),
+        p99: rank(0.99),
+        mean: samples.iter().sum::<f64>() / n as f64,
+        max: samples[n - 1],
+    }
+}
+
+/// Iteration count scaled by `XG_PERF_SCALE` (floor 8 keeps quantiles
+/// meaningful on the smallest CI runs).
+pub fn scaled(base: usize) -> usize {
+    ((base as f64 * perf_scale()) as usize).max(8)
+}
+
+/// The `XG_PERF_SCALE` multiplier (1.0 when unset or invalid).
+pub fn perf_scale() -> f64 {
+    std::env::var("XG_PERF_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|s: &f64| s.is_finite() && *s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Render the document. One metric per line: greppable, diffable, and
+/// parseable by [`parse_metrics`] without a JSON library.
+pub fn render(seed: u64, metrics: &[Summary]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"scale\": {},\n", perf_scale()));
+    s.push_str("  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\":\"{}\",\"unit\":\"{}\",\"n\":{},\"p50\":{:.3},\"p99\":{:.3},\"mean\":{:.3},\"max\":{:.3}}}{}\n",
+            m.name,
+            m.unit,
+            m.n,
+            m.p50,
+            m.p99,
+            m.mean,
+            m.max,
+            if i + 1 < metrics.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extract `(name, p99)` pairs from a document [`render`] produced.
+///
+/// Deliberately line-oriented rather than a JSON parser: the gate only
+/// ever reads files this crate wrote, and a format drift should fail
+/// loudly (no metrics parsed) rather than half-parse.
+pub fn parse_metrics(doc: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in doc.lines() {
+        let Some(name) = extract_str(line, "name") else {
+            continue;
+        };
+        if let Some(p99) = extract_f64(line, "p99") {
+            out.push((name, p99));
+        }
+    }
+    out
+}
+
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let rest = line.split(&format!("\"{key}\":\"")).nth(1)?;
+    Some(rest.split('"').next()?.to_string())
+}
+
+fn extract_f64(line: &str, key: &str) -> Option<f64> {
+    let rest = line.split(&format!("\"{key}\":")).nth(1)?;
+    rest.trim_start()
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// The document's schema tag, if present.
+pub fn schema_of(doc: &str) -> Option<String> {
+    doc.lines()
+        .find(|l| l.contains("\"schema\""))
+        .and_then(|l| l.split('"').nth(3).map(str::to_string))
+}
+
+/// Atomic write for arbitrary paths (baselines live outside `results/`).
+pub fn write_atomic(path: &Path, contents: &str) {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, contents).expect("baseline writable");
+    std::fs::rename(&tmp, path).expect("baseline renamable");
+}
+
+/// Compare current metrics against a committed baseline, printing a
+/// verdict table. Returns `false` when any metric's p99 regressed more
+/// than `tolerance` over the baseline (or the baseline is unusable).
+pub fn compare(baseline_path: &Path, current: &[Summary], tolerance: f64) -> bool {
+    let doc = match std::fs::read_to_string(baseline_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+            return false;
+        }
+    };
+    match schema_of(&doc).as_deref() {
+        Some(SCHEMA) => {}
+        other => {
+            eprintln!("baseline schema {other:?}, expected {SCHEMA:?}");
+            return false;
+        }
+    }
+    let baseline = parse_metrics(&doc);
+    if baseline.is_empty() {
+        eprintln!("baseline {} holds no metrics", baseline_path.display());
+        return false;
+    }
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>8}  verdict (tolerance +{:.0}%)",
+        "metric",
+        "base p99",
+        "now p99",
+        "delta",
+        tolerance * 100.0
+    );
+    let mut failed = false;
+    for (name, base_p99) in &baseline {
+        let Some(m) = current.iter().find(|m| m.name == *name) else {
+            println!(
+                "{name:<28} {base_p99:>12.3} {:>12} {:>8}  MISSING",
+                "-", "-"
+            );
+            failed = true;
+            continue;
+        };
+        let delta = m.p99 / base_p99 - 1.0;
+        let regressed = delta > tolerance;
+        failed |= regressed;
+        println!(
+            "{:<28} {:>12.3} {:>12.3} {:>7.1}%  {}",
+            name,
+            base_p99,
+            m.p99,
+            delta * 100.0,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    for m in current {
+        if !baseline.iter().any(|(n, _)| n == &m.name) {
+            println!(
+                "{:<28} {:>12} {:>12.3} {:>8}  new (no baseline)",
+                m.name, "-", m.p99, "-"
+            );
+        }
+    }
+    if failed {
+        eprintln!(
+            "\nperf gate FAILED: p99 regression beyond {:.0}%",
+            tolerance * 100.0
+        );
+    } else {
+        println!("\nperf gate passed");
+    }
+    !failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Summary {
+        Summary {
+            name: "histogram_record_ns".into(),
+            unit: "ns".into(),
+            n: 100,
+            p50: 10.0,
+            p99: 42.5,
+            mean: 12.0,
+            max: 80.0,
+        }
+    }
+
+    #[test]
+    fn render_roundtrips_through_parser() {
+        let doc = render(7, &[sample()]);
+        assert_eq!(schema_of(&doc).as_deref(), Some(SCHEMA));
+        let parsed = parse_metrics(&doc);
+        assert_eq!(parsed, vec![("histogram_record_ns".to_string(), 42.5)]);
+    }
+
+    #[test]
+    fn summarize_orders_quantiles() {
+        let s = summarize("cfd_sweep_ms", "ms", (1..=100).map(f64::from).collect());
+        assert_eq!(s.p50, 50.0);
+        assert_eq!(s.p99, 99.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_metric_names_survive_the_roundtrip() {
+        let m = summarize("fleet16_parallel_ms", "ms", vec![3.0, 4.0, 5.0]);
+        let parsed = parse_metrics(&render(1, &[m]));
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].0, "fleet16_parallel_ms");
+    }
+}

@@ -9,6 +9,7 @@
 use std::fmt;
 use xg_cspot::CspotError;
 use xg_laminar::error::LaminarError;
+use xg_net::error::NetError;
 
 /// Errors surfaced by the fabric's data and control paths.
 #[derive(Debug)]
@@ -26,6 +27,9 @@ pub enum FabricError {
     Laminar(LaminarError),
     /// Every configured HPC site is offline; a CFD task cannot be placed.
     NoHpcSiteAvailable,
+    /// The RAN fleet rejected its topology (invalid cell config, unknown
+    /// gateway cell).
+    Net(NetError),
 }
 
 impl fmt::Display for FabricError {
@@ -39,6 +43,7 @@ impl fmt::Display for FabricError {
             FabricError::NoHpcSiteAvailable => {
                 write!(f, "no HPC site reachable for task placement")
             }
+            FabricError::Net(e) => write!(f, "ran: {e}"),
         }
     }
 }
@@ -48,6 +53,7 @@ impl std::error::Error for FabricError {
         match self {
             FabricError::Cspot(e) => Some(e),
             FabricError::Laminar(e) => Some(e),
+            FabricError::Net(e) => Some(e),
             _ => None,
         }
     }
@@ -62,6 +68,12 @@ impl From<CspotError> for FabricError {
 impl From<LaminarError> for FabricError {
     fn from(e: LaminarError) -> Self {
         FabricError::Laminar(e)
+    }
+}
+
+impl From<NetError> for FabricError {
+    fn from(e: NetError) -> Self {
+        FabricError::Net(e)
     }
 }
 

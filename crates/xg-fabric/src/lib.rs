@@ -49,6 +49,7 @@ pub mod error;
 pub mod intervention;
 pub mod orchestrator;
 pub mod pipeline;
+pub mod ran;
 pub mod reliability;
 pub mod robot;
 pub mod route;
@@ -61,6 +62,7 @@ pub mod prelude {
     pub use crate::intervention::{Intervention, InterventionAdvisor, SiteConditions};
     pub use crate::orchestrator::{FabricConfig, XgFabric};
     pub use crate::pipeline::{FieldGateway, TelemetryPipeline};
+    pub use crate::ran::{CellHealth, RanCellSpec, RanProbe, RanTopology};
     pub use crate::reliability::ReliabilityReport;
     pub use crate::robot::{Robot, RobotReport};
     pub use crate::route::RoutePlanner;

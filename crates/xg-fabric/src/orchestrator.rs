@@ -29,6 +29,7 @@ use crate::backtest::{Backtester, CalibrationSample};
 use crate::error::FabricError;
 use crate::intervention::{Intervention, InterventionAdvisor, SiteConditions};
 use crate::pipeline::{FieldGateway, ResultSummary, ResultsReturn};
+use crate::ran::{RanProbe, RanTopology};
 use crate::reliability::ReliabilityReport;
 use crate::robot::Robot;
 use crate::route::RoutePlanner;
@@ -88,6 +89,9 @@ pub struct FabricConfig {
     pub twin: DigitalTwin,
     /// Bounded capacity of the field gateway buffer (records).
     pub gateway_capacity: usize,
+    /// Multi-cell RAN layout: which cells exist, which one carries the
+    /// field gateway, and how the per-cycle probe batches are stepped.
+    pub ran: RanTopology,
     /// Fault schedule applied as virtual time advances.
     pub faults: FaultPlan,
     /// Observability handle. Disabled by default; an enabled handle is
@@ -146,6 +150,7 @@ impl Default for FabricConfig {
             cfd_cores: 64,
             twin: DigitalTwin::default(),
             gateway_capacity: 4096,
+            ran: RanTopology::default(),
             faults: FaultPlan::none(),
             obs: Obs::disabled(),
             slos: default_slos(),
@@ -245,6 +250,11 @@ pub struct XgFabric {
     /// 2 also skip non-critical results-return.
     degradation: u8,
     route_down: bool,
+    /// The live multi-cell RAN, probed every report cycle.
+    ran: RanProbe,
+    /// Whether the gateway's serving cell is partitioned (tracked apart
+    /// from `route_down` so either alone severs the telemetry path).
+    gateway_cell_partitioned: bool,
     /// When a detect duty cycle was first deferred for lack of fresh
     /// repository data (partition-starved); cleared by the detection
     /// that finally runs, which is charged the wait as inflation.
@@ -310,6 +320,9 @@ impl XgFabric {
             Arc::clone(&gateway.repo),
         )?;
         let faults = config.faults.clone();
+        // The RAN fleet gets its own seed stream so growing the topology
+        // never perturbs the sensor or gateway RNGs.
+        let ran = RanProbe::try_new(&config.ran, config.seed ^ 0x0052_414E, &config.obs)?;
         let obs = FabricObs::new(&config.obs);
         let (window, watchdog) = if config.obs.is_enabled() {
             (
@@ -352,6 +365,8 @@ impl XgFabric {
             retries: Vec::new(),
             degradation: 0,
             route_down: false,
+            ran,
+            gateway_cell_partitioned: false,
             deferred_check_since: None,
             wind_len_at_last_detect: 0,
             detections: 0,
@@ -431,6 +446,11 @@ impl XgFabric {
         self.gateway.backlog()
     }
 
+    /// The live multi-cell RAN probe (per-cell goodput and fade state).
+    pub fn ran(&self) -> &RanProbe {
+        &self.ran
+    }
+
     /// Ground-truth facility access (scenario scripting).
     pub fn facility_mut(&mut self) -> &mut CupsFacility {
         &mut self.net.facility
@@ -454,6 +474,21 @@ impl XgFabric {
         let changes = self.faults.advance_to(self.t_s);
         for c in &changes {
             self.apply_fault(c);
+        }
+        // Step the RAN fleet one probe batch: measured per-cell goodput
+        // lands on the registry (feeding the SLO window) and the worst
+        // cell lands on the timeline, every cycle.
+        let health = self.ran.probe();
+        if let Some(worst) = health
+            .iter()
+            .min_by(|a, b| a.goodput_mbps.total_cmp(&b.goodput_mbps))
+        {
+            self.timeline.push(Event::RanProbed {
+                t_s: self.t_s,
+                cells: health.len(),
+                worst_cell: worst.name.clone(),
+                worst_goodput_mbps: worst.goodput_mbps,
+            });
         }
         let raw = self.net.poll();
         // Quality control before anything becomes a CFD boundary
@@ -511,9 +546,14 @@ impl XgFabric {
     /// Reliability accounting for the run so far.
     pub fn reliability_report(&self) -> ReliabilityReport {
         let horizon = self.t_s;
-        let partition_down_s = self
-            .faults
-            .active_seconds(|k| matches!(k, FaultKind::RoutePartition { .. }));
+        // Either the WAN route or the gateway's own cell going down
+        // makes the repository unreachable from the field.
+        let gateway_cell = self.ran.gateway_cell_name();
+        let partition_down_s = self.faults.active_seconds(|k| match k {
+            FaultKind::RoutePartition { .. } => true,
+            FaultKind::CellPartition { cell } => cell == gateway_cell,
+            _ => false,
+        });
         let availability = if horizon > 0.0 {
             (1.0 - partition_down_s / horizon).clamp(0.0, 1.0)
         } else {
@@ -549,20 +589,35 @@ impl XgFabric {
 
     fn apply_fault(&mut self, change: &FaultChange) {
         match &change.kind {
-            // The fabric has one physical 5G route; any partition entry
-            // severs both the uplink and the results downlink.
+            // The WAN route is shared; a partition entry severs both the
+            // uplink and the results downlink for every cell.
             FaultKind::RoutePartition { .. } => {
-                self.gateway.set_partitioned(change.active);
-                self.results_return.set_partitioned(change.active);
                 self.route_down = change.active;
+                self.sync_partition();
             }
             FaultKind::PacketLossSurge { loss_prob, .. } => {
                 self.gateway
                     .set_loss(if change.active { *loss_prob } else { 0.0 });
             }
-            FaultKind::RanDegradation { snr_offset_db, .. } => {
-                self.gateway
-                    .set_access_degraded(change.active.then_some(*snr_offset_db));
+            FaultKind::RanDegradation {
+                cell,
+                snr_offset_db,
+            } => {
+                let offset = change.active.then_some(*snr_offset_db);
+                let known = self.ran.fade(cell, offset);
+                // Only the gateway's serving cell carries telemetry; a
+                // fade on any other cell stays local to the facilities
+                // pinned to it (visible in that cell's probe goodput).
+                if known && self.ran.serves_gateway(cell) {
+                    self.gateway.set_access_degraded(offset);
+                }
+            }
+            FaultKind::CellPartition { cell } => {
+                let known = self.ran.set_cell_down(cell, change.active);
+                if known && self.ran.serves_gateway(cell) {
+                    self.gateway_cell_partitioned = change.active;
+                    self.sync_partition();
+                }
             }
             FaultKind::HpcSiteOutage { site } => {
                 self.hpc.set_site_down(site, change.active);
@@ -611,6 +666,14 @@ impl XgFabric {
         if change.active {
             self.dump_blackbox(&format!("fault-window: {}", change.kind.describe()));
         }
+    }
+
+    /// The telemetry path is severed while either the WAN route or the
+    /// gateway's serving cell is down; it heals only when both are back.
+    fn sync_partition(&mut self) {
+        let down = self.route_down || self.gateway_cell_partitioned;
+        self.gateway.set_partitioned(down);
+        self.results_return.set_partitioned(down);
     }
 
     /// Move every task expected to still be running at the dead site into
@@ -870,7 +933,10 @@ impl XgFabric {
     /// visibly hurt (route down, telemetry parked, or a CFD task waiting
     /// on failover) until everything is clean again.
     fn track_impairment(&mut self) {
-        let impaired = self.route_down || self.gateway.backlog() > 0 || !self.retries.is_empty();
+        let impaired = self.route_down
+            || self.gateway_cell_partitioned
+            || self.gateway.backlog() > 0
+            || !self.retries.is_empty();
         match (self.impaired_since, impaired) {
             (None, true) => self.impaired_since = Some(self.t_s),
             (Some(start), false) => {

@@ -1,0 +1,340 @@
+//! Multi-cell RAN topology for the fabric.
+//!
+//! The paper's deployment is one cell (UNL's 5G CBRS site). A
+//! production fabric spans several: the field gateway camps on one cell
+//! while remote sensor clusters ride their own. [`RanTopology`]
+//! describes that layout, and [`RanProbe`] keeps a live
+//! [`RanFleet`](xg_net::fleet::RanFleet) stepping alongside the
+//! orchestrator so per-cell goodput and fade state are *measured* every
+//! report cycle — feeding the SLO window, the timeline, and per-cell
+//! fault targeting — instead of inferred from the gateway's latency
+//! alone.
+
+use std::sync::Arc;
+use xg_net::fleet::{CellId, FleetUe, RanFleet};
+use xg_net::prelude::{CellConfig, DeviceClass, Duplex, MHz, Modem, NetError, Rat};
+use xg_obs::Obs;
+
+/// SNR offset applied to a partitioned cell: far below any MCS floor,
+/// so every UE on it reads ~0 goodput.
+const CELL_DOWN_SNR_DB: f64 = -200.0;
+
+/// One named cell of the deployment.
+#[derive(Debug, Clone)]
+pub struct RanCellSpec {
+    /// Deployment label, matched by per-cell faults
+    /// (`FaultKind::RanDegradation` / `FaultKind::CellPartition`).
+    pub name: String,
+    /// Radio configuration.
+    pub config: CellConfig,
+    /// Backlogged probe UEs attached at construction — the synthetic
+    /// load whose measured goodput stands in for the cell's health.
+    pub probe_ues: usize,
+}
+
+impl RanCellSpec {
+    /// A cell with the paper's 20 MHz NR FDD profile and one probe UE.
+    pub fn paper_default(name: &str) -> Self {
+        RanCellSpec {
+            name: name.to_string(),
+            config: CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0)),
+            probe_ues: 1,
+        }
+    }
+}
+
+/// The fabric's multi-cell RAN layout.
+#[derive(Debug, Clone)]
+pub struct RanTopology {
+    /// Cells in fleet order (`CellId(i)` is `cells[i]`).
+    pub cells: Vec<RanCellSpec>,
+    /// Which cell the field gateway camps on: faults on this cell reach
+    /// the telemetry path; faults elsewhere stay local to their cell.
+    pub gateway_cell: String,
+    /// Simulated seconds each probe batch steps every report cycle.
+    pub probe_seconds: usize,
+    /// Worker-pool width for batched stepping (1 = serial; results are
+    /// identical either way).
+    pub workers: usize,
+}
+
+impl Default for RanTopology {
+    /// The paper's single-cell deployment: one UNL-5G cell carrying the
+    /// gateway, probed one second per cycle, stepped serially.
+    fn default() -> Self {
+        RanTopology {
+            cells: vec![RanCellSpec::paper_default("UNL-5G")],
+            gateway_cell: "UNL-5G".to_string(),
+            probe_seconds: 1,
+            workers: 1,
+        }
+    }
+}
+
+impl RanTopology {
+    /// A topology of `names.len()` paper-default cells with the gateway
+    /// pinned to the first.
+    pub fn with_cells(names: &[&str]) -> Self {
+        assert!(!names.is_empty(), "a topology needs at least one cell");
+        RanTopology {
+            cells: names
+                .iter()
+                .map(|n| RanCellSpec::paper_default(n))
+                .collect(),
+            gateway_cell: names[0].to_string(),
+            ..RanTopology::default()
+        }
+    }
+}
+
+/// Measured state of one cell after a probe batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellHealth {
+    /// Deployment label.
+    pub name: String,
+    /// Mean probe goodput over the batch (Mbps).
+    pub goodput_mbps: f64,
+    /// Fade currently injected (dB, 0 = nominal).
+    pub fade_db: f64,
+    /// Whether the cell is partitioned off the backhaul.
+    pub down: bool,
+}
+
+/// Per-cell bookkeeping alongside the fleet.
+struct CellState {
+    name: String,
+    ues: Vec<FleetUe>,
+    fade_db: f64,
+    down: bool,
+    goodput_gauge: Option<Arc<xg_obs::Gauge>>,
+    fade_gauge: Option<Arc<xg_obs::Gauge>>,
+}
+
+/// A live multi-cell RAN the orchestrator probes every report cycle.
+pub struct RanProbe {
+    fleet: RanFleet,
+    cells: Vec<CellState>,
+    gateway_cell: usize,
+    probe_seconds: usize,
+    goodput_hist: Option<Arc<xg_obs::Histogram>>,
+}
+
+impl RanProbe {
+    /// Build the fleet from the topology; cell RNG streams derive from
+    /// `seed` (same convention as the rest of the fabric).
+    pub fn try_new(topology: &RanTopology, seed: u64, obs: &Obs) -> Result<Self, NetError> {
+        let gateway_cell = topology
+            .cells
+            .iter()
+            .position(|c| c.name == topology.gateway_cell)
+            .ok_or_else(|| NetError::UnknownCellName(topology.gateway_cell.clone()))?;
+        let mut builder = RanFleet::builder(seed)
+            .workers(topology.workers.max(1))
+            .obs(obs);
+        for spec in &topology.cells {
+            builder = builder.cell(spec.config.clone());
+        }
+        let mut fleet = builder.build()?;
+        let reg = obs.registry();
+        let mut cells = Vec::with_capacity(topology.cells.len());
+        for (i, spec) in topology.cells.iter().enumerate() {
+            let mut ues = Vec::with_capacity(spec.probe_ues);
+            for _ in 0..spec.probe_ues {
+                let ue = fleet.attach(
+                    CellId(i as u32),
+                    DeviceClass::RaspberryPi,
+                    Modem::paper_default(DeviceClass::RaspberryPi, spec.config.rat),
+                )?;
+                fleet.set_backlogged(ue, true)?;
+                ues.push(ue);
+            }
+            cells.push(CellState {
+                name: spec.name.clone(),
+                ues,
+                fade_db: 0.0,
+                down: false,
+                goodput_gauge: reg
+                    .map(|r| r.gauge(&format!("fabric.ran.{}.goodput_mbps", spec.name))),
+                fade_gauge: reg.map(|r| r.gauge(&format!("fabric.ran.{}.fade_db", spec.name))),
+            });
+        }
+        Ok(RanProbe {
+            fleet,
+            cells,
+            gateway_cell,
+            probe_seconds: topology.probe_seconds.max(1),
+            goodput_hist: reg.map(|r| r.histogram("fabric.ran.cell_goodput_mbps")),
+        })
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the topology holds no cells (never true for a built probe).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The gateway cell's deployment label.
+    pub fn gateway_cell_name(&self) -> &str {
+        &self.cells[self.gateway_cell].name
+    }
+
+    /// Whether `name` is the cell the field gateway camps on.
+    pub fn serves_gateway(&self, name: &str) -> bool {
+        self.cells[self.gateway_cell].name == name
+    }
+
+    /// Whether the gateway's cell is currently partitioned.
+    pub fn gateway_cell_down(&self) -> bool {
+        self.cells[self.gateway_cell].down
+    }
+
+    /// Inject (or clear, with `None`) a fade on the named cell. Returns
+    /// `false` when no such cell exists (the fault is ignored).
+    pub fn fade(&mut self, name: &str, snr_offset_db: Option<f64>) -> bool {
+        let Some(i) = self.cells.iter().position(|c| c.name == name) else {
+            return false;
+        };
+        self.cells[i].fade_db = snr_offset_db.unwrap_or(0.0);
+        self.apply_offset(i);
+        true
+    }
+
+    /// Partition the named cell on or off the backhaul. Returns `false`
+    /// when no such cell exists.
+    pub fn set_cell_down(&mut self, name: &str, down: bool) -> bool {
+        let Some(i) = self.cells.iter().position(|c| c.name == name) else {
+            return false;
+        };
+        self.cells[i].down = down;
+        self.apply_offset(i);
+        true
+    }
+
+    /// Push the combined fade/partition offset into the cell's simulator.
+    fn apply_offset(&mut self, i: usize) {
+        let c = &self.cells[i];
+        let offset = if c.down { CELL_DOWN_SNR_DB } else { c.fade_db };
+        self.fleet
+            .set_cell_snr_offset_db(CellId(i as u32), offset)
+            .expect("cell index is in range by construction");
+    }
+
+    /// Step every cell one probe batch (sharded across the fleet's
+    /// worker pool) and report measured per-cell health, in cell order.
+    pub fn probe(&mut self) -> Vec<CellHealth> {
+        let batches = self.fleet.run_seconds(self.probe_seconds);
+        batches
+            .iter()
+            .map(|batch| {
+                let c = &self.cells[batch.cell.0 as usize];
+                let goodput = batch.mean_goodput_mbps();
+                if let Some(g) = &c.goodput_gauge {
+                    g.set(goodput);
+                }
+                if let Some(g) = &c.fade_gauge {
+                    g.set(if c.down { CELL_DOWN_SNR_DB } else { c.fade_db });
+                }
+                if let Some(h) = &self.goodput_hist {
+                    h.record(goodput);
+                }
+                CellHealth {
+                    name: c.name.clone(),
+                    goodput_mbps: goodput,
+                    fade_db: c.fade_db,
+                    down: c.down,
+                }
+            })
+            .collect()
+    }
+
+    /// Borrow the underlying fleet (diagnostics, tests).
+    pub fn fleet(&self) -> &RanFleet {
+        &self.fleet
+    }
+
+    /// The probe UEs attached to the named cell (`None` for unknown
+    /// cells).
+    pub fn probe_ues(&self, name: &str) -> Option<&[FleetUe]> {
+        self.cells
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.ues.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_topology_matches_the_paper() {
+        let topo = RanTopology::default();
+        let mut probe = RanProbe::try_new(&topo, 42, &Obs::disabled()).unwrap();
+        assert_eq!(probe.len(), 1);
+        assert!(probe.serves_gateway("UNL-5G"));
+        let health = probe.probe();
+        assert_eq!(health.len(), 1);
+        assert!(
+            health[0].goodput_mbps > 20.0,
+            "nominal probe UE must see real goodput, got {}",
+            health[0].goodput_mbps
+        );
+    }
+
+    #[test]
+    fn unknown_gateway_cell_is_a_construction_error() {
+        let topo = RanTopology {
+            gateway_cell: "NOWHERE".into(),
+            ..RanTopology::default()
+        };
+        assert!(matches!(
+            RanProbe::try_new(&topo, 1, &Obs::disabled()),
+            Err(NetError::UnknownCellName(_))
+        ));
+    }
+
+    #[test]
+    fn fade_and_partition_target_single_cells() {
+        let topo = RanTopology::with_cells(&["UNL-5G", "FIELD-B"]);
+        let mut probe = RanProbe::try_new(&topo, 7, &Obs::disabled()).unwrap();
+        let nominal = probe.probe();
+        assert!(probe.fade("FIELD-B", Some(-25.0)));
+        assert!(!probe.fade("NOWHERE", Some(-25.0)), "unknown cell ignored");
+        let faded = probe.probe();
+        assert!(
+            faded[1].goodput_mbps < nominal[1].goodput_mbps * 0.25,
+            "FIELD-B must collapse: {} vs {}",
+            faded[1].goodput_mbps,
+            nominal[1].goodput_mbps
+        );
+        assert!(
+            faded[0].goodput_mbps > nominal[0].goodput_mbps * 0.5,
+            "UNL-5G must stay healthy: {} vs {}",
+            faded[0].goodput_mbps,
+            nominal[0].goodput_mbps
+        );
+        // Clear the fade, partition instead: goodput goes to ~zero.
+        assert!(probe.fade("FIELD-B", None));
+        assert!(probe.set_cell_down("FIELD-B", true));
+        let downed = probe.probe();
+        assert!(downed[1].goodput_mbps < 0.01, "{}", downed[1].goodput_mbps);
+        assert!(!probe.gateway_cell_down(), "gateway rides its own cell");
+    }
+
+    #[test]
+    fn probe_records_per_cell_instruments() {
+        let obs = Obs::enabled();
+        let topo = RanTopology::with_cells(&["UNL-5G", "FIELD-B"]);
+        let mut probe = RanProbe::try_new(&topo, 3, &obs).unwrap();
+        probe.fade("FIELD-B", Some(-30.0));
+        probe.probe();
+        let reg = obs.registry().unwrap();
+        assert!(reg.gauge("fabric.ran.UNL-5G.goodput_mbps").get() > 20.0);
+        assert_eq!(reg.gauge("fabric.ran.FIELD-B.fade_db").get(), -30.0);
+        assert_eq!(reg.histogram("fabric.ran.cell_goodput_mbps").count(), 2);
+    }
+}

@@ -124,6 +124,17 @@ pub enum Event {
         /// The objective's threshold.
         threshold: f64,
     },
+    /// The per-cell RAN probe batch ran (one event per report cycle).
+    RanProbed {
+        /// Wall-clock time (s).
+        t_s: f64,
+        /// Cells probed.
+        cells: usize,
+        /// The cell with the lowest measured goodput this batch.
+        worst_cell: String,
+        /// That cell's mean probe goodput (Mbps).
+        worst_goodput_mbps: f64,
+    },
     /// A lost CFD task was resubmitted to another site.
     FailoverTriggered {
         /// Wall-clock time (s).

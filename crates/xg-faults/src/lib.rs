@@ -54,6 +54,16 @@ pub enum FaultKind {
         /// SNR offset in dB while active (negative = degraded).
         snr_offset_db: f64,
     },
+    /// A whole cell drops off the backhaul (fiber cut at the site, power
+    /// loss at the gNodeB): every UE camped on it loses service while
+    /// sibling cells are untouched
+    /// (`xg_net::fleet::RanFleet::set_cell_snr_offset_db` driven to the
+    /// noise floor, plus gateway partition when the gateway is pinned to
+    /// the cell).
+    CellPartition {
+        /// Cell identifier (deployment label).
+        cell: String,
+    },
     /// An HPC facility becomes unreachable: pilots die, in-flight tasks
     /// are lost (`xg_hpc::multisite::MultiSiteController::set_site_down`).
     HpcSiteOutage {
@@ -104,6 +114,7 @@ impl FaultKind {
                 cell,
                 snr_offset_db,
             } => format!("ran-degradation {cell} snr{snr_offset_db:+}dB"),
+            FaultKind::CellPartition { cell } => format!("cell-partition {cell}"),
             FaultKind::HpcSiteOutage { site } => format!("hpc-outage {site}"),
             FaultKind::HpcQueueStall { site } => format!("hpc-queue-stall {site}"),
             FaultKind::SensorDropout { station } => format!("sensor-dropout station{station}"),
@@ -189,6 +200,32 @@ impl FaultPlanBuilder {
             activations: 0,
         });
         self
+    }
+
+    /// Convenience: script a per-cell SNR fade on
+    /// `[start_s, start_s + duration_s)` — targets exactly one cell of a
+    /// multi-cell fleet.
+    pub fn fade_cell(self, start_s: f64, duration_s: f64, cell: &str, snr_offset_db: f64) -> Self {
+        self.scripted(
+            start_s,
+            duration_s,
+            FaultKind::RanDegradation {
+                cell: cell.to_string(),
+                snr_offset_db,
+            },
+        )
+    }
+
+    /// Convenience: script a full cell partition on
+    /// `[start_s, start_s + duration_s)`.
+    pub fn partition_cell(self, start_s: f64, duration_s: f64, cell: &str) -> Self {
+        self.scripted(
+            start_s,
+            duration_s,
+            FaultKind::CellPartition {
+                cell: cell.to_string(),
+            },
+        )
     }
 
     /// Finish the plan.
@@ -492,6 +529,32 @@ mod tests {
         assert_eq!(plan.active(), vec![&stuck1]);
         plan.advance_to(30.0);
         assert!(plan.active().is_empty());
+    }
+
+    #[test]
+    fn per_cell_conveniences_target_named_cells() {
+        let mut plan = FaultPlan::builder(5)
+            .fade_cell(100.0, 50.0, "FIELD-B", -25.0)
+            .partition_cell(200.0, 30.0, "FIELD-C")
+            .build();
+        plan.advance_to(120.0);
+        assert!(plan.is_active(&FaultKind::RanDegradation {
+            cell: "FIELD-B".into(),
+            snr_offset_db: -25.0,
+        }));
+        assert_eq!(plan.describe_active(), "ran-degradation FIELD-B snr-25dB");
+        plan.advance_to(210.0);
+        assert!(plan.is_active(&FaultKind::CellPartition {
+            cell: "FIELD-C".into(),
+        }));
+        assert_eq!(plan.describe_active(), "cell-partition FIELD-C");
+        plan.advance_to(300.0);
+        // Each convenience is its own entry with exact accounting.
+        assert!(
+            (plan.active_seconds(|k| matches!(k, FaultKind::CellPartition { .. })) - 30.0).abs()
+                < 1e-9
+        );
+        assert_eq!(plan.activations(|_| true), 2);
     }
 
     #[test]

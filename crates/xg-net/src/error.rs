@@ -17,6 +17,10 @@ pub enum NetError {
     },
     /// The UE referenced is not attached to the cell.
     UnknownUe(u32),
+    /// The cell referenced does not exist in the fleet.
+    UnknownCell(u32),
+    /// No cell with this deployment label exists in the topology.
+    UnknownCellName(String),
     /// The slice referenced does not exist in the cell configuration.
     UnknownSlice(u16),
     /// Slice PRB shares exceed the available grid.
@@ -41,6 +45,8 @@ impl fmt::Display for NetError {
                 write!(f, "authentication failed for IMSI {imsi}")
             }
             NetError::UnknownUe(id) => write!(f, "unknown UE id {id}"),
+            NetError::UnknownCell(id) => write!(f, "unknown cell id {id}"),
+            NetError::UnknownCellName(name) => write!(f, "unknown cell {name:?}"),
             NetError::UnknownSlice(id) => write!(f, "unknown slice id {id}"),
             NetError::SliceOversubscribed { requested } => {
                 write!(f, "slice PRB shares sum to {requested} > 1.0")

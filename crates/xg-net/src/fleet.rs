@@ -1,0 +1,523 @@
+//! Sharded multi-cell RAN fleet with batched TTI stepping.
+//!
+//! The paper's experiments (Figs. 4–6) measure one cell with one or two
+//! UEs. A production deployment is a *fleet*: tens of cells, each an
+//! independent [`LinkSimulator`], serving thousands of UEs. Per-cell
+//! independence is the natural sharding boundary — cells share no mutable
+//! state, so a [`RanFleet`] can step them on a fixed pool of scoped
+//! worker threads and remain **bitwise identical** to serial execution
+//! for the same seeds.
+//!
+//! Two design rules keep that determinism cheap:
+//!
+//! * **Per-cell seeding.** Every cell's RNG seed is
+//!   [`cell_seed`]`(fleet_seed, cell_id)` — a SplitMix64-style mix — so a
+//!   cell's trajectory depends only on the fleet seed and its own id,
+//!   never on how many siblings exist or which worker steps it.
+//! * **Batched stepping.** [`RanFleet::run_seconds`] and
+//!   [`RanFleet::step_slots`] hand each worker a whole batch of TTIs per
+//!   cell, so cross-thread synchronization happens once per *batch*
+//!   (one thread-scope join), not once per slot, and per-slot overhead
+//!   (RNG, scheduler setup, obs lookups) stays amortized inside the
+//!   cell's own loop.
+//!
+//! Observability: all cells share the fleet's [`Obs`] handle. The
+//! per-UE/per-TTI instruments are mergeable striped histograms and
+//! counters, so concurrent recording from worker threads is safe and the
+//! merged snapshot is independent of thread interleaving.
+
+use crate::cell::CellConfig;
+use crate::device::{DeviceClass, Modem, UnitVariation};
+use crate::error::{NetError, Result};
+use crate::sim::{LinkSimulator, UeHandle};
+use crate::slice::Snssai;
+use crate::traffic::TrafficModel;
+use std::sync::Arc;
+use xg_obs::Obs;
+
+/// Index of one cell within a fleet (stable for the fleet's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellId(pub u32);
+
+/// A UE addressed fleet-wide: which cell it camps on, and its in-cell
+/// handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FleetUe {
+    /// The serving cell.
+    pub cell: CellId,
+    /// The UE's handle within that cell.
+    pub ue: UeHandle,
+}
+
+/// One cell's output from a batched [`RanFleet::run_seconds`] call:
+/// per simulated second, the `(handle, Mbps)` samples of every
+/// backlogged UE — exactly what the underlying
+/// [`LinkSimulator::run_second`] returns, batched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellBatch {
+    /// The cell that produced these samples.
+    pub cell: CellId,
+    /// `seconds[k]` holds the per-UE goodput samples of batch second `k`.
+    pub seconds: Vec<Vec<(UeHandle, f64)>>,
+}
+
+impl CellBatch {
+    /// Mean goodput (Mbps) over every UE-second sample in the batch, or
+    /// 0.0 when no UE was backlogged.
+    pub fn mean_goodput_mbps(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for sec in &self.seconds {
+            for &(_, mbps) in sec {
+                sum += mbps;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// All samples of one UE across the batch, in second order.
+    pub fn ue_samples(&self, ue: UeHandle) -> Vec<f64> {
+        self.seconds
+            .iter()
+            .filter_map(|sec| sec.iter().find(|(h, _)| *h == ue).map(|&(_, m)| m))
+            .collect()
+    }
+}
+
+/// Derive one cell's RNG seed from the fleet seed and the cell id.
+///
+/// SplitMix64-style finalizer over `fleet_seed ^ golden * (cell_id + 1)`:
+/// cheap, stateless, and avalanching, so neighbouring cell ids get
+/// uncorrelated streams and a cell's seed never depends on fleet size.
+pub fn cell_seed(fleet_seed: u64, cell_id: u32) -> u64 {
+    let mut z = fleet_seed ^ (u64::from(cell_id) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Pre-resolved fleet-level instruments.
+#[derive(Debug, Clone)]
+struct FleetObs {
+    cells: Arc<xg_obs::Gauge>,
+    batches: Arc<xg_obs::Counter>,
+    cell_seconds: Arc<xg_obs::Counter>,
+}
+
+impl FleetObs {
+    fn new(obs: &Obs) -> Option<Self> {
+        let reg = obs.registry()?;
+        Some(FleetObs {
+            cells: reg.gauge("ran.fleet.cells"),
+            batches: reg.counter("ran.fleet.batches"),
+            cell_seconds: reg.counter("ran.fleet.cell_seconds"),
+        })
+    }
+}
+
+/// Staged construction of a [`RanFleet`]: seed → cells → workers → obs,
+/// validated once at [`build`](RanFleetBuilder::build). Construction is
+/// fallible from day one — an invalid cell config surfaces as a
+/// [`NetError`], never a panic.
+#[derive(Debug, Clone)]
+pub struct RanFleetBuilder {
+    seed: u64,
+    cells: Vec<CellConfig>,
+    workers: usize,
+    obs: Obs,
+}
+
+impl RanFleetBuilder {
+    /// Start an empty fleet derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        RanFleetBuilder {
+            seed,
+            cells: Vec::new(),
+            workers: default_workers(),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Append one cell.
+    pub fn cell(mut self, config: CellConfig) -> Self {
+        self.cells.push(config);
+        self
+    }
+
+    /// Append `n` identical cells (each still gets its own seed stream).
+    pub fn cells(mut self, n: usize, config: CellConfig) -> Self {
+        self.cells.extend(std::iter::repeat_n(config, n));
+        self
+    }
+
+    /// Fix the worker-pool width (default: the host's available
+    /// parallelism). `1` forces serial batch execution.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Attach an observability handle shared by every cell.
+    pub fn obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// Validate every cell and construct the fleet.
+    pub fn build(self) -> Result<RanFleet> {
+        let mut sims = Vec::with_capacity(self.cells.len());
+        for (id, cfg) in self.cells.into_iter().enumerate() {
+            let sim = LinkSimulator::builder(cfg)
+                .obs(&self.obs)
+                .seed(cell_seed(self.seed, id as u32))
+                .build()?;
+            sims.push(sim);
+        }
+        let fleet_obs = FleetObs::new(&self.obs);
+        if let Some(o) = &fleet_obs {
+            o.cells.set(sims.len() as f64);
+        }
+        Ok(RanFleet {
+            cells: sims,
+            workers: self.workers,
+            obs: fleet_obs,
+        })
+    }
+}
+
+/// The worker pool defaults to the host's parallelism (1 on failure).
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A fleet of independently seeded [`LinkSimulator`] cells, stepped in
+/// batches across a fixed pool of scoped worker threads.
+pub struct RanFleet {
+    cells: Vec<LinkSimulator>,
+    workers: usize,
+    obs: Option<FleetObs>,
+}
+
+impl RanFleet {
+    /// Start a staged [`RanFleetBuilder`] derived from `seed`.
+    pub fn builder(seed: u64) -> RanFleetBuilder {
+        RanFleetBuilder::new(seed)
+    }
+
+    /// Build a fleet directly from a list of cell configs (host-default
+    /// worker pool, no observability).
+    pub fn try_new(cells: Vec<CellConfig>, seed: u64) -> Result<Self> {
+        let mut b = Self::builder(seed);
+        for c in cells {
+            b = b.cell(c);
+        }
+        b.build()
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the fleet holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Width of the worker pool batches shard across.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Change the worker-pool width (`1` = serial). Worker count never
+    /// affects results, only wall time.
+    pub fn set_workers(&mut self, n: usize) {
+        self.workers = n.max(1);
+    }
+
+    /// Borrow one cell.
+    pub fn cell(&self, id: CellId) -> Result<&LinkSimulator> {
+        self.cells
+            .get(id.0 as usize)
+            .ok_or(NetError::UnknownCell(id.0))
+    }
+
+    /// Mutably borrow one cell (runtime mutation: faults, re-slicing).
+    pub fn cell_mut(&mut self, id: CellId) -> Result<&mut LinkSimulator> {
+        self.cells
+            .get_mut(id.0 as usize)
+            .ok_or(NetError::UnknownCell(id.0))
+    }
+
+    /// Attach a UE on `cell`'s first slice with no unit variation.
+    pub fn attach(&mut self, cell: CellId, device: DeviceClass, modem: Modem) -> Result<FleetUe> {
+        let ue = self.cell_mut(cell)?.attach(device, modem)?;
+        Ok(FleetUe { cell, ue })
+    }
+
+    /// Attach a UE on `cell` with explicit slice and unit variation.
+    pub fn attach_with(
+        &mut self,
+        cell: CellId,
+        device: DeviceClass,
+        modem: Modem,
+        snssai: Snssai,
+        variation: UnitVariation,
+    ) -> Result<FleetUe> {
+        let ue = self
+            .cell_mut(cell)?
+            .attach_with(device, modem, snssai, variation)?;
+        Ok(FleetUe { cell, ue })
+    }
+
+    /// Set whether a fleet UE has uplink traffic pending.
+    pub fn set_backlogged(&mut self, ue: FleetUe, backlogged: bool) -> Result<()> {
+        self.cell_mut(ue.cell)?.set_backlogged(ue.ue, backlogged)
+    }
+
+    /// Set a fleet UE's offered-traffic model.
+    pub fn set_traffic(&mut self, ue: FleetUe, traffic: TrafficModel) -> Result<()> {
+        self.cell_mut(ue.cell)?.set_traffic(ue.ue, traffic)
+    }
+
+    /// Apply a cell-wide SNR offset to one cell (fault injection); the
+    /// other cells are untouched.
+    pub fn set_cell_snr_offset_db(&mut self, cell: CellId, offset_db: f64) -> Result<()> {
+        self.cell_mut(cell)?.set_snr_offset_db(offset_db);
+        Ok(())
+    }
+
+    /// Simulate `seconds` seconds in every cell, sharded across the
+    /// worker pool, and return one [`CellBatch`] per cell in cell order.
+    ///
+    /// Bitwise identical to [`run_seconds_serial`](Self::run_seconds_serial)
+    /// for the same construction seeds: cells share no mutable state, so
+    /// execution order cannot influence any cell's RNG stream.
+    pub fn run_seconds(&mut self, seconds: usize) -> Vec<CellBatch> {
+        self.note_batch(seconds);
+        self.shard(|id, sim| CellBatch {
+            cell: id,
+            seconds: (0..seconds).map(|_| sim.run_second()).collect(),
+        })
+    }
+
+    /// Serial reference implementation of [`run_seconds`](Self::run_seconds)
+    /// (the determinism oracle; also the fast path for 1-cell fleets).
+    pub fn run_seconds_serial(&mut self, seconds: usize) -> Vec<CellBatch> {
+        self.note_batch(seconds);
+        self.cells
+            .iter_mut()
+            .enumerate()
+            .map(|(i, sim)| CellBatch {
+                cell: CellId(i as u32),
+                seconds: (0..seconds).map(|_| sim.run_second()).collect(),
+            })
+            .collect()
+    }
+
+    /// Advance every cell by `slots` TTIs without collecting samples
+    /// (background load between measurements), sharded like
+    /// [`run_seconds`](Self::run_seconds).
+    pub fn step_slots(&mut self, slots: usize) {
+        self.shard(|_, sim| sim.step_slots(slots));
+    }
+
+    fn note_batch(&self, seconds: usize) {
+        if let Some(o) = &self.obs {
+            o.batches.inc();
+            o.cell_seconds.add((seconds * self.cells.len()) as u64);
+        }
+    }
+
+    /// Run `f` over every cell, sharding contiguous cell ranges across
+    /// the worker pool; results come back in cell order. One
+    /// thread-scope join per call is the only synchronization point.
+    fn shard<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(CellId, &mut LinkSimulator) -> R + Sync,
+    {
+        let n = self.cells.len();
+        let workers = self.workers.min(n).max(1);
+        if workers <= 1 {
+            return self
+                .cells
+                .iter_mut()
+                .enumerate()
+                .map(|(i, sim)| f(CellId(i as u32), sim))
+                .collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            for (shard_idx, (sims, outs)) in self
+                .cells
+                .chunks_mut(chunk)
+                .zip(out.chunks_mut(chunk))
+                .enumerate()
+            {
+                let f = &f;
+                let base = shard_idx * chunk;
+                scope.spawn(move || {
+                    for (off, (sim, slot)) in sims.iter_mut().zip(outs.iter_mut()).enumerate() {
+                        *slot = Some(f(CellId((base + off) as u32), sim));
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("every sharded cell produces a result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rat::{Duplex, Rat};
+    use crate::units::MHz;
+
+    fn cell_5g_fdd20() -> CellConfig {
+        CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0))
+    }
+
+    /// Every worker thread moves `&mut LinkSimulator` across the scope.
+    #[test]
+    fn link_simulator_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<LinkSimulator>();
+    }
+
+    #[test]
+    fn construction_is_fallible() {
+        let bad = CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(7.0));
+        assert!(matches!(
+            RanFleet::builder(1).cell(bad).build(),
+            Err(NetError::InvalidBandwidth(_))
+        ));
+        let ok = RanFleet::builder(1).cells(3, cell_5g_fdd20()).build();
+        assert_eq!(ok.unwrap().len(), 3);
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..64 {
+            assert!(seen.insert(cell_seed(42, id)), "seed collision at {id}");
+        }
+        // Stable across calls and independent of fleet size by design.
+        assert_eq!(cell_seed(42, 7), cell_seed(42, 7));
+        assert_ne!(cell_seed(42, 7), cell_seed(43, 7));
+    }
+
+    fn backlogged_fleet(seed: u64, cells: usize, ues: usize, workers: usize) -> RanFleet {
+        let mut fleet = RanFleet::builder(seed)
+            .cells(cells, cell_5g_fdd20())
+            .workers(workers)
+            .build()
+            .unwrap();
+        for c in 0..cells {
+            for _ in 0..ues {
+                let ue = fleet
+                    .attach(CellId(c as u32), DeviceClass::RaspberryPi, Modem::Rm530nGl)
+                    .unwrap();
+                fleet.set_backlogged(ue, true).unwrap();
+            }
+        }
+        fleet
+    }
+
+    #[test]
+    fn parallel_is_bitwise_identical_to_serial() {
+        let mut parallel = backlogged_fleet(9, 5, 3, 4);
+        let mut serial = backlogged_fleet(9, 5, 3, 4);
+        let p = parallel.run_seconds(2);
+        let s = serial.run_seconds_serial(2);
+        assert_eq!(p.len(), s.len());
+        for (pb, sb) in p.iter().zip(&s) {
+            assert_eq!(pb.cell, sb.cell);
+            assert_eq!(pb.seconds.len(), sb.seconds.len());
+            for (psec, ssec) in pb.seconds.iter().zip(&sb.seconds) {
+                for ((ph, pm), (sh, sm)) in psec.iter().zip(ssec) {
+                    assert_eq!(ph, sh);
+                    assert_eq!(pm.to_bits(), sm.to_bits(), "cell {:?}", pb.cell);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fading_one_cell_leaves_siblings_untouched() {
+        let mut faded = backlogged_fleet(11, 2, 1, 2);
+        let mut nominal = backlogged_fleet(11, 2, 1, 2);
+        faded.set_cell_snr_offset_db(CellId(1), -25.0).unwrap();
+        let f = faded.run_seconds(3);
+        let n = nominal.run_seconds(3);
+        // Cell 0 is bit-identical with and without the sibling's fade.
+        assert_eq!(f[0], n[0]);
+        // Cell 1 collapses under the fade.
+        assert!(
+            f[1].mean_goodput_mbps() < n[1].mean_goodput_mbps() * 0.25,
+            "faded {} vs nominal {}",
+            f[1].mean_goodput_mbps(),
+            n[1].mean_goodput_mbps()
+        );
+    }
+
+    #[test]
+    fn unknown_cell_rejected() {
+        let mut fleet = RanFleet::builder(1)
+            .cells(2, cell_5g_fdd20())
+            .build()
+            .unwrap();
+        assert!(matches!(
+            fleet.attach(CellId(5), DeviceClass::Laptop, Modem::Rm530nGl),
+            Err(NetError::UnknownCell(5))
+        ));
+        assert!(fleet.cell(CellId(2)).is_err());
+        assert!(fleet.set_cell_snr_offset_db(CellId(9), -3.0).is_err());
+    }
+
+    #[test]
+    fn obs_instruments_merge_across_cells() {
+        let obs = Obs::enabled();
+        let mut fleet = RanFleet::builder(5)
+            .cells(3, cell_5g_fdd20())
+            .workers(3)
+            .obs(&obs)
+            .build()
+            .unwrap();
+        for c in 0..3 {
+            let ue = fleet
+                .attach(CellId(c), DeviceClass::RaspberryPi, Modem::Rm530nGl)
+                .unwrap();
+            fleet.set_backlogged(ue, true).unwrap();
+        }
+        let batches = fleet.run_seconds(2);
+        let reg = obs.registry().unwrap();
+        assert_eq!(reg.gauge("ran.fleet.cells").get(), 3.0);
+        assert_eq!(reg.counter("ran.fleet.batches").get(), 1);
+        assert_eq!(reg.counter("ran.fleet.cell_seconds").get(), 6);
+        // One goodput sample per backlogged UE per second per cell,
+        // merged across worker threads.
+        assert_eq!(reg.histogram("ran.ue.goodput_mbps").count(), 6);
+        assert_eq!(batches.len(), 3);
+    }
+
+    #[test]
+    fn step_slots_advances_time_in_every_cell() {
+        let mut fleet = backlogged_fleet(3, 4, 1, 2);
+        fleet.step_slots(500);
+        for c in 0..4 {
+            assert!((fleet.cell(CellId(c)).unwrap().now_s() - 0.5).abs() < 1e-9);
+        }
+    }
+}

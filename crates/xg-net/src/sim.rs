@@ -28,6 +28,14 @@ use xg_obs::{Counter, Histogram, Obs};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct UeHandle(pub(crate) u32);
 
+impl UeHandle {
+    /// Numeric id within the cell (stable for the UE's lifetime; useful
+    /// as a map key or label when recording results).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
 /// Pre-resolved RAN instruments (resolved once at attach time).
 #[derive(Debug, Clone)]
 struct RanObs {
@@ -74,22 +82,93 @@ pub struct LinkSimulator {
     obs: Option<RanObs>,
 }
 
+/// Staged construction of a fully configured [`LinkSimulator`]:
+/// cell → slices → obs → seed, validated once at [`build`].
+///
+/// The builder folds what used to be post-hoc `set_slices`/`set_obs`
+/// wiring into construction, so a simulator is complete the moment it
+/// exists; the runtime setters remain for *mutation* (fault injection,
+/// dynamic re-slicing), not initial configuration.
+///
+/// ```
+/// use xg_net::prelude::*;
+/// let sim = LinkSimulator::builder(CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0)))
+///     .seed(42)
+///     .build()
+///     .expect("20 MHz is a valid NR FDD bandwidth");
+/// assert_eq!(sim.total_prbs(), 106);
+/// ```
+///
+/// [`build`]: LinkSimulatorBuilder::build
+#[derive(Debug, Clone)]
+pub struct LinkSimulatorBuilder {
+    cell: CellConfig,
+    seed: u64,
+    obs: Obs,
+}
+
+impl LinkSimulatorBuilder {
+    /// Start from a cell configuration.
+    pub fn new(cell: CellConfig) -> Self {
+        LinkSimulatorBuilder {
+            cell,
+            seed: 0,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Replace the cell's slice table.
+    pub fn slices(mut self, slices: crate::slice::SliceConfig) -> Self {
+        self.cell.slices = slices;
+        self
+    }
+
+    /// Replace the cell's MAC scheduling discipline.
+    pub fn scheduler(mut self, kind: crate::mac::SchedulerKind) -> Self {
+        self.cell.scheduler = kind;
+        self
+    }
+
+    /// Attach an observability handle at construction (per-TTI occupancy
+    /// and per-UE goodput land in its registry). A disabled handle is a
+    /// no-op.
+    pub fn obs(mut self, obs: &Obs) -> Self {
+        self.obs = obs.clone();
+        self
+    }
+
+    /// Set the deterministic RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate the configuration and construct the simulator.
+    pub fn build(self) -> Result<LinkSimulator> {
+        let mut sim = LinkSimulator::try_new(self.cell, self.seed)?;
+        sim.set_obs(&self.obs);
+        Ok(sim)
+    }
+}
+
 impl LinkSimulator {
-    /// Create a simulator for `cell`, seeded deterministically.
-    ///
-    /// Panics if the cell bandwidth is invalid for its RAT (construct the
-    /// cell through [`CellConfig::new`] and validate with
-    /// [`CellConfig::total_prbs`] to handle this gracefully).
-    pub fn new(cell: CellConfig, seed: u64) -> Self {
-        let total_prbs = cell
-            .total_prbs()
-            .expect("cell bandwidth must be valid for its RAT");
+    /// Start a staged [`LinkSimulatorBuilder`] for `cell`.
+    pub fn builder(cell: CellConfig) -> LinkSimulatorBuilder {
+        LinkSimulatorBuilder::new(cell)
+    }
+
+    /// Create a simulator for `cell`, seeded deterministically, surfacing
+    /// an invalid cell (a bandwidth outside the 3GPP tables for its
+    /// RAT/SCS combination) as a typed error instead of a panic —
+    /// matching the `XgFabric::try_new` convention.
+    pub fn try_new(cell: CellConfig, seed: u64) -> Result<Self> {
+        let total_prbs = cell.total_prbs()?;
         let quotas = cell.slices.prb_quotas(total_prbs);
         let scheds = (0..cell.slices.len())
             .map(|_| MacScheduler::new(cell.scheduler))
             .collect();
         let link_adapt = LinkAdaptation::for_rat(cell.rat);
-        LinkSimulator {
+        Ok(LinkSimulator {
             cell,
             core: Core5g::new(),
             ues: Vec::new(),
@@ -102,7 +181,18 @@ impl LinkSimulator {
             quotas,
             snr_offset_db: 0.0,
             obs: None,
-        }
+        })
+    }
+
+    /// Create a simulator for `cell`, seeded deterministically.
+    ///
+    /// Panics if the cell bandwidth is invalid for its RAT.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use LinkSimulator::try_new (fallible) or LinkSimulator::builder"
+    )]
+    pub fn new(cell: CellConfig, seed: u64) -> Self {
+        Self::try_new(cell, seed).expect("cell bandwidth must be valid for its RAT")
     }
 
     /// Attach an observability handle: per-TTI scheduler occupancy and
@@ -395,6 +485,25 @@ impl LinkSimulator {
         }
     }
 
+    /// Advance the simulation by a batch of `slots` TTIs without
+    /// collecting throughput samples — background load between
+    /// measurement windows. Offered traffic is enqueued per elapsed
+    /// second boundary, matching [`run_second`](Self::run_second).
+    pub fn step_slots(&mut self, slots: usize) {
+        let per_second = self.cell.scs.slots_per_second() as usize;
+        for _ in 0..slots {
+            if (self.slot as usize).is_multiple_of(per_second) {
+                let t = self.now_s();
+                for u in &mut self.ues {
+                    if let Some(bits) = u.traffic.offered_bits(t) {
+                        u.pending_bits += bits;
+                    }
+                }
+            }
+            self.step_slot();
+        }
+    }
+
     /// Simulate one second and return `(handle, Mbps)` for every backlogged
     /// UE.
     pub fn run_second(&mut self) -> Vec<(UeHandle, f64)> {
@@ -505,7 +614,7 @@ mod tests {
 
     #[test]
     fn attach_registers_with_core() {
-        let mut sim = LinkSimulator::new(cell_5g_fdd20(), 1);
+        let mut sim = LinkSimulator::try_new(cell_5g_fdd20(), 1).unwrap();
         let _ue = sim
             .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
             .unwrap();
@@ -514,7 +623,7 @@ mod tests {
 
     #[test]
     fn incompatible_modem_rejected() {
-        let mut sim = LinkSimulator::new(cell_5g_fdd20(), 1);
+        let mut sim = LinkSimulator::try_new(cell_5g_fdd20(), 1).unwrap();
         assert!(sim.attach(DeviceClass::Laptop, Modem::Sim7600gh).is_err());
     }
 
@@ -522,7 +631,7 @@ mod tests {
     fn cell_capacity_enforced() {
         let mut cell = cell_5g_fdd20();
         cell.max_ues = 2;
-        let mut sim = LinkSimulator::new(cell, 1);
+        let mut sim = LinkSimulator::try_new(cell, 1).unwrap();
         sim.attach(DeviceClass::Laptop, Modem::Rm530nGl).unwrap();
         sim.attach(DeviceClass::Laptop, Modem::Rm530nGl).unwrap();
         assert!(matches!(
@@ -536,7 +645,7 @@ mod tests {
         // RAN degradation fault: a -25 dB cell-wide SNR offset must crush
         // uplink throughput, and clearing it must restore nominal rates.
         let run = |offset: f64| {
-            let mut sim = LinkSimulator::new(cell_5g_fdd20(), 7);
+            let mut sim = LinkSimulator::try_new(cell_5g_fdd20(), 7).unwrap();
             let ue = sim
                 .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
                 .unwrap();
@@ -566,7 +675,7 @@ mod tests {
     #[test]
     fn single_rpi_5g_fdd20_near_paper() {
         // Paper Fig. 4: RPi on 5G FDD at 20 MHz reaches 52.36 Mbps.
-        let mut sim = LinkSimulator::new(cell_5g_fdd20(), 7);
+        let mut sim = LinkSimulator::try_new(cell_5g_fdd20(), 7).unwrap();
         let ue = sim
             .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
             .unwrap();
@@ -577,11 +686,11 @@ mod tests {
 
     #[test]
     fn two_ue_aggregate_close_to_single() {
-        let mut sim1 = LinkSimulator::new(cell_5g_fdd20(), 3);
+        let mut sim1 = LinkSimulator::try_new(cell_5g_fdd20(), 3).unwrap();
         let u = sim1.attach(DeviceClass::Laptop, Modem::Rm530nGl).unwrap();
         let single = sim1.iperf_uplink(u, 15).mean_mbps();
 
-        let mut sim2 = LinkSimulator::new(cell_5g_fdd20(), 4);
+        let mut sim2 = LinkSimulator::try_new(cell_5g_fdd20(), 4).unwrap();
         sim2.attach(DeviceClass::Laptop, Modem::Rm530nGl).unwrap();
         sim2.attach(DeviceClass::Laptop, Modem::Rm530nGl).unwrap();
         let runs = sim2.iperf_uplink_all(15);
@@ -596,7 +705,7 @@ mod tests {
 
     #[test]
     fn detached_ue_gets_nothing() {
-        let mut sim = LinkSimulator::new(cell_5g_fdd20(), 5);
+        let mut sim = LinkSimulator::try_new(cell_5g_fdd20(), 5).unwrap();
         let a = sim.attach(DeviceClass::Laptop, Modem::Rm530nGl).unwrap();
         let b = sim.attach(DeviceClass::Laptop, Modem::Rm530nGl).unwrap();
         sim.detach(a).unwrap();
@@ -611,7 +720,7 @@ mod tests {
         // the share ratio, and a busy slice must not steal the other's PRBs.
         let cell = CellConfig::new(Rat::Nr5g, Duplex::tdd_default(), MHz(40.0))
             .with_slices(SliceConfig::complementary_pair(0.3).unwrap());
-        let mut sim = LinkSimulator::new(cell, 9);
+        let mut sim = LinkSimulator::try_new(cell, 9).unwrap();
         let a = sim
             .attach_with(
                 DeviceClass::RaspberryPi,
@@ -647,7 +756,7 @@ mod tests {
 
     #[test]
     fn cbr_traffic_served_at_offered_rate() {
-        let mut sim = LinkSimulator::new(cell_5g_fdd20(), 41);
+        let mut sim = LinkSimulator::try_new(cell_5g_fdd20(), 41).unwrap();
         let ue = sim
             .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
             .unwrap();
@@ -670,7 +779,7 @@ mod tests {
     fn idle_periodic_ue_leaves_capacity_to_others() {
         // A telemetry UE and a full-buffer UE share an unsliced cell: the
         // telemetry UE's microscopic load must not halve the iperf rate.
-        let mut shared = LinkSimulator::new(cell_5g_fdd20(), 42);
+        let mut shared = LinkSimulator::try_new(cell_5g_fdd20(), 42).unwrap();
         let telemetry = shared
             .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
             .unwrap();
@@ -680,7 +789,7 @@ mod tests {
         shared
             .set_traffic(telemetry, TrafficModel::weather_station())
             .unwrap();
-        let mut solo = LinkSimulator::new(cell_5g_fdd20(), 42);
+        let mut solo = LinkSimulator::try_new(cell_5g_fdd20(), 42).unwrap();
         let solo_ue = solo
             .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
             .unwrap();
@@ -697,7 +806,7 @@ mod tests {
         // The RAN-level serialization of a 1 KB telemetry report is a few
         // ms — confirming the paper's end-to-end 101 ms is dominated by
         // the WAN and the CSPOT protocol, not the air interface.
-        let mut sim = LinkSimulator::new(cell_5g_fdd20(), 43);
+        let mut sim = LinkSimulator::try_new(cell_5g_fdd20(), 43).unwrap();
         let ue = sim
             .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
             .unwrap();
@@ -706,7 +815,7 @@ mod tests {
         let ms = sim.measure_burst_latency_ms(ue, 1024).unwrap();
         assert!((1.0..50.0).contains(&ms), "burst latency {ms} ms");
         // Full-buffer UEs cannot measure bursts.
-        let mut fb = LinkSimulator::new(cell_5g_fdd20(), 44);
+        let mut fb = LinkSimulator::try_new(cell_5g_fdd20(), 44).unwrap();
         let fbue = fb.attach(DeviceClass::Laptop, Modem::Rm530nGl).unwrap();
         assert!(fb.measure_burst_latency_ms(fbue, 1024).is_err());
     }
@@ -717,7 +826,7 @@ mod tests {
         // quadruple relative to UE A's.
         let cell = CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0))
             .with_slices(SliceConfig::complementary_pair(0.5).unwrap());
-        let mut sim = LinkSimulator::new(cell, 21);
+        let mut sim = LinkSimulator::try_new(cell, 21).unwrap();
         let a = sim
             .attach_with(
                 DeviceClass::RaspberryPi,
@@ -761,7 +870,7 @@ mod tests {
     fn reslicing_must_keep_attached_snssais() {
         let cell = CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0))
             .with_slices(SliceConfig::complementary_pair(0.5).unwrap());
-        let mut sim = LinkSimulator::new(cell, 22);
+        let mut sim = LinkSimulator::try_new(cell, 22).unwrap();
         sim.attach_with(
             DeviceClass::Laptop,
             Modem::Rm530nGl,
@@ -780,7 +889,7 @@ mod tests {
 
     #[test]
     fn obs_records_tti_occupancy_and_goodput() {
-        let mut sim = LinkSimulator::new(cell_5g_fdd20(), 6);
+        let mut sim = LinkSimulator::try_new(cell_5g_fdd20(), 6).unwrap();
         let obs = Obs::enabled();
         sim.set_obs(&obs);
         let ue = sim
@@ -802,7 +911,7 @@ mod tests {
 
     #[test]
     fn snr_offset_gauge_tracks_injected_fades() {
-        let mut sim = LinkSimulator::new(cell_5g_fdd20(), 7);
+        let mut sim = LinkSimulator::try_new(cell_5g_fdd20(), 7).unwrap();
         sim.set_snr_offset_db(-12.0);
         let obs = Obs::enabled();
         // Attaching after the fade began must still publish its level.
@@ -818,12 +927,12 @@ mod tests {
         // 5G FDD 20 MHz has 106 PRBs at 15 kHz; TDD 40 MHz has 106 PRBs at
         // 30 kHz (double symbol rate) but only ~43% UL duty. Net: TDD at
         // equal PRB count is slightly below 2 * 0.43 = 0.86 of FDD.
-        let mut fdd = LinkSimulator::new(cell_5g_fdd20(), 11);
+        let mut fdd = LinkSimulator::try_new(cell_5g_fdd20(), 11).unwrap();
         let uf = fdd.attach(DeviceClass::Laptop, Modem::Rm530nGl).unwrap();
         let mf = fdd.iperf_uplink(uf, 10).mean_mbps();
 
         let tdd_cell = CellConfig::new(Rat::Nr5g, Duplex::tdd_default(), MHz(40.0));
-        let mut tdd = LinkSimulator::new(tdd_cell, 11);
+        let mut tdd = LinkSimulator::try_new(tdd_cell, 11).unwrap();
         let ut = tdd.attach(DeviceClass::Laptop, Modem::Rm530nGl).unwrap();
         let mt = tdd.iperf_uplink(ut, 10).mean_mbps();
         assert!(mt > mf * 0.5 && mt < mf * 1.3, "fdd {mf} tdd {mt}");

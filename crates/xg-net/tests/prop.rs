@@ -59,7 +59,7 @@ proptest! {
         let bws = [5.0, 10.0, 15.0, 20.0];
         let device = DeviceClass::all()[device_idx];
         let cell = CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(bws[bw_idx]));
-        let mut sim = LinkSimulator::new(cell, seed);
+        let mut sim = LinkSimulator::try_new(cell, seed).unwrap();
         let ue = sim.attach(device, Modem::paper_default(device, Rat::Nr5g)).unwrap();
         let mbps = sim.iperf_uplink(ue, 3).mean_mbps();
         prop_assert!(mbps.is_finite() && mbps >= 0.0);
@@ -75,7 +75,7 @@ proptest! {
     fn complementary_slices_serve_both(share in 0.05f64..0.95, seed in 0u64..1000) {
         let cell = CellConfig::new(Rat::Nr5g, Duplex::tdd_default(), MHz(40.0))
             .with_slices(SliceConfig::complementary_pair(share).unwrap());
-        let mut sim = LinkSimulator::new(cell, seed);
+        let mut sim = LinkSimulator::try_new(cell, seed).unwrap();
         sim.attach_with(DeviceClass::RaspberryPi, Modem::Rm530nGl, Snssai::miot(1), UnitVariation::default()).unwrap();
         sim.attach_with(DeviceClass::RaspberryPi, Modem::Rm530nGl, Snssai::miot(2), UnitVariation::default()).unwrap();
         let results = sim.run_second();

@@ -15,7 +15,10 @@ use xg_net::prelude::*;
 fn main() {
     // 1. Radio layer: a 20 MHz 5G FDD cell with a Raspberry Pi UE.
     let cell = CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0));
-    let mut ran = LinkSimulator::new(cell, 42);
+    let mut ran = LinkSimulator::builder(cell)
+        .seed(42)
+        .build()
+        .expect("valid cell");
     let ue = ran
         .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
         .expect("RM530N-GL supports 5G");

@@ -29,7 +29,7 @@ fn main() {
     let cell = CellConfig::new(Rat::Nr5g, Duplex::tdd_default(), MHz(40.0)).with_slices(slices);
 
     // Phase 1: sensors alone on their slice.
-    let mut alone = LinkSimulator::new(cell.clone(), 1);
+    let mut alone = LinkSimulator::try_new(cell.clone(), 1).expect("valid cell");
     let sensor = alone
         .attach_with(
             DeviceClass::RaspberryPi,
@@ -42,7 +42,7 @@ fn main() {
     println!("sensor gateway alone          : {sensors_alone:6.2} Mbps (30% PRB slice)");
 
     // Phase 2: a video UE saturates the eMBB slice at the same time.
-    let mut shared = LinkSimulator::new(cell.clone(), 1);
+    let mut shared = LinkSimulator::try_new(cell.clone(), 1).expect("valid cell");
     let _sensor = shared
         .attach_with(
             DeviceClass::RaspberryPi,

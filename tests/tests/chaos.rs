@@ -9,6 +9,7 @@
 use std::path::PathBuf;
 use xg_cspot::outage::OutageConfig;
 use xg_fabric::orchestrator::{FabricConfig, XgFabric};
+use xg_fabric::ran::RanTopology;
 use xg_fabric::timeline::Event;
 use xg_faults::{FaultKind, FaultPlan};
 use xg_hpc::site::SiteProfile;
@@ -256,6 +257,77 @@ fn slo_watchdog_alone_degrades_and_recovers_with_black_box_evidence() {
         "transition visible in a bundle"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fading_a_sibling_cell_degrades_only_that_cell() {
+    // Two-cell fleet: UNL-5G carries the gateway backhaul, FIELD-B is a
+    // sibling orchard cell. A deep fade pinned to FIELD-B must collapse
+    // FIELD-B's probed goodput without touching the closed loop: zero
+    // backlog, every telemetry cycle on time, gateway cell nominal.
+    let obs = Obs::enabled();
+    let faults = FaultPlan::builder(61)
+        .fade_cell(1_800.0, 1.0e9, "FIELD-B", -40.0)
+        .build();
+    let mut fab = XgFabric::new(FabricConfig {
+        obs: obs.clone(),
+        ran: RanTopology::with_cells(&["UNL-5G", "FIELD-B"]),
+        ..chaos_config(61, faults)
+    });
+    let mut parked = 0;
+    for _ in 0..24 {
+        fab.run_report_cycle().unwrap();
+        parked = parked.max(fab.telemetry_backlog());
+    }
+    let rel = fab.reliability_report();
+    assert!(rel.lossless(), "{rel}");
+    assert_eq!(parked, 0, "a sibling fade never parks telemetry");
+    assert_eq!(fab.timeline().telemetry_latencies_ms().len(), 24);
+    let reg = obs.registry().expect("obs enabled");
+    let gateway = reg.gauge("fabric.ran.UNL-5G.goodput_mbps").get();
+    let sibling = reg.gauge("fabric.ran.FIELD-B.goodput_mbps").get();
+    assert!(gateway > 10.0, "gateway cell stays nominal: {gateway}");
+    assert!(
+        sibling < gateway / 10.0,
+        "faded cell collapses: {sibling} vs {gateway}"
+    );
+    assert_eq!(reg.gauge("fabric.ran.FIELD-B.fade_db").get(), -40.0);
+    assert_eq!(reg.gauge("fabric.ran.UNL-5G.fade_db").get(), 0.0);
+    // The per-cycle probe named the faded cell as the worst of the batch.
+    let worst_named = fab
+        .timeline()
+        .events
+        .iter()
+        .any(|e| matches!(e, Event::RanProbed { worst_cell, .. } if worst_cell == "FIELD-B"));
+    assert!(worst_named, "probe must single out the faded cell");
+}
+
+#[test]
+fn partitioning_the_gateway_cell_parks_telemetry_until_heal() {
+    // Taking down the cell that carries the gateway backhaul is a 5G
+    // outage by another name: records park, nothing drops, the backlog
+    // drains after the heal, and availability accounting charges the
+    // scripted window exactly — while the sibling cell rides through.
+    let faults = FaultPlan::builder(67)
+        .partition_cell(7_200.0, 2_700.0, "UNL-5G")
+        .build();
+    let mut fab = XgFabric::new(FabricConfig {
+        ran: RanTopology::with_cells(&["UNL-5G", "FIELD-B"]),
+        ..chaos_config(67, faults)
+    });
+    let mut parked = 0;
+    for _ in 0..144 {
+        fab.run_report_cycle().unwrap();
+        parked = parked.max(fab.telemetry_backlog());
+    }
+    let rel = fab.reliability_report();
+    assert!(rel.lossless(), "{rel}");
+    assert_eq!(rel.records_dropped, 0);
+    assert!(parked > 0, "records parked while the cell was down");
+    assert_eq!(rel.final_backlog, 0, "drained after the heal");
+    let expected = 1.0 - 2_700.0 / fab.now_s();
+    assert!((rel.availability_experienced - expected).abs() < 1e-9);
+    assert!(!fab.ran().gateway_cell_down(), "cell healed by run end");
 }
 
 #[test]

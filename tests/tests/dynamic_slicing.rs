@@ -22,7 +22,7 @@ fn two_slice_cell(share_iot: f64) -> CellConfig {
 
 #[test]
 fn controller_tracks_demand_shift_end_to_end() {
-    let mut sim = LinkSimulator::new(two_slice_cell(0.5), 31);
+    let mut sim = LinkSimulator::try_new(two_slice_cell(0.5), 31).unwrap();
     let iot = sim
         .attach_with(
             DeviceClass::RaspberryPi,
@@ -90,7 +90,7 @@ fn controller_tracks_demand_shift_end_to_end() {
 fn static_slices_do_not_adapt_baseline() {
     // Control experiment: without the dynamic controller the IoT rate is
     // pinned by the static share regardless of demand.
-    let mut sim = LinkSimulator::new(two_slice_cell(0.2), 32);
+    let mut sim = LinkSimulator::try_new(two_slice_cell(0.2), 32).unwrap();
     let iot = sim
         .attach_with(
             DeviceClass::RaspberryPi,
