@@ -62,10 +62,19 @@ pub fn perf_scale() -> f64 {
 
 /// Render the document. One metric per line: greppable, diffable, and
 /// parseable by [`parse_metrics`] without a JSON library.
+///
+/// The header records the xg-lint rule-set version active when the
+/// baseline was produced: a rule-set change usually means determinism
+/// fixes (e.g. `HashMap` → `BTreeMap`) landed, which can legitimately
+/// shift p99s, so [`compare`] warns when the versions differ.
 pub fn render(seed: u64, metrics: &[Summary]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!(
+        "  \"lint_rules\": \"{}\",\n",
+        xg_lint::RULES_VERSION
+    ));
     s.push_str(&format!("  \"seed\": {seed},\n"));
     s.push_str(&format!("  \"scale\": {},\n", perf_scale()));
     s.push_str("  \"metrics\": [\n");
@@ -126,6 +135,14 @@ pub fn schema_of(doc: &str) -> Option<String> {
         .and_then(|l| l.split('"').nth(3).map(str::to_string))
 }
 
+/// The xg-lint rule-set version the document was produced under, if
+/// present. Baselines predating the `lint_rules` header return `None`.
+pub fn lint_rules_of(doc: &str) -> Option<String> {
+    doc.lines()
+        .find(|l| l.contains("\"lint_rules\""))
+        .and_then(|l| l.split('"').nth(3).map(str::to_string))
+}
+
 /// Atomic write for arbitrary paths (baselines live outside `results/`).
 pub fn write_atomic(path: &Path, contents: &str) {
     let tmp = path.with_extension("json.tmp");
@@ -150,6 +167,20 @@ pub fn compare(baseline_path: &Path, current: &[Summary], tolerance: f64) -> boo
             eprintln!("baseline schema {other:?}, expected {SCHEMA:?}");
             return false;
         }
+    }
+    // A rule-set drift is a warning, not a failure: the baseline is
+    // still comparable, but determinism fixes between versions (BTree
+    // migrations, panic removals) can shift p99s for honest reasons.
+    let base_rules = lint_rules_of(&doc);
+    if base_rules.as_deref() != Some(xg_lint::RULES_VERSION) {
+        eprintln!(
+            "warning: baseline lint rule-set {} differs from current {:?}; \
+             p99 shifts may stem from determinism fixes, not regressions",
+            base_rules
+                .map(|v| format!("{v:?}"))
+                .unwrap_or_else(|| "(unrecorded)".to_string()),
+            xg_lint::RULES_VERSION
+        );
     }
     let baseline = parse_metrics(&doc);
     if baseline.is_empty() {
@@ -236,6 +267,34 @@ mod tests {
         assert_eq!(s.p99, 99.0);
         assert_eq!(s.max, 100.0);
         assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_stamps_the_lint_rule_set_version() {
+        let doc = render(7, &[sample()]);
+        assert_eq!(lint_rules_of(&doc).as_deref(), Some(xg_lint::RULES_VERSION));
+        // Baselines predating the header parse as unrecorded.
+        let legacy: String = doc
+            .lines()
+            .filter(|l| !l.contains("\"lint_rules\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(lint_rules_of(&legacy), None);
+    }
+
+    #[test]
+    fn rule_set_drift_warns_but_does_not_fail_the_gate() {
+        let doc = render(7, &[sample()]);
+        let legacy: String = doc
+            .lines()
+            .filter(|l| !l.contains("\"lint_rules\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let path = std::env::temp_dir().join(format!("xg-traj-drift-{}.json", std::process::id()));
+        write_atomic(&path, &legacy);
+        let ok = compare(&path, &[sample()], 0.10);
+        let _ = std::fs::remove_file(&path);
+        assert!(ok, "version drift must warn, not fail");
     }
 
     #[test]

@@ -39,6 +39,11 @@
 //! assert!(sim.cfl() < 1.0, "stable step");
 //! ```
 
+// Non-test library code must thread typed errors instead of panicking:
+// the same invariant xg-lint's panicking-call rule enforces for expect/panic.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod boundary;
 pub mod field;
 pub mod mesh;

@@ -73,6 +73,7 @@ pub fn solve(
                 }
                 local_max
             })
+            // xg-lint: allow(float-reduce, max is associative and commutative; result is order-independent)
             .reduce(|| 0.0f64, f64::max);
         std::mem::swap(p, &mut next);
         stats.iterations = it + 1;

@@ -19,7 +19,7 @@
 use crate::error::{CspotError, Result};
 use crate::storage::{Record, StorageBackend};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Static configuration of a log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,7 +36,7 @@ struct LogInner {
     next_seq: u64,
     entries: VecDeque<(u64, Vec<u8>)>,
     /// Idempotency-token → sequence map for exactly-once retries.
-    dedup: HashMap<u128, u64>,
+    dedup: BTreeMap<u128, u64>,
     backend: Box<dyn StorageBackend>,
     /// Fault injection: number of upcoming appends that fail as storage
     /// errors before anything is written (full disk, dying flash).
@@ -55,7 +55,7 @@ impl Log {
     pub fn create(config: LogConfig, mut backend: Box<dyn StorageBackend>) -> Result<Self> {
         let records = backend.recover()?;
         let mut entries = VecDeque::new();
-        let mut dedup = HashMap::new();
+        let mut dedup = BTreeMap::new();
         let mut next_seq = 1u64;
         for r in records {
             if r.token != 0 {

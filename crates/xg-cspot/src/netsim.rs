@@ -9,7 +9,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -140,7 +140,7 @@ impl RoutePath {
 /// Named-site topology: a directory of routes between sites.
 #[derive(Debug, Clone, Default)]
 pub struct Topology {
-    routes: HashMap<(String, String), RoutePath>,
+    routes: BTreeMap<(String, String), RoutePath>,
 }
 
 impl Topology {

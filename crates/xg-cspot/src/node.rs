@@ -11,7 +11,7 @@ use crate::error::{CspotError, Result};
 use crate::log::{Log, LogConfig};
 use crate::storage::{FileBackend, MemBackend, StorageBackend};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -27,8 +27,8 @@ enum Persistence {
 pub struct CspotNode {
     site: String,
     persistence: Persistence,
-    logs: RwLock<HashMap<String, Arc<Log>>>,
-    handlers: RwLock<HashMap<String, Vec<Handler>>>,
+    logs: RwLock<BTreeMap<String, Arc<Log>>>,
+    handlers: RwLock<BTreeMap<String, Vec<Handler>>>,
 }
 
 impl CspotNode {
@@ -37,8 +37,8 @@ impl CspotNode {
         CspotNode {
             site: site.to_string(),
             persistence: Persistence::Memory,
-            logs: RwLock::new(HashMap::new()),
-            handlers: RwLock::new(HashMap::new()),
+            logs: RwLock::new(BTreeMap::new()),
+            handlers: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -49,8 +49,8 @@ impl CspotNode {
         CspotNode {
             site: site.to_string(),
             persistence: Persistence::Directory(dir.as_ref().to_path_buf()),
-            logs: RwLock::new(HashMap::new()),
-            handlers: RwLock::new(HashMap::new()),
+            logs: RwLock::new(BTreeMap::new()),
+            handlers: RwLock::new(BTreeMap::new()),
         }
     }
 

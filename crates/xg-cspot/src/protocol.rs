@@ -19,7 +19,7 @@ use crate::netsim::{RoutePath, SimClock};
 use crate::node::CspotNode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use xg_obs::{Counter, Histogram, Obs};
 
@@ -109,7 +109,7 @@ pub struct RemoteAppender {
     route: RoutePath,
     config: RemoteConfig,
     rng: StdRng,
-    size_cache: HashMap<String, usize>,
+    size_cache: BTreeMap<String, usize>,
     token_seed: u128,
     token_counter: u128,
     connected: bool,
@@ -126,7 +126,7 @@ impl RemoteAppender {
             route,
             config,
             rng: StdRng::seed_from_u64(seed),
-            size_cache: HashMap::new(),
+            size_cache: BTreeMap::new(),
             token_seed: (seed as u128) << 64,
             token_counter: 0,
             connected: false,

@@ -220,6 +220,7 @@ impl RanProbe {
         let offset = if c.down { CELL_DOWN_SNR_DB } else { c.fade_db };
         self.fleet
             .set_cell_snr_offset_db(CellId(i as u32), offset)
+            // xg-lint: allow(panicking-call, index ranges over self.cells which is built to the fleet's length)
             .expect("cell index is in range by construction");
     }
 

@@ -306,13 +306,14 @@ impl ClusterSim {
         loop {
             let mut started_any = false;
             // FCFS head.
-            while let Some(head) = self.queue.front() {
-                if head.req.nodes <= self.free_nodes() {
-                    let job = self.queue.pop_front().expect("head exists");
+            while self
+                .queue
+                .front()
+                .is_some_and(|head| head.req.nodes <= self.free_nodes())
+            {
+                if let Some(job) = self.queue.pop_front() {
                     self.start_job(job);
                     started_any = true;
-                } else {
-                    break;
                 }
             }
             // EASY backfill: jobs behind the head may start if they finish
@@ -333,9 +334,10 @@ impl ClusterSim {
                             self.now_s + cand.req.walltime_s <= reservation_t;
                         let within_extra = cand.req.nodes <= extra;
                         if fits_now && (ends_before_reservation || within_extra) {
-                            let job = self.queue.remove(i).expect("index checked");
-                            self.start_job(job);
-                            started_any = true;
+                            if let Some(job) = self.queue.remove(i) {
+                                self.start_job(job);
+                                started_any = true;
+                            }
                             // Restart the pass: the head may now fit.
                             break;
                         } else {

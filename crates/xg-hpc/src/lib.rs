@@ -30,6 +30,11 @@
 //! assert!(ctl.completed_tasks()[0].wait_s < 60.0, "no batch queueing");
 //! ```
 
+// Non-test library code must thread typed errors instead of panicking:
+// the same invariant xg-lint's panicking-call rule enforces for expect/panic.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod cluster;
 pub mod multisite;
 pub mod pilot;

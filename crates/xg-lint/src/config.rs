@@ -1,0 +1,118 @@
+//! Which rules apply where. Paths are workspace-relative with forward
+//! slashes; scoping is by prefix so whole crates or directories can be
+//! brought into (or exempted from) a rule.
+
+/// Rule scoping for one lint run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Prefixes where `unordered-iter` applies: crates whose outputs
+    /// must be a deterministic function of the seed.
+    pub deterministic_paths: Vec<String>,
+    /// Prefixes where `panicking-call` applies: library code of the
+    /// simulator crates (bench bins and fixtures excluded).
+    pub panicking_paths: Vec<String>,
+    /// Prefixes exempt from `wall-clock`: modules whose whole purpose
+    /// is wall-domain measurement.
+    pub wall_allowlist: Vec<String>,
+    /// Path substrings skipped entirely (lint fixtures, build output).
+    pub skip: Vec<String>,
+}
+
+impl Config {
+    /// The workspace policy. This is the single source of truth for
+    /// which crates sit in the deterministic core — CONTRIBUTING.md's
+    /// "Determinism rules" section documents the same lists.
+    pub fn workspace() -> Self {
+        let s = |v: &[&str]| v.iter().map(|p| p.to_string()).collect();
+        Config {
+            deterministic_paths: s(&[
+                "crates/xg-net/src/",
+                "crates/xg-cfd/src/",
+                "crates/xg-fabric/src/",
+                "crates/xg-cspot/src/",
+                "crates/xg-sensors/src/",
+            ]),
+            panicking_paths: s(&[
+                "crates/xg-net/src/",
+                "crates/xg-cfd/src/",
+                "crates/xg-fabric/src/",
+                "crates/xg-cspot/src/",
+                "crates/xg-sensors/src/",
+                "crates/xg-obs/src/",
+                "crates/xg-hpc/src/",
+            ]),
+            wall_allowlist: s(&[
+                // The one blessed wall-clock source: everything else
+                // must go through xg_obs::clock::Clock.
+                "crates/xg-obs/src/clock.rs",
+                // Bench bins time real work on the wall by design.
+                "crates/xg-bench/src/bin/",
+            ]),
+            skip: s(&["/tests/fixtures/", "/target/"]),
+        }
+    }
+
+    /// Every rule applies everywhere: used by the fixture tests so a
+    /// fixture file exercises a rule regardless of its path.
+    pub fn everything() -> Self {
+        let all = vec![String::new()]; // empty prefix matches any path
+        Config {
+            deterministic_paths: all.clone(),
+            panicking_paths: all,
+            wall_allowlist: Vec::new(),
+            skip: Vec::new(),
+        }
+    }
+
+    /// Should this file be skipped entirely?
+    pub fn skipped(&self, relpath: &str) -> bool {
+        self.skip.iter().any(|s| relpath.contains(s.as_str()))
+    }
+
+    /// Is `unordered-iter` in force for this file?
+    pub fn is_deterministic_path(&self, relpath: &str) -> bool {
+        self.deterministic_paths
+            .iter()
+            .any(|p| relpath.starts_with(p.as_str()))
+    }
+
+    /// Is `panicking-call` in force for this file?
+    pub fn is_panicking_scope(&self, relpath: &str) -> bool {
+        self.panicking_paths
+            .iter()
+            .any(|p| relpath.starts_with(p.as_str()))
+    }
+
+    /// Is this file exempt from `wall-clock`?
+    pub fn wall_allowlisted(&self, relpath: &str) -> bool {
+        self.wall_allowlist
+            .iter()
+            .any(|p| relpath.starts_with(p.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_scoping() {
+        let c = Config::workspace();
+        assert!(c.is_deterministic_path("crates/xg-net/src/mac.rs"));
+        assert!(!c.is_deterministic_path("crates/xg-bench/src/bin/fig4_single_user.rs"));
+        assert!(c.is_panicking_scope("crates/xg-obs/src/metrics.rs"));
+        assert!(!c.is_panicking_scope("crates/xg-laminar/src/graph.rs"));
+        assert!(c.wall_allowlisted("crates/xg-obs/src/clock.rs"));
+        assert!(c.wall_allowlisted("crates/xg-bench/src/bin/perf_trajectory.rs"));
+        assert!(!c.wall_allowlisted("crates/xg-cfd/src/solver.rs"));
+        assert!(c.skipped("crates/xg-lint/tests/fixtures/wall_clock_pos.rs"));
+    }
+
+    #[test]
+    fn everything_config_is_all_scope() {
+        let c = Config::everything();
+        assert!(c.is_deterministic_path("any/path.rs"));
+        assert!(c.is_panicking_scope("any/path.rs"));
+        assert!(!c.wall_allowlisted("any/path.rs"));
+    }
+}

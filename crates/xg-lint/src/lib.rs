@@ -1,0 +1,100 @@
+//! `xg-lint`: the workspace determinism-and-robustness linter.
+//!
+//! The reproduction's core claims — every figure-shaped result is a
+//! deterministic function of the seed, and the sharded `RanFleet` is
+//! bitwise-identical parallel vs serial — rest on invariants the
+//! compiler cannot see. This crate enforces them statically, as a hard
+//! CI gate, with a rule set tuned to this codebase:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `wall-clock` | no `Instant::now`/`SystemTime::now` outside wall-domain modules |
+//! | `unordered-iter` | no `HashMap`/`HashSet` in the deterministic simulator crates |
+//! | `unseeded-random` | no `thread_rng`/`rand::random`/`from_entropy`/`OsRng` anywhere |
+//! | `panicking-call` | no `unwrap`/`expect`/panic macros in non-test library code |
+//! | `float-reduce` | no float fold/sum/reduce inside parallel statements |
+//!
+//! Sites that are legitimately exempt carry a reasoned waiver:
+//! `// xg-lint: allow(<rule>, <why this site is safe>)` on the offending
+//! line or the line above. Waivers without a reason are themselves
+//! findings. Run it with:
+//!
+//! ```text
+//! cargo run -p xg-lint              # human diagnostics, exit 1 on findings
+//! cargo run -p xg-lint -- --format json
+//! ```
+//!
+//! The analysis is token-level over lexed source (comments and string
+//! bodies removed, `#[cfg(test)]` regions and parallel-statement extents
+//! tracked by brace counting) rather than AST-level: the container this
+//! repo builds in has no network registry access, so a `syn`-style
+//! parser dependency is unavailable by policy — and token-level rules
+//! have a useful property for a lint gate: they are trivially auditable
+//! against the pattern tables in [`rules`].
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod config;
+pub mod lexer;
+pub mod regions;
+pub mod report;
+pub mod rules;
+pub mod waiver;
+mod walk;
+
+pub use config::Config;
+pub use report::{Report, REPORT_SCHEMA};
+pub use rules::{lint_source, Finding, Rule};
+
+use std::path::Path;
+
+/// Version of the rule set. Bump whenever a rule is added, removed, or
+/// changes what it matches. Perf baselines record this tag so
+/// `perf_trajectory --compare` can warn when baseline and current were
+/// produced under different rule sets.
+pub const RULES_VERSION: &str = "xg-lint-rules/1";
+
+/// Lint every workspace `.rs` file under `root` with the given config.
+pub fn lint_root(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let files = walk::workspace_files(root)?;
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for rel in &files {
+        if cfg.skipped(rel) {
+            continue;
+        }
+        let source = std::fs::read_to_string(root.join(rel))?;
+        scanned += 1;
+        findings.extend(lint_source(rel, &source, cfg));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(Report {
+        root: root.display().to_string(),
+        files_scanned: scanned,
+        findings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The gate the CI job enforces: the workspace itself must be clean.
+    #[test]
+    fn workspace_has_no_unwaived_findings() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = lint_root(&root, &Config::workspace()).expect("lint workspace");
+        let unwaived: Vec<_> = report.unwaived().collect();
+        assert!(
+            unwaived.is_empty(),
+            "unwaived findings:\n{}",
+            unwaived
+                .iter()
+                .map(|f| format!("{}:{}: {}: {}", f.file, f.line, f.rule.name(), f.message))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Report rendering: machine-readable JSON (hand-rolled — the workspace
+//! carries no JSON dependency by policy) and human diagnostics.
+
+use crate::rules::Finding;
+use crate::RULES_VERSION;
+
+/// The JSON document's schema tag.
+pub const REPORT_SCHEMA: &str = "xg-lint-report/1";
+
+/// A completed lint run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Workspace root the paths are relative to (display only).
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, waived and unwaived, in (file, line) order.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Findings not covered by a reasoned waiver.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Count of unwaived findings (the gate statistic).
+    pub fn unwaived_count(&self) -> usize {
+        self.unwaived().count()
+    }
+
+    /// Render the machine-readable report. Header first so consumers can
+    /// check `rules_version` before parsing findings.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{REPORT_SCHEMA}\",\n"));
+        s.push_str(&format!("  \"rules_version\": \"{RULES_VERSION}\",\n"));
+        s.push_str(&format!("  \"root\": \"{}\",\n", escape(&self.root)));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"unwaived\": {},\n", self.unwaived_count()));
+        s.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let reason = match &f.reason {
+                Some(r) => format!("\"{}\"", escape(r)),
+                None => "null".to_string(),
+            };
+            s.push_str(&format!(
+                "    {{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"waived\":{},\"reason\":{},\"message\":\"{}\"}}{}\n",
+                escape(&f.file),
+                f.line,
+                f.rule.name(),
+                f.waived,
+                reason,
+                escape(&f.message),
+                if i + 1 < self.findings.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Render human diagnostics. Waived findings appear only with
+    /// `show_waived`.
+    pub fn to_human(&self, show_waived: bool) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            if f.waived && !show_waived {
+                continue;
+            }
+            if f.waived {
+                s.push_str(&format!(
+                    "{}:{}: {} [waived: {}]\n",
+                    f.file,
+                    f.line,
+                    f.rule.name(),
+                    f.reason.as_deref().unwrap_or("")
+                ));
+            } else {
+                s.push_str(&format!(
+                    "{}:{}: {}: {}\n",
+                    f.file,
+                    f.line,
+                    f.rule.name(),
+                    f.message
+                ));
+            }
+        }
+        let waived = self.findings.len() - self.unwaived_count();
+        s.push_str(&format!(
+            "xg-lint {}: {} files, {} finding(s), {} waived, {} unwaived\n",
+            RULES_VERSION,
+            self.files_scanned,
+            self.findings.len(),
+            waived,
+            self.unwaived_count()
+        ));
+        s
+    }
+}
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn sample() -> Report {
+        Report {
+            root: "/r".to_string(),
+            files_scanned: 2,
+            findings: vec![
+                Finding {
+                    file: "a.rs".to_string(),
+                    line: 3,
+                    rule: Rule::WallClock,
+                    message: "`Instant::now` in sim-domain code".to_string(),
+                    waived: false,
+                    reason: None,
+                },
+                Finding {
+                    file: "b.rs".to_string(),
+                    line: 7,
+                    rule: Rule::FloatReduce,
+                    message: "m".to_string(),
+                    waived: true,
+                    reason: Some("max is \"order\"-independent".to_string()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_has_header_and_escapes() {
+        let j = sample().to_json();
+        assert!(j.contains("\"schema\": \"xg-lint-report/1\""));
+        assert!(j.contains(&format!("\"rules_version\": \"{RULES_VERSION}\"")));
+        assert!(j.contains("\"unwaived\": 1"));
+        assert!(j.contains("max is \\\"order\\\"-independent"));
+    }
+
+    #[test]
+    fn human_hides_waived_by_default() {
+        let r = sample();
+        let h = r.to_human(false);
+        assert!(h.contains("a.rs:3"));
+        assert!(!h.contains("b.rs:7"));
+        assert!(r.to_human(true).contains("b.rs:7"));
+        assert!(h.contains("1 waived, 1 unwaived"));
+    }
+}

@@ -1,0 +1,334 @@
+//! The rule set. Version [`RULES_VERSION`](crate::RULES_VERSION) must be
+//! bumped whenever a rule is added, removed, or changes what it matches:
+//! perf baselines record the version they were produced under, and
+//! `perf_trajectory --compare` warns on a mismatch.
+
+use crate::config::Config;
+use crate::regions::{parallel_regions, test_regions};
+use crate::waiver::{find_waiver, parse_waivers};
+
+/// The enforced rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// `Instant::now` / `SystemTime::now` outside wall-domain modules.
+    WallClock,
+    /// `HashMap` / `HashSet` in deterministic simulator crates.
+    UnorderedIter,
+    /// `thread_rng`, `rand::random`, `from_entropy`, `OsRng` anywhere.
+    UnseededRandom,
+    /// `unwrap` / `expect` / panic-family macros in non-test library code.
+    PanickingCall,
+    /// `f32`/`f64` fold/sum/reduce inside a parallel statement without a
+    /// documented order guarantee.
+    FloatReduce,
+    /// A waiver comment that is malformed, reasonless, or names an
+    /// unknown rule. Not itself waivable.
+    BadWaiver,
+}
+
+impl Rule {
+    /// Stable kebab-case name used in reports and waiver comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::UnorderedIter => "unordered-iter",
+            Rule::UnseededRandom => "unseeded-random",
+            Rule::PanickingCall => "panicking-call",
+            Rule::FloatReduce => "float-reduce",
+            Rule::BadWaiver => "bad-waiver",
+        }
+    }
+
+    /// Parse a waiver-comment rule name. `bad-waiver` is absent on
+    /// purpose: a malformed waiver cannot be waived away.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "wall-clock" => Some(Rule::WallClock),
+            "unordered-iter" => Some(Rule::UnorderedIter),
+            "unseeded-random" => Some(Rule::UnseededRandom),
+            "panicking-call" => Some(Rule::PanickingCall),
+            "float-reduce" => Some(Rule::FloatReduce),
+            _ => None,
+        }
+    }
+
+    /// Every waivable rule, for `--rules` output.
+    pub fn all() -> &'static [Rule] {
+        &[
+            Rule::WallClock,
+            Rule::UnorderedIter,
+            Rule::UnseededRandom,
+            Rule::PanickingCall,
+            Rule::FloatReduce,
+        ]
+    }
+
+    /// One-line description for `--rules` and the docs.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "no Instant::now/SystemTime::now outside wall-domain modules \
+                 (xg-obs clock, bench bins): sim results must not depend on wall time"
+            }
+            Rule::UnorderedIter => {
+                "no HashMap/HashSet in deterministic simulator crates: iteration \
+                 order varies per process and breaks same-seed reproducibility; \
+                 use BTreeMap/BTreeSet or waive with a reason"
+            }
+            Rule::UnseededRandom => {
+                "no thread_rng/rand::random/from_entropy/OsRng anywhere: every \
+                 random stream must derive from the run seed"
+            }
+            Rule::PanickingCall => {
+                "no unwrap/expect/panic!/unreachable!/todo!/unimplemented! in \
+                 non-test library code of the simulator crates: thread typed \
+                 errors instead"
+            }
+            Rule::FloatReduce => {
+                "no f32/f64 fold/sum/reduce inside parallel statements unless \
+                 the reduction is order-independent (document it in the waiver)"
+            }
+            Rule::BadWaiver => "a waiver comment that is malformed or lacks a reason",
+        }
+    }
+}
+
+/// One finding, waived or not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human diagnostic (what matched).
+    pub message: String,
+    /// Suppressed by a reasoned waiver?
+    pub waived: bool,
+    /// The waiver's reason, when waived.
+    pub reason: Option<String>,
+}
+
+/// Substring patterns per rule. `HashMap`-style bare identifiers are
+/// checked for identifier boundaries; `::`/`.`-anchored patterns are
+/// matched as-is.
+const WALL_CLOCK_PATTERNS: &[&str] = &["Instant::now", "SystemTime::now"];
+const UNORDERED_PATTERNS: &[&str] = &["HashMap", "HashSet"];
+const UNSEEDED_PATTERNS: &[&str] = &[
+    "thread_rng",
+    "rand::random",
+    "from_entropy",
+    "OsRng",
+    "getrandom",
+];
+const PANICKING_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+const FLOAT_REDUCE_PATTERNS: &[&str] = &[
+    ".sum::<f32>",
+    ".sum::<f64>",
+    ".product::<f32>",
+    ".product::<f64>",
+    ".fold(",
+    ".reduce(",
+];
+
+/// Lint one file's source. `relpath` is workspace-relative with forward
+/// slashes; it decides which rules apply via `cfg`.
+pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    let scrubbed = crate::lexer::scrub(source);
+    let tests = test_regions(&scrubbed);
+    let parallel = parallel_regions(&scrubbed);
+    let (waivers, bad_waivers) = parse_waivers(&scrubbed.comments);
+    let mut findings = Vec::new();
+
+    for bw in bad_waivers {
+        findings.push(Finding {
+            file: relpath.to_string(),
+            line: bw.line,
+            rule: Rule::BadWaiver,
+            message: bw.message,
+            waived: false,
+            reason: None,
+        });
+    }
+
+    let in_wall_allowlist = cfg.wall_allowlisted(relpath);
+    let deterministic = cfg.is_deterministic_path(relpath);
+    let panicking_scope = cfg.is_panicking_scope(relpath);
+
+    for (idx, line) in scrubbed.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let in_test = tests.contains(lineno);
+
+        if !in_wall_allowlist {
+            for pat in WALL_CLOCK_PATTERNS {
+                if line.contains(pat) {
+                    push(
+                        &mut findings,
+                        relpath,
+                        lineno,
+                        Rule::WallClock,
+                        format!("`{pat}` in sim-domain code"),
+                        &waivers,
+                    );
+                }
+            }
+        }
+        if deterministic && !in_test {
+            for pat in UNORDERED_PATTERNS {
+                if contains_ident(line, pat) {
+                    push(
+                        &mut findings,
+                        relpath,
+                        lineno,
+                        Rule::UnorderedIter,
+                        format!("`{pat}` in a deterministic crate (iteration order is unseeded)"),
+                        &waivers,
+                    );
+                }
+            }
+        }
+        for pat in UNSEEDED_PATTERNS {
+            if line.contains(pat) {
+                push(
+                    &mut findings,
+                    relpath,
+                    lineno,
+                    Rule::UnseededRandom,
+                    format!("`{pat}` draws entropy outside the run seed"),
+                    &waivers,
+                );
+            }
+        }
+        if panicking_scope && !in_test {
+            for pat in PANICKING_PATTERNS {
+                if line.contains(pat) {
+                    push(
+                        &mut findings,
+                        relpath,
+                        lineno,
+                        Rule::PanickingCall,
+                        format!("`{pat}` in non-test library code"),
+                        &waivers,
+                    );
+                }
+            }
+        }
+        if parallel.contains(lineno) && !in_test {
+            for pat in FLOAT_REDUCE_PATTERNS {
+                if line.contains(pat) {
+                    push(
+                        &mut findings,
+                        relpath,
+                        lineno,
+                        Rule::FloatReduce,
+                        format!("`{pat}` inside a parallel statement: reduction order must be documented"),
+                        &waivers,
+                    );
+                }
+            }
+        }
+    }
+    findings
+}
+
+fn push(
+    findings: &mut Vec<Finding>,
+    relpath: &str,
+    line: usize,
+    rule: Rule,
+    message: String,
+    waivers: &[crate::waiver::Waiver],
+) {
+    let waiver = find_waiver(waivers, rule, line);
+    findings.push(Finding {
+        file: relpath.to_string(),
+        line,
+        rule,
+        message,
+        waived: waiver.is_some(),
+        reason: waiver.map(|w| w.reason.clone()),
+    });
+}
+
+/// `needle` present in `hay` with identifier boundaries on both sides.
+fn contains_ident(hay: &str, needle: &str) -> bool {
+    let bytes = hay.as_bytes();
+    for (pos, _) in hay.match_indices(needle) {
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + needle.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_scope() -> Config {
+        Config::everything()
+    }
+
+    fn findings(src: &str) -> Vec<Finding> {
+        lint_source("crates/x/src/lib.rs", src, &all_scope())
+    }
+
+    #[test]
+    fn ident_boundaries() {
+        assert!(contains_ident("let m: HashMap<u8, u8>;", "HashMap"));
+        assert!(!contains_ident("struct HashMapLike;", "HashMap"));
+        assert!(!contains_ident(
+            "let my_hash_map = MyHashMap::new();",
+            "HashMap"
+        ));
+    }
+
+    #[test]
+    fn string_contents_do_not_trigger() {
+        let f = findings("let msg = \"never call Instant::now here\";\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn waived_finding_is_marked_not_dropped() {
+        let f =
+            findings("// xg-lint: allow(wall-clock, wall-domain probe)\nlet t = Instant::now();\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived);
+        assert_eq!(f[0].reason.as_deref(), Some("wall-domain probe"));
+    }
+
+    #[test]
+    fn unwrap_in_test_mod_is_exempt() {
+        let src = "\
+fn lib() -> Option<u8> { None }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { super::lib().unwrap(); }
+}
+";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn float_fold_outside_parallel_is_fine() {
+        let f = findings("fn mean(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }\n");
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Workspace file discovery: every `.rs` file under the scanned
+//! directories, in sorted order so reports are stable byte-for-byte.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories scanned relative to the workspace root. `target/` never
+/// appears because only these roots are walked.
+const SCAN_ROOTS: &[&str] = &["crates", "tests", "examples"];
+
+/// Collect workspace-relative paths (forward slashes) of every `.rs`
+/// file under the scan roots, sorted.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            visit(&dir, &mut out)?;
+        }
+    }
+    let mut rel: Vec<String> = out
+        .into_iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            visit(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_own_sources_sorted() {
+        // The crate's tests run with CWD = crates/xg-lint; the workspace
+        // root is two levels up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_files(&root).expect("walk workspace");
+        assert!(files.iter().any(|f| f == "crates/xg-lint/src/walk.rs"));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixture-file tests: one positive and one negative case per rule,
+//! plus waiver-comment parsing. Every positive fixture pins its rule to
+//! exact lines, so deleting (or breaking) any single rule's
+//! implementation fails at least one test here.
+
+use std::path::Path;
+
+use xg_lint::{lint_source, Config, Finding, Rule};
+
+/// Lint one fixture under the all-paths-in-scope config.
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    lint_source(&format!("fixtures/{name}"), &source, &Config::everything())
+}
+
+fn lines_of(findings: &[Finding], rule: Rule) -> Vec<usize> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.waived)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn wall_clock_positive() {
+    let f = lint_fixture("wall_clock_pos.rs");
+    assert_eq!(lines_of(&f, Rule::WallClock), vec![5, 6]);
+}
+
+#[test]
+fn wall_clock_negative() {
+    let f = lint_fixture("wall_clock_neg.rs");
+    assert!(f.is_empty(), "unexpected findings: {f:?}");
+}
+
+#[test]
+fn wall_clock_allowlisted_path_is_exempt() {
+    // The same source that fires under the fixture config is silent when
+    // the file sits on the workspace wall-clock allowlist.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/wall_clock_pos.rs");
+    let source = std::fs::read_to_string(path).expect("fixture readable");
+    let f = lint_source("crates/xg-obs/src/clock.rs", &source, &Config::workspace());
+    assert!(lines_of(&f, Rule::WallClock).is_empty());
+}
+
+#[test]
+fn unordered_iter_positive() {
+    let f = lint_fixture("unordered_iter_pos.rs");
+    let lines = lines_of(&f, Rule::UnorderedIter);
+    // Import line (both types), two field declarations.
+    assert!(lines.contains(&2), "import must be flagged: {lines:?}");
+    assert!(lines.contains(&5));
+    assert!(lines.contains(&6));
+}
+
+#[test]
+fn unordered_iter_negative() {
+    let f = lint_fixture("unordered_iter_neg.rs");
+    assert!(
+        f.is_empty(),
+        "BTree* and test-only HashSet must pass: {f:?}"
+    );
+}
+
+#[test]
+fn unseeded_random_positive() {
+    let f = lint_fixture("unseeded_random_pos.rs");
+    let lines = lines_of(&f, Rule::UnseededRandom);
+    assert!(lines.contains(&5), "thread_rng: {lines:?}");
+    assert!(lines.contains(&6), "rand::random in lib code: {lines:?}");
+    assert!(
+        lines.contains(&13),
+        "rand::random in tests is still a finding: {lines:?}"
+    );
+}
+
+#[test]
+fn unseeded_random_negative() {
+    let f = lint_fixture("unseeded_random_neg.rs");
+    assert!(f.is_empty(), "seeded RNG must pass: {f:?}");
+}
+
+#[test]
+fn panicking_call_positive() {
+    let f = lint_fixture("panicking_call_pos.rs");
+    let lines = lines_of(&f, Rule::PanickingCall);
+    for expected in [4, 5, 7, 10, 11, 12] {
+        assert!(
+            lines.contains(&expected),
+            "line {expected} missing: {lines:?}"
+        );
+    }
+}
+
+#[test]
+fn panicking_call_negative() {
+    let f = lint_fixture("panicking_call_neg.rs");
+    assert!(
+        f.is_empty(),
+        "typed errors + test-only unwraps must pass: {f:?}"
+    );
+}
+
+#[test]
+fn float_reduce_positive() {
+    let f = lint_fixture("float_reduce_pos.rs");
+    let lines = lines_of(&f, Rule::FloatReduce);
+    assert!(lines.contains(&9), ".fold in par statement: {lines:?}");
+    assert!(
+        lines.contains(&10),
+        ".sum::<f64> in par statement: {lines:?}"
+    );
+}
+
+#[test]
+fn float_reduce_negative() {
+    let f = lint_fixture("float_reduce_neg.rs");
+    assert!(
+        f.is_empty(),
+        "serial reductions after the parallel statement must pass: {f:?}"
+    );
+}
+
+#[test]
+fn waiver_parsing() {
+    let f = lint_fixture("waivers.rs");
+    // Two wall-clock findings waived with reasons (line-above and trailing).
+    let waived: Vec<_> = f
+        .iter()
+        .filter(|f| f.rule == Rule::WallClock && f.waived)
+        .collect();
+    assert_eq!(waived.len(), 2, "both probe legs waived: {f:?}");
+    assert_eq!(
+        waived[0].reason.as_deref(),
+        Some("wall-domain probe measuring real elapsed time")
+    );
+    assert_eq!(
+        waived[1].reason.as_deref(),
+        Some("second leg of the same probe")
+    );
+    // The reasonless waiver does not waive, and is itself a finding.
+    let unwaived_wall = lines_of(&f, Rule::WallClock);
+    assert_eq!(unwaived_wall, vec![14], "reasonless waiver must not waive");
+    let bad = lines_of(&f, Rule::BadWaiver);
+    assert_eq!(
+        bad,
+        vec![13, 15],
+        "reasonless + unknown-rule waivers: {f:?}"
+    );
+}
+
+#[test]
+fn report_json_round_trips_rule_names() {
+    // Every waivable rule's name parses back; bad-waiver is unwaivable.
+    for rule in Rule::all() {
+        assert_eq!(Rule::from_name(rule.name()), Some(*rule));
+    }
+    assert_eq!(Rule::from_name("bad-waiver"), None);
+}

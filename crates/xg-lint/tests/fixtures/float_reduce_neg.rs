@@ -1,0 +1,12 @@
+// Negative case: serial float reductions are fine, and a parallel
+// statement with no reduction is fine; the serial sum after the
+// parallel statement ends must not be flagged.
+use rayon::prelude::*;
+
+pub fn normalize(cells: &mut [f64]) -> f64 {
+    cells.par_iter_mut().for_each(|c| {
+        *c = c.abs();
+    });
+    let total: f64 = cells.iter().sum::<f64>();
+    total / cells.len() as f64
+}

@@ -1,0 +1,11 @@
+// Positive case: a float reduction inside a parallel statement with no
+// documented order guarantee.
+use rayon::prelude::*;
+
+pub fn total_energy(cells: &[f64]) -> f64 {
+    cells
+        .par_iter()
+        .map(|c| c * c)
+        .fold(|| 0.0f64, |a, b| a + b)
+        .sum::<f64>()
+}

@@ -1,0 +1,28 @@
+// Negative case: typed errors in library code; unwrap/expect/panic are
+// fine inside #[cfg(test)] regions and #[test] functions.
+pub fn lookup(xs: &[u32], want: u32) -> Option<u32> {
+    xs.iter().find(|&&x| x == want).copied()
+}
+
+pub fn head(xs: &[u32]) -> Result<u32, String> {
+    xs.first().copied().ok_or_else(|| "empty".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn found() {
+        assert_eq!(lookup(&[1, 2], 2).unwrap(), 2);
+        head(&[]).expect_err("empty must err");
+        if false {
+            panic!("test-only panic is fine");
+        }
+    }
+}
+
+#[test]
+fn standalone_test_fn() {
+    lookup(&[7], 7).unwrap();
+}

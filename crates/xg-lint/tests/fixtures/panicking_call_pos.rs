@@ -1,0 +1,15 @@
+// Positive case: the whole panic family in non-test library code.
+pub fn lookup(xs: &[u32], want: u32) -> u32 {
+    let found = xs.iter().find(|&&x| x == want);
+    let v = found.unwrap();
+    let w: u32 = std::env::var("X").expect("X must be set").parse().unwrap();
+    if v + w == 0 {
+        panic!("impossible");
+    }
+    match v {
+        0 => unreachable!("zero filtered above"),
+        1 => todo!("handle one"),
+        2 => unimplemented!("handle two"),
+        _ => v,
+    }
+}

@@ -1,0 +1,23 @@
+// Negative case: ordered containers are always fine, and unordered ones
+// in test-only code are exempt.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Registry {
+    by_id: BTreeMap<u32, String>,
+    seen: BTreeSet<u32>,
+}
+
+pub fn drain(r: &Registry) -> Vec<String> {
+    r.by_id.values().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn membership_only() {
+        let mut s = HashSet::new();
+        assert!(s.insert(1));
+    }
+}

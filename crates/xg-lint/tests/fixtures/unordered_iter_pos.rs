@@ -1,0 +1,12 @@
+// Positive case: unordered containers in a deterministic crate.
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    by_id: HashMap<u32, String>,
+    seen: HashSet<u32>,
+}
+
+pub fn drain(r: &Registry) -> Vec<String> {
+    // Iteration order here depends on the hasher's per-process seed.
+    r.by_id.values().cloned().collect()
+}

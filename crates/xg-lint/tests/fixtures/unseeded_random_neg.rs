@@ -1,0 +1,8 @@
+// Negative case: every stream derives from an explicit seed.
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.gen::<f64>()
+}

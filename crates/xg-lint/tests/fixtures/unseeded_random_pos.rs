@@ -1,0 +1,16 @@
+// Positive case: entropy drawn outside the run seed — in library code
+// *and* in tests (the rule applies everywhere; a random test input that
+// fails cannot be replayed).
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::random::<f64>() + rng.gen::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn flaky() {
+        let x = rand::random::<u8>();
+        assert!(x < 255);
+    }
+}

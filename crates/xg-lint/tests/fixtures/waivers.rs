@@ -1,0 +1,18 @@
+// Waiver-parsing fixture: reasoned waivers (trailing and line-above),
+// a reasonless waiver, and an unknown-rule waiver.
+use std::time::Instant;
+
+pub fn probe() -> u64 {
+    // xg-lint: allow(wall-clock, wall-domain probe measuring real elapsed time)
+    let t0 = Instant::now();
+    let t1 = Instant::now(); // xg-lint: allow(wall-clock, second leg of the same probe)
+    (t1 - t0).as_micros() as u64
+}
+
+pub fn bad_waivers(x: Option<u32>) -> u64 {
+    // xg-lint: allow(wall-clock)
+    let t = Instant::now();
+    // xg-lint: allow(not-a-rule, with a reason)
+    let _ = x;
+    t.elapsed().as_micros() as u64
+}

@@ -1,0 +1,12 @@
+// Negative case: virtual time only; mentions of Instant::now in strings
+// and comments must not trigger.
+pub fn step(sim_t_us: &mut u64) {
+    *sim_t_us += 500;
+    let _msg = "wall reads like Instant::now are banned here";
+}
+
+/// Doc comments describing the waiver syntax are not directives:
+/// xg-lint: allow(wall-clock, doc example — must be ignored)
+pub fn documented(sim_t_us: u64) -> u64 {
+    sim_t_us
+}

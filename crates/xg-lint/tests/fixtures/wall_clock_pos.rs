@@ -1,0 +1,8 @@
+// Positive case: wall-clock reads in sim-domain code.
+use std::time::{Instant, SystemTime};
+
+pub fn step(sim_t_us: &mut u64) {
+    let _t0 = Instant::now();
+    let _epoch = SystemTime::now();
+    *sim_t_us += 500;
+}

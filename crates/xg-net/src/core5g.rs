@@ -15,7 +15,7 @@
 use crate::error::{NetError, Result};
 use crate::slice::Snssai;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A provisioned SIM profile (what pysim writes onto a sysmoISIM card).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,7 +77,7 @@ struct Subscriber {
 /// The 5G core: subscriber database + registration and session management.
 #[derive(Debug, Default)]
 pub struct Core5g {
-    subscribers: HashMap<String, Subscriber>,
+    subscribers: BTreeMap<String, Subscriber>,
 }
 
 impl Core5g {

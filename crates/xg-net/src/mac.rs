@@ -10,7 +10,7 @@
 //! quotas.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Scheduling discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -43,7 +43,7 @@ pub struct MacScheduler {
     /// Rotation offset for round-robin remainder assignment.
     rr_turn: u64,
     /// EWMA of served bits per TTI, per UE (proportional fair).
-    avg_bits: HashMap<u32, f64>,
+    avg_bits: BTreeMap<u32, f64>,
 }
 
 impl MacScheduler {
@@ -52,7 +52,7 @@ impl MacScheduler {
         MacScheduler {
             kind,
             rr_turn: 0,
-            avg_bits: HashMap::new(),
+            avg_bits: BTreeMap::new(),
         }
     }
 

@@ -74,12 +74,18 @@ impl TddPattern {
     /// `DDSUU`: 2 downlink, 1 special, 2 uplink slots per 5-slot period,
     /// giving an uplink duty fraction of (2 + 2/14) / 5 ≈ 0.429.
     pub fn uplink_heavy() -> Self {
-        TddPattern::parse("DDSUU").expect("static pattern is valid")
+        use SlotDir::{Downlink as D, Special as S, Uplink as U};
+        TddPattern {
+            slots: vec![D, D, S, U, U],
+        }
     }
 
     /// A downlink-heavy pattern (typical eMBB default, `DDDSU`).
     pub fn downlink_heavy() -> Self {
-        TddPattern::parse("DDDSU").expect("static pattern is valid")
+        use SlotDir::{Downlink as D, Special as S, Uplink as U};
+        TddPattern {
+            slots: vec![D, D, D, S, U],
+        }
     }
 
     /// Number of slots in one period of the pattern.

@@ -192,6 +192,7 @@ impl LinkSimulator {
         note = "use LinkSimulator::try_new (fallible) or LinkSimulator::builder"
     )]
     pub fn new(cell: CellConfig, seed: u64) -> Self {
+        // xg-lint: allow(panicking-call, deprecated back-compat wrapper; its documented contract is to panic)
         Self::try_new(cell, seed).expect("cell bandwidth must be valid for its RAT")
     }
 

@@ -30,6 +30,11 @@
 //! assert!(bc.interior_wind_ms < bc.wind_speed_ms, "screen attenuates wind");
 //! ```
 
+// Non-test library code must thread typed errors instead of panicking:
+// the same invariant xg-lint's panicking-call rule enforces for expect/panic.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod breach;
 pub mod facility;
 pub mod network;

@@ -11,7 +11,7 @@ use crate::station::{Placement, WeatherStation};
 use crate::telemetry::TelemetryRecord;
 use crate::weather::{WeatherSim, WeatherState};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Reporting interval of the commodity weather stations (s).
 pub const REPORT_INTERVAL_S: f64 = 300.0;
@@ -44,11 +44,11 @@ pub struct SensorNetwork {
     weather: WeatherSim,
     last_state: Option<WeatherState>,
     /// Stations currently offline (dropout fault): no report at poll time.
-    down: HashSet<u32>,
+    down: BTreeSet<u32>,
     /// Stations with a frozen sensor head (stuck-value fault): they report
     /// on schedule but repeat their last healthy measurement.
-    stuck: HashSet<u32>,
-    last_reports: HashMap<u32, TelemetryRecord>,
+    stuck: BTreeSet<u32>,
+    last_reports: BTreeMap<u32, TelemetryRecord>,
 }
 
 impl SensorNetwork {
@@ -104,9 +104,9 @@ impl SensorNetwork {
             stations,
             weather: WeatherSim::exeter(seed),
             last_state: None,
-            down: HashSet::new(),
-            stuck: HashSet::new(),
-            last_reports: HashMap::new(),
+            down: BTreeSet::new(),
+            stuck: BTreeSet::new(),
+            last_reports: BTreeMap::new(),
         }
     }
 

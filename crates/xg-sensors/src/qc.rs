@@ -11,7 +11,7 @@
 
 use crate::telemetry::TelemetryRecord;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Why a record was rejected.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -65,7 +65,7 @@ struct StationState {
 pub struct QcScreen {
     /// Limits in force.
     pub limits: QcLimits,
-    state: HashMap<u32, StationState>,
+    state: BTreeMap<u32, StationState>,
 }
 
 impl QcScreen {
