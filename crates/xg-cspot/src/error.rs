@@ -40,6 +40,27 @@ pub enum CspotError {
     },
     /// Underlying storage failure.
     Storage(std::io::Error),
+    /// A *sealed* segment failed its integrity check during recovery.
+    ///
+    /// Unlike a torn tail in the active segment (which is silently
+    /// truncated — the crash interrupted an in-flight write), corruption
+    /// behind the seal means acknowledged data was damaged at rest.
+    /// Recovery fail-stops rather than silently dropping history.
+    CorruptSegment {
+        /// File name of the damaged segment.
+        segment: String,
+        /// What failed (frame CRC, footer CRC, missing footer, …).
+        detail: String,
+    },
+    /// A replica was offered a record whose sequence number skips ahead
+    /// of its next expected one — records were lost in between (e.g.
+    /// compacted away on the primary before the follower caught up).
+    ReplicaGap {
+        /// The follower's next expected sequence number.
+        expected: u64,
+        /// The sequence number actually offered.
+        got: u64,
+    },
 }
 
 impl fmt::Display for CspotError {
@@ -69,6 +90,15 @@ impl fmt::Display for CspotError {
                 )
             }
             CspotError::Storage(e) => write!(f, "storage error: {e}"),
+            CspotError::CorruptSegment { segment, detail } => {
+                write!(f, "sealed segment '{segment}' is corrupt: {detail}")
+            }
+            CspotError::ReplicaGap { expected, got } => {
+                write!(
+                    f,
+                    "replica gap: expected sequence {expected}, offered {got}"
+                )
+            }
         }
     }
 }
@@ -109,6 +139,23 @@ mod tests {
             latest: Some(20),
         };
         assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn storage_engine_errors_carry_context() {
+        let e = CspotError::CorruptSegment {
+            segment: "00000000000000000001.seg".into(),
+            detail: "record CRC mismatch at offset 128".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("00000000000000000001.seg"));
+        assert!(s.contains("offset 128"));
+        let e = CspotError::ReplicaGap {
+            expected: 10,
+            got: 15,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains("15"));
     }
 
     #[test]

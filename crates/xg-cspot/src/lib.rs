@@ -9,9 +9,15 @@
 //! * [`log`] — fixed-element-size circular logs ("WooFs") with atomic
 //!   sequence-number assignment, concurrent access, and idempotency-token
 //!   deduplication for exactly-once delivery.
-//! * [`storage`] — pluggable persistence: an in-memory backend and a
-//!   file-backed backend with CRC-framed records, crash-truncation recovery,
-//!   and fault injection.
+//! * [`storage`] — pluggable persistence: the record wire format (CRC-framed
+//!   records), an in-memory backend, and a simple single-file backend.
+//! * [`segment`] — the production storage engine: segmented append-only
+//!   log with sealed-segment footers, group-commit durability, retention
+//!   compaction, streaming crash recovery (torn tails truncated, sealed
+//!   corruption fail-stops), and storage fault injection.
+//! * [`replication`] — asynchronous primary → follower replication over
+//!   [`netsim`]: sealed-segment catch-up plus tail streaming, idempotent
+//!   re-ship, deterministic under seed.
 //! * [`node`] — a CSPOT namespace at a site: log directory + handler
 //!   registry. Handlers fire on exactly one append and never block each
 //!   other (no lock API exists, by design — see §3.4 of the paper).
@@ -59,18 +65,24 @@ pub mod netsim;
 pub mod node;
 pub mod outage;
 pub mod protocol;
+pub mod replication;
+pub mod segment;
 pub mod storage;
 
 /// Commonly used types.
 pub mod prelude {
     pub use crate::error::CspotError;
     pub use crate::gateway::{DrainReport, Gateway};
-    pub use crate::log::{Log, LogConfig};
+    pub use crate::log::{Log, LogConfig, ReplicaApply};
     pub use crate::netsim::{PathModel, RoutePath, SimClock, Topology};
     pub use crate::node::CspotNode;
     pub use crate::outage::{OutageConfig, OutageProcess};
     pub use crate::protocol::{AppendOutcome, RemoteAppender, RemoteConfig};
-    pub use crate::storage::{FileBackend, MemBackend, StorageBackend};
+    pub use crate::replication::{PumpOutcome, ReplicationConfig, Replicator};
+    pub use crate::segment::{SegmentConfig, SegmentedBackend, SyncPolicy};
+    pub use crate::storage::{
+        AppendAck, FileBackend, MemBackend, Record, RecoverySummary, StorageBackend,
+    };
 }
 
 pub use prelude::*;

@@ -17,9 +17,20 @@
 //! * History is circular: a log retains its most recent `history` elements.
 
 use crate::error::{CspotError, Result};
-use crate::storage::{Record, StorageBackend};
+use crate::storage::{Record, RecoverySummary, StorageBackend};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, VecDeque};
+
+/// Outcome of offering one replicated record to a follower log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaApply {
+    /// The record was the follower's next expected sequence and was
+    /// appended (durably, through the follower's own backend).
+    Applied,
+    /// The follower already holds this sequence; the offer was dropped
+    /// (idempotent re-ship after a partial batch).
+    Duplicate,
+}
 
 /// Static configuration of a log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,29 +57,35 @@ struct LogInner {
 /// A CSPOT log.
 pub struct Log {
     config: LogConfig,
+    recovery: RecoverySummary,
     inner: Mutex<LogInner>,
 }
 
 impl Log {
     /// Create a log over the given backend, recovering any durable records
     /// the backend already holds (crash recovery / restart).
+    ///
+    /// Recovery is streaming: records flow through one at a time and only
+    /// the most recent `history` payloads are retained, so memory stays
+    /// O(history + tokens) even over multi-gigabyte logs. Corruption in a
+    /// sealed segment surfaces here as [`CspotError::CorruptSegment`].
     pub fn create(config: LogConfig, mut backend: Box<dyn StorageBackend>) -> Result<Self> {
-        let records = backend.recover()?;
         let mut entries = VecDeque::new();
         let mut dedup = BTreeMap::new();
         let mut next_seq = 1u64;
-        for r in records {
+        let summary = backend.recover_scan(&mut |r: Record| {
             if r.token != 0 {
                 dedup.insert(r.token, r.seq);
             }
+            next_seq = r.seq + 1;
             entries.push_back((r.seq, r.payload));
             if entries.len() > config.history {
                 entries.pop_front();
             }
-            next_seq = r.seq + 1;
-        }
+        })?;
         Ok(Log {
             config,
+            recovery: summary,
             inner: Mutex::new(LogInner {
                 next_seq,
                 entries,
@@ -77,6 +94,12 @@ impl Log {
                 inject_failures: 0,
             }),
         })
+    }
+
+    /// What recovery found when this log was created (record count, bytes
+    /// truncated from a torn tail, sealed segments verified).
+    pub fn recovery_summary(&self) -> RecoverySummary {
+        self.recovery
     }
 
     /// The log's configuration.
@@ -216,6 +239,106 @@ impl Log {
         let inner = self.inner.lock();
         let skip = inner.entries.len().saturating_sub(n);
         inner.entries.iter().skip(skip).cloned().collect()
+    }
+
+    /// Force everything appended so far onto stable storage (flush +
+    /// fsync). After this returns Ok, [`Self::committed_seq`] equals
+    /// [`Self::latest_seq`] (unless a sync stall is injected).
+    pub fn sync(&self) -> Result<()> {
+        self.inner.lock().backend.sync()
+    }
+
+    /// Highest sequence number known durable on stable storage. Under
+    /// group commit this trails [`Self::latest_seq`] by up to one batch.
+    pub fn committed_seq(&self) -> Option<u64> {
+        self.inner.lock().backend.committed_seq()
+    }
+
+    /// Look up the sequence an idempotency token was assigned, if this
+    /// token has ever been (durably) appended. Chaos clients use this
+    /// after a crash to decide which writes to replay.
+    pub fn has_token(&self, token: u128) -> Option<u64> {
+        if token == 0 {
+            return None;
+        }
+        self.inner.lock().dedup.get(&token).copied()
+    }
+
+    /// Read full records (seq, token, payload) from durable storage
+    /// starting at `from`, at most `max`. Unlike [`Self::scan_from`] this
+    /// reads through the backend, so it sees records already evicted from
+    /// the circular in-memory window — the primitive replication ships.
+    pub fn read_records_from(&self, from: u64, max: usize) -> Result<Vec<Record>> {
+        self.inner.lock().backend.read_from(from, max)
+    }
+
+    /// If `from` falls inside a sealed segment, return that segment's
+    /// records from `from` to its end (the whole-segment catch-up fast
+    /// path). `None` when `from` is in the active segment or the backend
+    /// has no segment structure.
+    pub fn sealed_records_from(&self, from: u64) -> Result<Option<Vec<Record>>> {
+        self.inner.lock().backend.sealed_records_from(from)
+    }
+
+    /// Offer a replicated record to this log (follower side).
+    ///
+    /// The record must be the next expected sequence (apply), an already-
+    /// held one (idempotently dropped), or the offer is a gap error —
+    /// followers never invent or reorder history.
+    pub fn apply_replica(&self, record: &Record) -> Result<ReplicaApply> {
+        if record.payload.len() != self.config.element_size {
+            return Err(CspotError::ElementSizeMismatch {
+                expected: self.config.element_size,
+                got: record.payload.len(),
+            });
+        }
+        let mut inner = self.inner.lock();
+        let next = inner.next_seq;
+        if record.seq < next {
+            return Ok(ReplicaApply::Duplicate);
+        }
+        if record.seq > next {
+            return Err(CspotError::ReplicaGap {
+                expected: next,
+                got: record.seq,
+            });
+        }
+        inner.backend.append(record)?;
+        inner.next_seq = record.seq + 1;
+        inner
+            .entries
+            .push_back((record.seq, record.payload.clone()));
+        if inner.entries.len() > self.config.history {
+            inner.entries.pop_front();
+        }
+        if record.token != 0 {
+            inner.dedup.insert(record.token, record.seq);
+        }
+        Ok(ReplicaApply::Applied)
+    }
+
+    /// Fault injection: simulate power loss (unsynced bytes vanish).
+    /// Returns false if the backend has no durability to lose.
+    pub fn simulate_power_loss(&self) -> Result<bool> {
+        self.inner.lock().backend.simulate_power_loss()
+    }
+
+    /// Fault injection: tear the next append mid-frame. Returns false if
+    /// the backend does not support it.
+    pub fn inject_torn_write(&self) -> bool {
+        self.inner.lock().backend.inject_torn_write()
+    }
+
+    /// Fault injection: stall (or release) fsync — appends keep landing
+    /// in volatile buffers but the durable watermark freezes.
+    pub fn set_sync_stall(&self, on: bool) -> bool {
+        self.inner.lock().backend.set_sync_stall(on)
+    }
+
+    /// Fault injection: flip a bit inside the `k`-th sealed segment.
+    /// Returns Ok(false) if there is no such segment.
+    pub fn corrupt_sealed_segment(&self, k: usize) -> Result<bool> {
+        self.inner.lock().backend.corrupt_sealed_segment(k)
     }
 }
 

@@ -9,7 +9,8 @@
 
 use crate::error::{CspotError, Result};
 use crate::log::{Log, LogConfig};
-use crate::storage::{FileBackend, MemBackend, StorageBackend};
+use crate::segment::{SegmentConfig, SegmentedBackend};
+use crate::storage::{MemBackend, StorageBackend};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -18,9 +19,24 @@ use std::sync::Arc;
 /// Handler signature: `(node, log_name, seq, payload)`.
 pub type Handler = Arc<dyn Fn(&CspotNode, &str, u64, &[u8]) + Send + Sync>;
 
+/// Reserved log receiving flight-recorder ("black box") bundles so crash
+/// forensics survive process death; see [`CspotNode::persist_blackbox`].
+pub const BLACKBOX_LOG: &str = "sys.blackbox";
+const BLACKBOX_ELEMENT: usize = 256;
+const BLACKBOX_HISTORY: usize = 4096;
+/// Chunk framing inside `sys.blackbox` elements: a bundle begins with a
+/// BEGIN element (tag + total byte length) followed by DATA elements
+/// (tag + chunk length + bytes), each padded to the fixed element size.
+const TAG_BEGIN: u8 = 0x01;
+const TAG_DATA: u8 = 0x02;
+const DATA_CAPACITY: usize = BLACKBOX_ELEMENT - 3;
+
 enum Persistence {
     Memory,
-    Directory(PathBuf),
+    Directory {
+        dir: PathBuf,
+        storage: SegmentConfig,
+    },
 }
 
 /// A CSPOT namespace at a named site.
@@ -42,13 +58,23 @@ impl CspotNode {
         }
     }
 
-    /// A durable node whose logs persist under `dir`. Re-opening a node on
-    /// the same directory recovers all its logs (call [`Self::open_log`]
-    /// per log to reload).
+    /// A durable node whose logs persist under `dir` with the default
+    /// storage engine configuration. Re-opening a node on the same
+    /// directory recovers all its logs (call [`Self::open_log`] per log
+    /// to reload).
     pub fn durable(site: &str, dir: impl AsRef<Path>) -> Self {
+        Self::durable_with_storage(site, dir, SegmentConfig::default())
+    }
+
+    /// A durable node with an explicit storage engine configuration
+    /// (segment size, sync policy, retention) shared by all its logs.
+    pub fn durable_with_storage(site: &str, dir: impl AsRef<Path>, storage: SegmentConfig) -> Self {
         CspotNode {
             site: site.to_string(),
-            persistence: Persistence::Directory(dir.as_ref().to_path_buf()),
+            persistence: Persistence::Directory {
+                dir: dir.as_ref().to_path_buf(),
+                storage,
+            },
             logs: RwLock::new(BTreeMap::new()),
             handlers: RwLock::new(BTreeMap::new()),
         }
@@ -62,9 +88,10 @@ impl CspotNode {
     fn backend_for(&self, log_name: &str) -> Result<Box<dyn StorageBackend>> {
         Ok(match &self.persistence {
             Persistence::Memory => Box::new(MemBackend::new()),
-            Persistence::Directory(dir) => {
-                Box::new(FileBackend::open(dir.join(format!("{log_name}.woof")))?)
-            }
+            Persistence::Directory { dir, storage } => Box::new(SegmentedBackend::open(
+                dir.join(format!("{log_name}.seglog")),
+                storage.clone(),
+            )?),
         })
     }
 
@@ -160,6 +187,66 @@ impl CspotNode {
     /// Latest sequence number of a log (CSPOT's `WooFGetLatestSeqno`).
     pub fn latest_seq(&self, log_name: &str) -> Result<Option<u64>> {
         Ok(self.log(log_name)?.latest_seq())
+    }
+
+    /// Persist a flight-recorder bundle (any string, typically the JSONL
+    /// from `xg-obs::recorder::render_bundle`) into the node's reserved
+    /// `sys.blackbox` log, chunked across fixed-size elements and fsynced,
+    /// so it survives process death. Returns the sequence number of the
+    /// bundle's final chunk.
+    pub fn persist_blackbox(&self, bundle: &str) -> Result<u64> {
+        let log = self.open_log(BLACKBOX_LOG, BLACKBOX_ELEMENT, BLACKBOX_HISTORY)?;
+        let bytes = bundle.as_bytes();
+        let mut element = [0u8; BLACKBOX_ELEMENT];
+        element[0] = TAG_BEGIN;
+        element[1..5].copy_from_slice(&(bytes.len() as u32).to_le_bytes());
+        let mut last = log.append(&element)?;
+        for chunk in bytes.chunks(DATA_CAPACITY) {
+            let mut element = [0u8; BLACKBOX_ELEMENT];
+            element[0] = TAG_DATA;
+            element[1..3].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+            element[3..3 + chunk.len()].copy_from_slice(chunk);
+            last = log.append(&element)?;
+        }
+        // A black box is worthless if it rides in the group-commit buffer
+        // when the lights go out.
+        log.sync()?;
+        Ok(last)
+    }
+
+    /// Reassemble the most recent *complete* black-box bundle from the
+    /// `sys.blackbox` log, if one survived (e.g. after a restart).
+    pub fn recovered_blackbox(&self) -> Result<Option<String>> {
+        let log = self.open_log(BLACKBOX_LOG, BLACKBOX_ELEMENT, BLACKBOX_HISTORY)?;
+        let mut complete: Option<String> = None;
+        let mut pending: Option<(usize, Vec<u8>)> = None;
+        for (_, element) in log.scan_from(0) {
+            match element.first() {
+                Some(&TAG_BEGIN) if element.len() >= 5 => {
+                    let total = u32::from_le_bytes([element[1], element[2], element[3], element[4]])
+                        as usize;
+                    pending = Some((total, Vec::with_capacity(total)));
+                    if total == 0 {
+                        complete = Some(String::new());
+                        pending = None;
+                    }
+                }
+                Some(&TAG_DATA) if element.len() >= 3 => {
+                    if let Some((total, buf)) = pending.as_mut() {
+                        let len = u16::from_le_bytes([element[1], element[2]]) as usize;
+                        let end = (3 + len).min(element.len());
+                        buf.extend_from_slice(&element[3..end]);
+                        if buf.len() >= *total {
+                            buf.truncate(*total);
+                            complete = String::from_utf8(std::mem::take(buf)).ok();
+                            pending = None;
+                        }
+                    }
+                }
+                _ => pending = None,
+            }
+        }
+        Ok(complete)
     }
 
     fn fire_handlers(&self, log_name: &str, seq: u64, payload: &[u8]) {

@@ -2,27 +2,35 @@
 //!
 //! CSPOT implements logs in persistent storage so that power loss and other
 //! device failures "that do not destroy the log storage are treated in the
-//! same way as network interruption" (§3.1). Two backends are provided:
+//! same way as network interruption" (§3.1). Three backends are provided:
 //!
 //! * [`MemBackend`] — volatile, for simulations that do not exercise
 //!   crash recovery (fast; used by the latency benchmarks).
-//! * [`FileBackend`] — an append-only record file with per-record CRC
-//!   framing. Recovery scans the file and truncates at the first torn or
-//!   corrupt record, exactly like a write-ahead log. Fault injection can
-//!   drop the unsynced tail to simulate power loss.
+//! * [`FileBackend`] — a single append-only record file with per-record
+//!   CRC framing. Recovery streams the file record by record (memory
+//!   stays O(record), not O(log)) and truncates at the first torn or
+//!   corrupt record, exactly like a write-ahead log.
+//! * [`crate::segment::SegmentedBackend`] — the production engine:
+//!   fixed-size sealed segments with footers, group commit, retention
+//!   compaction, and fail-stop semantics for at-rest corruption.
+//!
+//! All durable backends share one record wire format (little endian):
+//! `[u32 payload_len][u64 seq][u128 token][payload][u32 fnv1a]` where the
+//! checksum covers everything before it.
 
 use crate::error::Result;
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// Decode a fixed-width field at `off`; `None` when the buffer is too
-/// short (a torn tail, never an error during recovery).
-fn field<const N: usize>(bytes: &[u8], off: usize) -> Option<[u8; N]> {
-    bytes
-        .get(off..off.checked_add(N)?)
-        .and_then(|s| s.try_into().ok())
-}
+/// Fixed bytes before the payload: `u32 len + u64 seq + u128 token`.
+pub(crate) const FRAME_HEADER: usize = 4 + 8 + 16;
+/// Trailing checksum bytes.
+pub(crate) const FRAME_TRAILER: usize = 4;
+/// Payloads above this are never written by any backend; a decoded length
+/// beyond it means the length field itself is corrupt (and guards the
+/// recovery path against pathological allocations).
+pub(crate) const MAX_PAYLOAD: usize = 16 * 1024 * 1024;
 
 /// A durable record: sequence number, idempotency token, payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,14 +43,176 @@ pub struct Record {
     pub payload: Vec<u8>,
 }
 
+/// Acknowledgment of one append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendAck {
+    /// The record's sequence number, echoed back.
+    pub seq: u64,
+    /// Whether the record is on stable storage *right now*. Group-commit
+    /// backends return `false` between syncs; the record becomes durable
+    /// at the next [`StorageBackend::sync`] (watch
+    /// [`StorageBackend::committed_seq`]).
+    pub durable: bool,
+}
+
+/// What a streaming recovery pass found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Intact records streamed to the sink.
+    pub records: u64,
+    /// Torn/corrupt tail bytes physically truncated from the active end.
+    pub truncated_bytes: u64,
+    /// Sealed segments verified (0 for single-file backends).
+    pub sealed_segments: usize,
+}
+
 /// Storage backend for one log.
+///
+/// Recovery is *streaming*: records are pushed through a sink callback one
+/// at a time, so a caller that only keeps a bounded window (the log's
+/// circular history) never materializes the whole log in memory.
 pub trait StorageBackend: Send {
-    /// Durably append a record (implies sync for backends that buffer).
-    fn append(&mut self, record: &Record) -> Result<()>;
-    /// Read every intact record, in append order, truncating any torn tail.
-    fn recover(&mut self) -> Result<Vec<Record>>;
+    /// Append a record. The ack says whether it is already durable;
+    /// buffered backends defer durability to [`StorageBackend::sync`].
+    fn append(&mut self, record: &Record) -> Result<AppendAck>;
+
+    /// Flush and fsync anything buffered. After `Ok`, every acked append
+    /// is durable and [`StorageBackend::committed_seq`] reflects it.
+    fn sync(&mut self) -> Result<()>;
+
+    /// Highest sequence number known durable (`None` before the first
+    /// durable append).
+    fn committed_seq(&self) -> Option<u64>;
+
+    /// Stream every intact record, in append order, into `sink`,
+    /// truncating any torn tail. Corruption *behind a seal* is a typed
+    /// [`crate::error::CspotError::CorruptSegment`] fail-stop instead.
+    fn recover_scan(&mut self, sink: &mut dyn FnMut(Record)) -> Result<RecoverySummary>;
+
+    /// Re-read up to `max` records with `seq >= from` from storage, in
+    /// order. This reads persisted state (replication uses it), so
+    /// buffered-but-unflushed appends may not yet be visible.
+    fn read_from(&mut self, from: u64, max: usize) -> Result<Vec<Record>>;
+
+    /// All records of the sealed region containing `from`, when the
+    /// backend can ship a whole sealed unit at once (`None` otherwise —
+    /// the replicator falls back to batched tail streaming).
+    fn sealed_records_from(&mut self, from: u64) -> Result<Option<Vec<Record>>> {
+        let _ = from;
+        Ok(None)
+    }
+
     /// Whether this backend survives a process crash.
     fn is_durable(&self) -> bool;
+
+    // --- fault injection (defaults: unsupported) -------------------------
+
+    /// Simulate power loss: everything not fsynced is gone. Returns
+    /// `false` when the backend does not support the simulation.
+    fn simulate_power_loss(&mut self) -> Result<bool> {
+        Ok(false)
+    }
+
+    /// Make the next append write only a partial frame (torn write), then
+    /// fail. Returns `false` when unsupported.
+    fn inject_torn_write(&mut self) -> bool {
+        false
+    }
+
+    /// Stall (`true`) or release (`false`) fsync: while stalled, `sync`
+    /// returns without making anything durable. Returns `false` when
+    /// unsupported.
+    fn set_sync_stall(&mut self, on: bool) -> bool {
+        let _ = on;
+        false
+    }
+
+    /// Flip one byte inside sealed segment `k` (0 = oldest retained), a
+    /// bit-rot simulation. `Ok(false)` when there is no such segment or
+    /// the backend has no sealed segments.
+    fn corrupt_sealed_segment(&mut self, k: usize) -> Result<bool> {
+        let _ = k;
+        Ok(false)
+    }
+}
+
+/// FNV-1a running update over `bytes` from hash state `h`.
+pub(crate) fn fnv1a_update(mut h: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// FNV-1a offset basis (the hash of empty input).
+pub(crate) const FNV_OFFSET: u32 = 0x811c_9dc5;
+
+/// FNV-1a checksum used for record framing (in-tree to keep dependencies
+/// to the approved list).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u32 {
+    fnv1a_update(FNV_OFFSET, bytes)
+}
+
+/// Encode a record into its wire frame.
+pub(crate) fn encode_record(record: &Record) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER + record.payload.len() + FRAME_TRAILER);
+    buf.extend_from_slice(&(record.payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&record.seq.to_le_bytes());
+    buf.extend_from_slice(&record.token.to_le_bytes());
+    buf.extend_from_slice(&record.payload);
+    let crc = fnv1a(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Result of decoding one frame from a byte slice.
+#[derive(Debug)]
+pub(crate) enum FrameDecode {
+    /// A complete, checksummed record; the next frame starts at `next`.
+    Ok { record: Record, next: usize },
+    /// The buffer ends mid-frame (a torn tail).
+    Torn,
+    /// A complete frame whose checksum (or length field) is wrong.
+    Corrupt,
+}
+
+/// Decode the frame starting at `off` within `bytes`.
+pub(crate) fn decode_frame(bytes: &[u8], off: usize) -> FrameDecode {
+    let Some(head) = bytes.get(off..off + FRAME_HEADER) else {
+        return FrameDecode::Torn;
+    };
+    let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    if len > MAX_PAYLOAD {
+        return FrameDecode::Corrupt;
+    }
+    let total = FRAME_HEADER + len + FRAME_TRAILER;
+    let Some(frame) = bytes.get(off..off + total) else {
+        return FrameDecode::Torn;
+    };
+    let body = &frame[..FRAME_HEADER + len];
+    let stored = u32::from_le_bytes([
+        frame[FRAME_HEADER + len],
+        frame[FRAME_HEADER + len + 1],
+        frame[FRAME_HEADER + len + 2],
+        frame[FRAME_HEADER + len + 3],
+    ]);
+    if fnv1a(body) != stored {
+        return FrameDecode::Corrupt;
+    }
+    let seq = u64::from_le_bytes([
+        frame[4], frame[5], frame[6], frame[7], frame[8], frame[9], frame[10], frame[11],
+    ]);
+    let mut token_bytes = [0u8; 16];
+    token_bytes.copy_from_slice(&frame[12..28]);
+    FrameDecode::Ok {
+        record: Record {
+            seq,
+            token: u128::from_le_bytes(token_bytes),
+            payload: frame[FRAME_HEADER..FRAME_HEADER + len].to_vec(),
+        },
+        next: off + total,
+    }
 }
 
 /// Volatile in-memory backend.
@@ -59,13 +229,42 @@ impl MemBackend {
 }
 
 impl StorageBackend for MemBackend {
-    fn append(&mut self, record: &Record) -> Result<()> {
+    fn append(&mut self, record: &Record) -> Result<AppendAck> {
         self.records.push(record.clone());
+        Ok(AppendAck {
+            seq: record.seq,
+            durable: false,
+        })
+    }
+
+    fn sync(&mut self) -> Result<()> {
         Ok(())
     }
 
-    fn recover(&mut self) -> Result<Vec<Record>> {
-        Ok(self.records.clone())
+    fn committed_seq(&self) -> Option<u64> {
+        // Volatile "durability": the backend retains what it has for as
+        // long as the process lives; simulations treat that as committed.
+        self.records.last().map(|r| r.seq)
+    }
+
+    fn recover_scan(&mut self, sink: &mut dyn FnMut(Record)) -> Result<RecoverySummary> {
+        for r in &self.records {
+            sink(r.clone());
+        }
+        Ok(RecoverySummary {
+            records: self.records.len() as u64,
+            ..Default::default()
+        })
+    }
+
+    fn read_from(&mut self, from: u64, max: usize) -> Result<Vec<Record>> {
+        Ok(self
+            .records
+            .iter()
+            .filter(|r| r.seq >= from)
+            .take(max)
+            .cloned()
+            .collect())
     }
 
     fn is_durable(&self) -> bool {
@@ -73,28 +272,15 @@ impl StorageBackend for MemBackend {
     }
 }
 
-/// FNV-1a checksum used for record framing (in-tree to keep dependencies to
-/// the approved list).
-fn fnv1a(bytes: &[u8]) -> u32 {
-    let mut h: u32 = 0x811c9dc5;
-    for &b in bytes {
-        h ^= b as u32;
-        h = h.wrapping_mul(0x0100_0193);
-    }
-    h
-}
-
-/// File-backed write-ahead-log backend.
-///
-/// Record wire format (little endian):
-/// `[u32 payload_len][u64 seq][u128 token][payload][u32 fnv1a]` where the
-/// checksum covers everything before it.
+/// Single-file write-ahead-log backend (the pre-segmented engine, kept
+/// for tests and small fixed-size state logs).
 pub struct FileBackend {
     path: PathBuf,
     writer: BufWriter<File>,
     /// When true, `append` buffers without flushing, so a simulated crash
     /// loses the tail — used by power-loss tests.
     defer_sync: bool,
+    committed: Option<u64>,
 }
 
 impl FileBackend {
@@ -113,6 +299,7 @@ impl FileBackend {
             path,
             writer: BufWriter::new(file),
             defer_sync: false,
+            committed: None,
         })
     }
 
@@ -126,10 +313,84 @@ impl FileBackend {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
 
-    /// Simulate a power loss: drop any buffered-but-unsynced bytes by
-    /// reopening the file handle without flushing.
-    pub fn simulate_power_loss(&mut self) -> Result<()> {
+impl StorageBackend for FileBackend {
+    fn append(&mut self, record: &Record) -> Result<AppendAck> {
+        let buf = encode_record(record);
+        self.writer.write_all(&buf)?;
+        let durable = if self.defer_sync {
+            false
+        } else {
+            self.writer.flush()?;
+            self.writer.get_ref().sync_data()?;
+            self.committed = Some(record.seq);
+            true
+        };
+        Ok(AppendAck {
+            seq: record.seq,
+            durable,
+        })
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    fn committed_seq(&self) -> Option<u64> {
+        self.committed
+    }
+
+    fn recover_scan(&mut self, sink: &mut dyn FnMut(Record)) -> Result<RecoverySummary> {
+        // A swallowed flush here would silently feed recovery a stale
+        // file image; the error must surface through the typed path.
+        self.writer.flush()?;
+        let file = File::open(&self.path)?;
+        let file_len = file.metadata()?.len();
+        let mut reader = BufReader::with_capacity(64 * 1024, file);
+        let mut summary = RecoverySummary::default();
+        let mut valid_end = 0u64;
+        // Ends on clean EOF, a torn tail, or a corrupt record.
+        while let Some((record, frame_len)) = read_frame(&mut reader)? {
+            valid_end += frame_len;
+            summary.records += 1;
+            self.committed = Some(record.seq);
+            sink(record);
+        }
+        // Physically truncate any torn tail so subsequent appends are clean.
+        if valid_end < file_len {
+            summary.truncated_bytes = file_len - valid_end;
+            let f = OpenOptions::new().write(true).open(&self.path)?;
+            f.set_len(valid_end)?;
+            let mut w = OpenOptions::new().append(true).open(&self.path)?;
+            w.seek(SeekFrom::End(0))?;
+            self.writer = BufWriter::new(w);
+        }
+        Ok(summary)
+    }
+
+    fn read_from(&mut self, from: u64, max: usize) -> Result<Vec<Record>> {
+        self.writer.flush()?;
+        let file = File::open(&self.path)?;
+        let mut reader = BufReader::with_capacity(64 * 1024, file);
+        let mut out = Vec::new();
+        while out.len() < max {
+            match read_frame(&mut reader)? {
+                Some((record, _)) if record.seq >= from => out.push(record),
+                Some(_) => {}
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    fn is_durable(&self) -> bool {
+        true
+    }
+
+    fn simulate_power_loss(&mut self) -> Result<bool> {
         // Replace the writer without flushing; the BufWriter's buffer (the
         // "page cache") is discarded.
         let file = OpenOptions::new()
@@ -140,85 +401,54 @@ impl FileBackend {
         // Forget the old writer's buffered bytes: into_parts gives us the
         // raw file and discards the buffer without flushing.
         let _ = old.into_parts();
-        Ok(())
-    }
-
-    fn encode(record: &Record) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(4 + 8 + 16 + record.payload.len() + 4);
-        buf.extend_from_slice(&(record.payload.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&record.seq.to_le_bytes());
-        buf.extend_from_slice(&record.token.to_le_bytes());
-        buf.extend_from_slice(&record.payload);
-        let crc = fnv1a(&buf);
-        buf.extend_from_slice(&crc.to_le_bytes());
-        buf
+        Ok(true)
     }
 }
 
-impl StorageBackend for FileBackend {
-    fn append(&mut self, record: &Record) -> Result<()> {
-        let buf = Self::encode(record);
-        self.writer.write_all(&buf)?;
-        if !self.defer_sync {
-            self.writer.flush()?;
-            self.writer.get_ref().sync_data()?;
-        }
-        Ok(())
+/// Read one frame from a sequential reader. `Ok(Some((record, bytes)))`
+/// for an intact record, `Ok(None)` on clean EOF *or* a torn/corrupt
+/// tail (single-file recovery treats both as "stop and truncate here").
+fn read_frame<R: Read>(reader: &mut R) -> Result<Option<(Record, u64)>> {
+    let mut head = [0u8; FRAME_HEADER];
+    match reader.read_exact(&mut head) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
     }
-
-    fn recover(&mut self) -> Result<Vec<Record>> {
-        self.writer.flush().ok();
-        let mut file = File::open(&self.path)?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
-        let mut records = Vec::new();
-        let mut off = 0usize;
-        let mut valid_end = 0usize;
-        while off + 4 + 8 + 16 + 4 <= bytes.len() {
-            let Some(len_bytes) = field::<4>(&bytes, off) else {
-                break; // torn tail
-            };
-            let len = u32::from_le_bytes(len_bytes) as usize;
-            let total = 4 + 8 + 16 + len + 4;
-            if off + total > bytes.len() {
-                break; // torn tail
-            }
-            let body = &bytes[off..off + total - 4];
-            let (Some(crc_bytes), Some(seq_bytes), Some(token_bytes)) = (
-                field::<4>(&bytes, off + total - 4),
-                field::<8>(&bytes, off + 4),
-                field::<16>(&bytes, off + 12),
-            ) else {
-                break; // torn tail
-            };
-            if fnv1a(body) != u32::from_le_bytes(crc_bytes) {
-                break; // corrupt record: truncate here
-            }
-            let seq = u64::from_le_bytes(seq_bytes);
-            let token = u128::from_le_bytes(token_bytes);
-            let payload = bytes[off + 28..off + 28 + len].to_vec();
-            records.push(Record {
-                seq,
-                token,
-                payload,
-            });
-            off += total;
-            valid_end = off;
-        }
-        // Physically truncate any torn tail so subsequent appends are clean.
-        if valid_end < bytes.len() {
-            let f = OpenOptions::new().write(true).open(&self.path)?;
-            f.set_len(valid_end as u64)?;
-            let mut w = OpenOptions::new().append(true).open(&self.path)?;
-            w.seek(SeekFrom::End(0))?;
-            self.writer = BufWriter::new(w);
-        }
-        Ok(records)
+    let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Ok(None); // corrupt length field
     }
-
-    fn is_durable(&self) -> bool {
-        true
+    let mut payload = vec![0u8; len];
+    match reader.read_exact(&mut payload) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
     }
+    let mut crc = [0u8; FRAME_TRAILER];
+    match reader.read_exact(&mut crc) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let computed = fnv1a_update(fnv1a_update(FNV_OFFSET, &head), &payload);
+    if computed != u32::from_le_bytes(crc) {
+        return Ok(None); // corrupt record: truncate here
+    }
+    let seq = u64::from_le_bytes([
+        head[4], head[5], head[6], head[7], head[8], head[9], head[10], head[11],
+    ]);
+    let mut token_bytes = [0u8; 16];
+    token_bytes.copy_from_slice(&head[12..28]);
+    let total = (FRAME_HEADER + len + FRAME_TRAILER) as u64;
+    Ok(Some((
+        Record {
+            seq,
+            token: u128::from_le_bytes(token_bytes),
+            payload,
+        },
+        total,
+    )))
 }
 
 #[cfg(test)]
@@ -243,15 +473,22 @@ mod tests {
         }
     }
 
+    fn recover_all(b: &mut dyn StorageBackend) -> Vec<Record> {
+        let mut out = Vec::new();
+        b.recover_scan(&mut |r| out.push(r)).unwrap();
+        out
+    }
+
     #[test]
     fn mem_backend_roundtrip() {
         let mut b = MemBackend::new();
         b.append(&rec(1, b"a")).unwrap();
         b.append(&rec(2, b"bb")).unwrap();
-        let rs = b.recover().unwrap();
+        let rs = recover_all(&mut b);
         assert_eq!(rs.len(), 2);
         assert_eq!(rs[1].payload, b"bb");
         assert!(!b.is_durable());
+        assert_eq!(b.committed_seq(), Some(2));
     }
 
     #[test]
@@ -260,16 +497,18 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let mut b = FileBackend::open(&path).unwrap();
-            b.append(&rec(1, b"hello")).unwrap();
+            let ack = b.append(&rec(1, b"hello")).unwrap();
+            assert!(ack.durable, "default FileBackend syncs every append");
             b.append(&rec(2, b"world")).unwrap();
         }
         let mut b = FileBackend::open(&path).unwrap();
-        let rs = b.recover().unwrap();
+        let rs = recover_all(&mut b);
         assert_eq!(rs.len(), 2);
         assert_eq!(rs[0].payload, b"hello");
         assert_eq!(rs[1].seq, 2);
         assert_eq!(rs[1].token, 2000);
         assert!(b.is_durable());
+        assert_eq!(b.committed_seq(), Some(2));
     }
 
     #[test]
@@ -286,7 +525,7 @@ mod tests {
             .unwrap();
         }
         let mut b = FileBackend::open(&path).unwrap();
-        let rs = b.recover().unwrap();
+        let rs = recover_all(&mut b);
         assert_eq!(rs[0].token, 0xDEADBEEF);
     }
 
@@ -306,19 +545,19 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
 
         let mut b = FileBackend::open(&path).unwrap();
-        let rs = b.recover().unwrap();
+        let rs = recover_all(&mut b);
         assert_eq!(rs.len(), 1, "corrupt record must be dropped");
         assert_eq!(rs[0].payload, b"good");
         // The file is truncated, so a fresh append lands cleanly after
         // record 1.
         b.append(&rec(2, b"retry")).unwrap();
-        let rs = b.recover().unwrap();
+        let rs = recover_all(&mut b);
         assert_eq!(rs.len(), 2);
         assert_eq!(rs[1].payload, b"retry");
     }
 
     #[test]
-    fn torn_tail_truncated() {
+    fn torn_tail_truncated_and_counted() {
         let path = tmpdir().join("torn.log");
         let _ = std::fs::remove_file(&path);
         {
@@ -328,13 +567,16 @@ mod tests {
         }
         // Tear the file mid-record-2.
         let bytes = std::fs::read(&path).unwrap();
-        let first_len = 4 + 8 + 16 + b"complete".len() + 4;
+        let first_len = FRAME_HEADER + b"complete".len() + FRAME_TRAILER;
         std::fs::write(&path, &bytes[..first_len + 10]).unwrap();
 
         let mut b = FileBackend::open(&path).unwrap();
-        let rs = b.recover().unwrap();
+        let mut rs = Vec::new();
+        let summary = b.recover_scan(&mut |r| rs.push(r)).unwrap();
         assert_eq!(rs.len(), 1);
         assert_eq!(rs[0].payload, b"complete");
+        assert_eq!(summary.truncated_bytes, 10);
+        assert_eq!(summary.records, 1);
     }
 
     #[test]
@@ -342,13 +584,30 @@ mod tests {
         let path = tmpdir().join("powerloss.log");
         let _ = std::fs::remove_file(&path);
         let mut b = FileBackend::open(&path).unwrap();
-        b.append(&rec(1, b"synced")).unwrap();
+        let ack = b.append(&rec(1, b"synced")).unwrap();
+        assert!(ack.durable);
         b.set_defer_sync(true);
-        b.append(&rec(2, b"buffered")).unwrap();
-        b.simulate_power_loss().unwrap();
-        let rs = b.recover().unwrap();
+        let ack = b.append(&rec(2, b"buffered")).unwrap();
+        assert!(!ack.durable, "deferred append is not yet durable");
+        assert!(b.simulate_power_loss().unwrap());
+        let rs = recover_all(&mut b);
         assert_eq!(rs.len(), 1, "unsynced append must vanish on power loss");
         assert_eq!(rs[0].payload, b"synced");
+    }
+
+    #[test]
+    fn read_from_skips_and_bounds() {
+        let path = tmpdir().join("readfrom.log");
+        let _ = std::fs::remove_file(&path);
+        let mut b = FileBackend::open(&path).unwrap();
+        for s in 1..=5 {
+            b.append(&rec(s, &[s as u8; 3])).unwrap();
+        }
+        let rs = b.read_from(3, 2).unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].seq, 3);
+        assert_eq!(rs[1].seq, 4);
+        assert!(b.read_from(9, 10).unwrap().is_empty());
     }
 
     #[test]
@@ -356,14 +615,46 @@ mod tests {
         let path = tmpdir().join("empty.log");
         let _ = std::fs::remove_file(&path);
         let mut b = FileBackend::open(&path).unwrap();
-        assert!(b.recover().unwrap().is_empty());
+        assert!(recover_all(&mut b).is_empty());
+        assert_eq!(b.committed_seq(), None);
     }
 
     #[test]
     fn fnv_known_vector() {
         // FNV-1a of empty input is the offset basis.
-        assert_eq!(fnv1a(&[]), 0x811c9dc5);
+        assert_eq!(fnv1a(&[]), FNV_OFFSET);
         // Differs for different inputs.
         assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        // Incremental update matches one-shot hashing.
+        assert_eq!(fnv1a(b"split input"), {
+            let h = fnv1a_update(FNV_OFFSET, b"split ");
+            fnv1a_update(h, b"input")
+        });
+    }
+
+    #[test]
+    fn frame_decode_roundtrip_and_damage() {
+        let r = rec(7, b"payload");
+        let frame = encode_record(&r);
+        match decode_frame(&frame, 0) {
+            FrameDecode::Ok { record, next } => {
+                assert_eq!(record, r);
+                assert_eq!(next, frame.len());
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+        // Truncated → torn.
+        assert!(matches!(
+            decode_frame(&frame[..frame.len() - 1], 0),
+            FrameDecode::Torn
+        ));
+        // Bit flip → corrupt.
+        let mut bad = frame.clone();
+        bad[10] ^= 0x40;
+        assert!(matches!(decode_frame(&bad, 0), FrameDecode::Corrupt));
+        // Absurd length field → corrupt, not an allocation attempt.
+        let mut huge = frame;
+        huge[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_frame(&huge, 0), FrameDecode::Corrupt));
     }
 }

@@ -642,6 +642,27 @@ impl XgFabric {
                     }
                 }
             }
+            FaultKind::StorageTornWrite { log } => {
+                if change.active {
+                    if let Ok(l) = self.gateway.repo.log(log) {
+                        l.inject_torn_write();
+                    }
+                }
+            }
+            FaultKind::StorageSegmentCorrupt { log, segment } => {
+                if change.active {
+                    if let Ok(l) = self.gateway.repo.log(log) {
+                        // Damage is applied (or skipped when no such sealed
+                        // segment exists); it surfaces at the next recovery.
+                        let _ = l.corrupt_sealed_segment(*segment as usize);
+                    }
+                }
+            }
+            FaultKind::StorageSyncStall { log } => {
+                if let Ok(l) = self.gateway.repo.log(log) {
+                    l.set_sync_stall(change.active);
+                }
+            }
         }
         self.timeline.push(Event::FaultChanged {
             t_s: self.t_s,

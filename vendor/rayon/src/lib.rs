@@ -1,0 +1,252 @@
+//! Offline stand-in for `rayon` (1.x API subset).
+//!
+//! Work "parallelized" through this stub runs sequentially, in chunk
+//! order, on the calling thread. That is observationally equivalent for
+//! the workspace's uses — every `par_chunks_mut` writes disjoint slabs
+//! and the float-reduce lint keeps order-sensitive reductions out of
+//! parallel regions — and it makes thread-count sweeps trivially
+//! deterministic. [`ThreadPool::install`] records the configured width
+//! so [`current_num_threads`] reports what the caller asked for.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    static CURRENT_WIDTH: Cell<usize> = const { Cell::new(1) };
+}
+
+/// The logical worker count of the innermost installed pool (1 when no
+/// pool is installed).
+pub fn current_num_threads() -> usize {
+    CURRENT_WIDTH.with(|w| w.get()).max(1)
+}
+
+/// Sequential "pool" carrying a configured width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool installed as the ambient pool.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        CURRENT_WIDTH.with(|w| {
+            let prev = w.get();
+            w.set(self.width);
+            let out = op();
+            w.set(prev);
+            out
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+/// Builder matching rayon's fluent shape.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "automatic" (one logical worker in this stub).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            width: self.num_threads.max(1),
+        })
+    }
+}
+
+/// Pool construction error. The sequential stub cannot actually fail,
+/// but callers match on the `Result`.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+pub mod iter {
+    //! Rayon-shaped iterator adapters over sequential std iterators.
+    //! Rayon's `reduce(identity, op)` differs from std's `reduce(op)`,
+    //! so the raw std iterator cannot be returned directly.
+
+    /// Sequential iterator wearing rayon's adapter API.
+    pub struct SeqPar<I>(pub(crate) I);
+
+    impl<I: Iterator> SeqPar<I> {
+        pub fn enumerate(self) -> SeqPar<std::iter::Enumerate<I>> {
+            SeqPar(self.0.enumerate())
+        }
+
+        pub fn map<O, F>(self, f: F) -> SeqPar<std::iter::Map<I, F>>
+        where
+            F: FnMut(I::Item) -> O,
+        {
+            SeqPar(self.0.map(f))
+        }
+
+        pub fn filter<F>(self, f: F) -> SeqPar<std::iter::Filter<I, F>>
+        where
+            F: FnMut(&I::Item) -> bool,
+        {
+            SeqPar(self.0.filter(f))
+        }
+
+        pub fn zip<J: Iterator>(self, other: SeqPar<J>) -> SeqPar<std::iter::Zip<I, J>> {
+            SeqPar(self.0.zip(other.0))
+        }
+
+        pub fn for_each<F>(self, f: F)
+        where
+            F: FnMut(I::Item),
+        {
+            self.0.for_each(f)
+        }
+
+        /// Rayon semantics: fold from `identity()` with `op`.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: FnMut(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+
+        pub fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<I::Item>,
+        {
+            self.0.sum()
+        }
+
+        pub fn collect<C>(self) -> C
+        where
+            C: FromIterator<I::Item>,
+        {
+            self.0.collect()
+        }
+
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+    }
+
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = SeqPar<std::slice::Iter<'data, T>>;
+        fn par_iter(&'data self) -> Self::Iter {
+            SeqPar(self.iter())
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = SeqPar<std::slice::Iter<'data, T>>;
+        fn par_iter(&'data self) -> Self::Iter {
+            SeqPar(self.as_slice().iter())
+        }
+    }
+
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Iter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Iter = SeqPar<std::slice::IterMut<'data, T>>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            SeqPar(self.iter_mut())
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Iter = SeqPar<std::slice::IterMut<'data, T>>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            SeqPar(self.as_mut_slice().iter_mut())
+        }
+    }
+}
+
+pub mod slice {
+    //! Parallel slice operations (sequential here).
+
+    use crate::iter::SeqPar;
+
+    pub trait ParallelSliceMut<T> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> SeqPar<std::slice::ChunksMut<'_, T>>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> SeqPar<std::slice::ChunksMut<'_, T>> {
+            SeqPar(self.chunks_mut(chunk_size))
+        }
+    }
+
+    /// Shared-slice counterpart.
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> SeqPar<std::slice::Chunks<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> SeqPar<std::slice::Chunks<'_, T>> {
+            SeqPar(self.chunks(chunk_size))
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn install_scopes_width() {
+        assert_eq!(super::current_num_threads(), 1);
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let inside = pool.install(super::current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(super::current_num_threads(), 1);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all() {
+        let mut v = vec![0u32; 10];
+        v.par_chunks_mut(3).enumerate().for_each(|(k, chunk)| {
+            for x in chunk {
+                *x = k as u32;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3]);
+    }
+}

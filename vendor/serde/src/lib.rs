@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on plain structs and
+//! enums but never actually serializes anything (there is no serde_json
+//! or bincode in the dependency graph) — the derives exist so the types
+//! are serialization-ready. The traits here are therefore markers with
+//! no required methods, and the paired `serde_derive` stub emits the
+//! matching trivial impls.
+
+#![forbid(unsafe_code)]
+
+/// Marker: the type is serialization-ready.
+pub trait Serialize {}
+
+/// Marker: the type is deserialization-ready.
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned variant, as in real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,79 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The paired `serde` stub's traits have no required methods, so the
+//! derives only need to name the type and emit empty impls. The input
+//! is parsed with a tiny hand-rolled token walk (no syn/quote): skip
+//! attributes and visibility, find the `struct`/`enum`/`union` keyword,
+//! and take the following identifier. Generic types are rejected with a
+//! compile error — the workspace derives only on concrete types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extract the item name, or `None` if the shape is unsupported.
+fn item_name(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // `#[attr]` / `#![attr]`: swallow the bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Punct(bang)) = iter.peek() {
+                    if bang.as_char() == '!' {
+                        iter.next();
+                    }
+                }
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            // `pub` (optionally `pub(...)`, handled by skipping groups).
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id)
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    _ => return Err("expected a type name".into()),
+                };
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "serde stub cannot derive for generic type `{name}`"
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+            _ => return Err("unsupported item shape for serde stub derive".into()),
+        }
+    }
+    Err("empty derive input".into())
+}
+
+fn emit(input: TokenStream, render: impl Fn(&str) -> String) -> TokenStream {
+    let body = match item_name(input) {
+        Ok(name) => render(&name),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    body.parse().expect("stub derive output must tokenize")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}
