@@ -55,6 +55,7 @@ fn scheduler(c: &mut Criterion) {
         .map(|ue| UlRequest {
             ue,
             inst_eff: 2.0 + (ue as f64) * 0.1,
+            weight: 1.0,
         })
         .collect();
     for kind in [SchedulerKind::RoundRobin, SchedulerKind::ProportionalFair] {

@@ -258,7 +258,8 @@ fn dynamic_vs_static_slicing(csv: &mut String, seed: u64) {
         // (full buffer) through the IoT slice.
         sim.set_traffic(video, TrafficModel::Cbr { rate_mbps: 2.0 })
             .unwrap();
-        let mut slicer = DynamicSlicer::new(vec![Snssai::miot(1), Snssai::embb(1)], 0.1, 0.5);
+        let mut slicer = DynamicSlicer::try_new(vec![Snssai::miot(1), Snssai::embb(1)], 0.1, 0.5)
+            .expect("two slices with a 0.1 floor are feasible");
         let mut upload_total = 0.0;
         let mut video_total = 0.0;
         let seconds = 20;

@@ -182,6 +182,10 @@ fn main() {
                     "ran_probe,{t_s},{worst_cell}={worst_goodput_mbps:.2} cells={cells}\n"
                 ));
             }
+            Event::RicAction { t_s, xapp, action } => {
+                println!("t={:>6.0}s  RIC action [{xapp}]: {action}", t_s);
+                csv.push_str(&format!("ric_action,{t_s},{xapp}: {action}\n"));
+            }
             Event::FailoverTriggered {
                 t_s,
                 from_site,

@@ -21,7 +21,16 @@
 //!   per-cell cost rather than the host's core count);
 //! * `cycle_wall_ms` — one full orchestrated report cycle, wall clock,
 //!   with `cycle_transfer_virtual_ms` (deterministic virtual time) from
-//!   the same run as a machine-independent companion.
+//!   the same run as a machine-independent companion;
+//! * `ric_loop_us` — one near-RT RIC control period (indication ingest,
+//!   the shipping three-xApp stack, conflict resolution) over a
+//!   synthetic four-cell burst indication — the budget the RIC spends
+//!   inside every report cycle;
+//! * `ric_reaction_ms` — deterministic virtual time from a pest-image
+//!   burst's onset to the burst-guard's corrective action landing on
+//!   the live fleet, over the orchestrated pest scenario (one
+//!   indication period, 300 000 ms, when the loop is healthy — a
+//!   regression here means the guard missed its period).
 //!
 //! Run: `cargo run -p xg-bench --release --bin perf_trajectory`
 //! (writes `results/perf_trajectory.json`), or
@@ -46,8 +55,14 @@ use xg_cspot::node::CspotNode;
 use xg_cspot::protocol::{RemoteAppender, RemoteConfig};
 use xg_cspot::segment::{SegmentConfig, SyncPolicy};
 use xg_fabric::orchestrator::{FabricConfig, XgFabric};
+use xg_fabric::ran::{RanCellSpec, RanTopology, ScenarioUe};
+use xg_fabric::timeline::Event;
+use xg_net::e2::{CellIndication, SliceReport, UeReport};
 use xg_net::prelude::*;
+use xg_net::slice::SliceProfile;
+use xg_net::traffic::TrafficModel;
 use xg_obs::Obs;
+use xg_ric::{BurstGuard, DemandSlicer, McsCapper, Ric};
 
 fn bench_histogram_record() -> Summary {
     let obs = Obs::enabled();
@@ -235,6 +250,152 @@ fn bench_closed_loop(seed: u64) -> (Summary, Summary) {
     )
 }
 
+/// One cell's worth of synthetic burst-shaped E2 state: an overloaded
+/// eMBB slice next to a steady mIoT slice, with one noisy-channel UE per
+/// slice — enough measured signal that all three shipping xApps do real
+/// work every period.
+fn synthetic_indication(cell: u32, ues_per_slice: usize) -> CellIndication {
+    const TOTAL_PRBS: u32 = 106;
+    const UL_SLOTS: u64 = 1_000;
+    const BITS_PER_PRB_TTI: f64 = 471.7; // ~50 Mbps over the full grid
+    let mut ues = Vec::new();
+    let mut slices = Vec::new();
+    for (si, snssai) in [Snssai::miot(1), Snssai::embb(1)].into_iter().enumerate() {
+        let granted = (TOTAL_PRBS as u64 / 2) * UL_SLOTS;
+        let capacity_bits = granted as f64 * BITS_PER_PRB_TTI;
+        let offered = if si == 0 { 8e6 } else { 80e6 };
+        let served = capacity_bits.min(offered);
+        slices.push(SliceReport {
+            slice: si as u16,
+            snssai,
+            prb_share: 0.5,
+            quota_prbs: TOTAL_PRBS / 2,
+            granted_prb_ttis: granted,
+            capacity_prb_ttis: granted,
+            offered_bits: offered,
+            served_bits: served,
+            queued_bits: (offered - served).max(0.0),
+        });
+        for u in 0..ues_per_slice {
+            ues.push(UeReport {
+                ue: (si * ues_per_slice + u) as u32,
+                slice: si as u16,
+                granted_prb_ttis: granted / ues_per_slice as u64,
+                sched_ttis: UL_SLOTS / 2,
+                served_bits: served / ues_per_slice as f64,
+                queued_bits: 0.0,
+                cqi: 9,
+                harq_nack_rate: if u == 0 { 0.3 } else { 0.02 },
+            });
+        }
+    }
+    CellIndication {
+        cell,
+        window_s: 1.0,
+        ul_slots: UL_SLOTS,
+        total_prbs: TOTAL_PRBS,
+        ues,
+        slices,
+    }
+}
+
+/// The shipping xApp stack in registration order.
+fn paper_ric(seed: u64, period_s: f64) -> Ric {
+    let mut ric = Ric::new(seed, period_s);
+    ric.register(DemandSlicer::try_new(0.1, 0.5).expect("valid slicer params"));
+    ric.register(BurstGuard::new(Snssai::miot(1)));
+    ric.register(McsCapper::try_new(7.4).expect("valid max_eff"));
+    ric
+}
+
+fn bench_ric_loop(seed: u64) -> Summary {
+    const CELLS: u32 = 4;
+    const UES_PER_SLICE: usize = 4;
+    let mut ric = paper_ric(seed, 1.0);
+    let steps = scaled(400);
+    // Pre-build every period's indication batch so the timed window is
+    // the engine alone, not allocation of the synthetic fleet state.
+    let mut batches: Vec<Vec<CellIndication>> = (0..steps)
+        .map(|_| {
+            (0..CELLS)
+                .map(|c| synthetic_indication(c, UES_PER_SLICE))
+                .collect()
+        })
+        .collect();
+    let mut samples = Vec::with_capacity(steps);
+    for (i, fresh) in batches.drain(..).enumerate() {
+        let start = Instant::now();
+        let outcome = ric.step(fresh, i as f64);
+        samples.push(start.elapsed().as_nanos() as f64 / 1_000.0);
+        std::hint::black_box(outcome);
+    }
+    summarize("ric_loop_us", "us", samples)
+}
+
+fn bench_ric_reaction(seed: u64) -> Summary {
+    // The pest-burst scenario from the acceptance suite: a weather
+    // cluster on mIoT, a pest camera bursting 10x on eMBB. The sample is
+    // *virtual* time from the last pre-onset report to the burst-guard's
+    // corrective action — one indication period when the loop reacts on
+    // the first indication that shows the surge.
+    let runs = scaled(8).max(1);
+    let mut samples = Vec::with_capacity(runs);
+    for i in 0..runs {
+        let run_seed = seed.wrapping_add(i as u64);
+        let onset_cycle = 3 + (i % 3) as u64; // burst begins inside cycle onset_cycle + 1
+        let burst_start_s = onset_cycle as f64;
+        let mut topo = RanTopology::default();
+        topo.cells[0] = RanCellSpec::paper_default("UNL-5G")
+            .with_config(
+                CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0)).with_slices(
+                    SliceConfig::new(vec![
+                        SliceProfile {
+                            snssai: Snssai::miot(1),
+                            prb_share: 0.5,
+                        },
+                        SliceProfile {
+                            snssai: Snssai::embb(1),
+                            prb_share: 0.5,
+                        },
+                    ])
+                    .expect("valid slice table"),
+                ),
+            )
+            .with_scenario_ue(ScenarioUe {
+                device: DeviceClass::RaspberryPi,
+                snssai: Snssai::miot(1),
+                traffic: TrafficModel::Cbr { rate_mbps: 8.0 },
+            })
+            .with_scenario_ue(ScenarioUe {
+                device: DeviceClass::RaspberryPi,
+                snssai: Snssai::embb(1),
+                traffic: TrafficModel::pest_camera(8.0, 80.0, burst_start_s, f64::INFINITY),
+            });
+        topo.cells[0].probe_ues = 0;
+        let mut fab = XgFabric::new(FabricConfig {
+            seed: run_seed,
+            cfd_cells: [12, 10, 4],
+            cfd_steps: 10,
+            ran: topo,
+            ric: Some(paper_ric(run_seed, 300.0)),
+            ..Default::default()
+        });
+        fab.run_cycles(onset_cycle as usize + 4)
+            .expect("healthy closed loop");
+        let action_t = fab
+            .timeline()
+            .events
+            .iter()
+            .find_map(|e| match e {
+                Event::RicAction { t_s, xapp, .. } if xapp == "burst-guard" => Some(*t_s),
+                _ => None,
+            })
+            .expect("the guard must fire during the burst");
+        samples.push((action_t - burst_start_s * 300.0) * 1_000.0);
+    }
+    summarize("ric_reaction_ms", "ms", samples)
+}
+
 fn run_probes(seed: u64) -> Vec<Summary> {
     let mut out = Vec::new();
     eprintln!("  histogram record ...");
@@ -253,6 +414,10 @@ fn run_probes(seed: u64) -> Vec<Summary> {
     let (wall, virt) = bench_closed_loop(seed);
     out.push(wall);
     out.push(virt);
+    eprintln!("  ric loop ...");
+    out.push(bench_ric_loop(seed));
+    eprintln!("  ric reaction ...");
+    out.push(bench_ric_reaction(seed));
     out
 }
 

@@ -62,7 +62,7 @@ pub mod prelude {
     pub use crate::intervention::{Intervention, InterventionAdvisor, SiteConditions};
     pub use crate::orchestrator::{FabricConfig, XgFabric};
     pub use crate::pipeline::{FieldGateway, TelemetryPipeline};
-    pub use crate::ran::{CellHealth, RanCellSpec, RanProbe, RanTopology};
+    pub use crate::ran::{CellHealth, RanCellSpec, RanProbe, RanTopology, ScenarioUe};
     pub use crate::reliability::ReliabilityReport;
     pub use crate::robot::{Robot, RobotReport};
     pub use crate::route::RoutePlanner;

@@ -54,6 +54,7 @@ use xg_obs::recorder::{dump_bundle, BundleContext};
 use xg_obs::slo::{Hysteresis, SloEventKind, SloOp, SloSpec, SloStat, SloWatchdog};
 use xg_obs::window::{MetricsWindow, WindowConfig};
 use xg_obs::{Obs, SpanId, TraceId};
+use xg_ric::Ric;
 use xg_sensors::breach::Breach;
 use xg_sensors::facility::CupsFacility;
 use xg_sensors::network::{BoundaryConditions, SensorNetwork};
@@ -92,6 +93,14 @@ pub struct FabricConfig {
     /// Multi-cell RAN layout: which cells exist, which one carries the
     /// field gateway, and how the per-cycle probe batches are stepped.
     pub ran: RanTopology,
+    /// Optional near-RT RIC. When present, every report cycle the fleet's
+    /// E2 indications are delivered to it (cells partitioned or under a
+    /// `RicIndicationDrop` fault go stale instead), its xApps run, and
+    /// the resolved actions are applied to the live fleet before the next
+    /// cycle. `None` (the default) runs the RAN open-loop; a RIC with
+    /// zero xApps is a pure observer and leaves the run bitwise
+    /// unchanged.
+    pub ric: Option<Ric>,
     /// Fault schedule applied as virtual time advances.
     pub faults: FaultPlan,
     /// Observability handle. Disabled by default; an enabled handle is
@@ -151,6 +160,7 @@ impl Default for FabricConfig {
             twin: DigitalTwin::default(),
             gateway_capacity: 4096,
             ran: RanTopology::default(),
+            ric: None,
             faults: FaultPlan::none(),
             obs: Obs::disabled(),
             slos: default_slos(),
@@ -172,6 +182,9 @@ struct FabricObs {
     gateway_delivered: Arc<xg_obs::Counter>,
     slo_breaches: Arc<xg_obs::Counter>,
     slo_recoveries: Arc<xg_obs::Counter>,
+    ric_actions: Arc<xg_obs::Counter>,
+    ric_held: Arc<xg_obs::Counter>,
+    ric_stale_cells: Arc<xg_obs::Gauge>,
 }
 
 impl FabricObs {
@@ -187,6 +200,9 @@ impl FabricObs {
             gateway_delivered: reg.counter("fabric.gateway.delivered"),
             slo_breaches: reg.counter("fabric.slo.breaches"),
             slo_recoveries: reg.counter("fabric.slo.recoveries"),
+            ric_actions: reg.counter("fabric.ric.actions"),
+            ric_held: reg.counter("fabric.ric.held"),
+            ric_stale_cells: reg.gauge("fabric.ric.stale_cells"),
         })
     }
 }
@@ -252,6 +268,11 @@ pub struct XgFabric {
     route_down: bool,
     /// The live multi-cell RAN, probed every report cycle.
     ran: RanProbe,
+    /// The near-RT RIC engine (a live, stepping copy of `config.ric`).
+    ric: Option<Ric>,
+    /// Cells whose E2 indication stream is currently dropped by a
+    /// `RicIndicationDrop` fault.
+    ric_dropped: std::collections::BTreeSet<String>,
     /// Whether the gateway's serving cell is partitioned (tracked apart
     /// from `route_down` so either alone severs the telemetry path).
     gateway_cell_partitioned: bool,
@@ -323,6 +344,7 @@ impl XgFabric {
         // The RAN fleet gets its own seed stream so growing the topology
         // never perturbs the sensor or gateway RNGs.
         let ran = RanProbe::try_new(&config.ran, config.seed ^ 0x0052_414E, &config.obs)?;
+        let ric = config.ric.clone();
         let obs = FabricObs::new(&config.obs);
         let (window, watchdog) = if config.obs.is_enabled() {
             (
@@ -366,6 +388,8 @@ impl XgFabric {
             degradation: 0,
             route_down: false,
             ran,
+            ric,
+            ric_dropped: std::collections::BTreeSet::new(),
             gateway_cell_partitioned: false,
             deferred_check_since: None,
             wind_len_at_last_detect: 0,
@@ -452,6 +476,11 @@ impl XgFabric {
         &self.ran
     }
 
+    /// The live near-RT RIC engine, if one is configured.
+    pub fn ric(&self) -> Option<&Ric> {
+        self.ric.as_ref()
+    }
+
     /// Ground-truth facility access (scenario scripting).
     pub fn facility_mut(&mut self) -> &mut CupsFacility {
         &mut self.net.facility
@@ -490,6 +519,40 @@ impl XgFabric {
                 worst_cell: worst.name.clone(),
                 worst_goodput_mbps: worst.goodput_mbps,
             });
+        }
+        // Near-RT RIC loop: deliver this cycle's E2 indications (cells
+        // that are partitioned, or whose indication stream is dropped by
+        // a fault, go stale inside the engine), run the xApps, and apply
+        // the conflict-resolved actions to the live fleet — so the
+        // control response lands before the next probe batch. The drain
+        // itself is pure reads + resets; with zero xApps the whole block
+        // emits nothing and the run is bitwise identical to a RIC-less
+        // one.
+        if let Some(ric) = &mut self.ric {
+            let mut fresh = self.ran.collect_indications();
+            let ran = &self.ran;
+            let dropped = &self.ric_dropped;
+            fresh.retain(|ind| match ran.cell_name(ind.cell) {
+                Some(name) => !ran.cell_down(name) && !dropped.contains(name),
+                None => false,
+            });
+            let outcome = ric.step(fresh, self.t_s);
+            if let Some(o) = &self.obs {
+                o.ric_actions.add(outcome.actions.len() as u64);
+                o.ric_held.add(outcome.held as u64);
+                o.ric_stale_cells.set(outcome.stale_cells.len() as f64);
+            }
+            for (xapp, action) in &outcome.actions {
+                // A rejected action (the RAN refused the knob) is
+                // dropped; the xApp re-decides from the next indication.
+                if self.ran.apply_ric_action(action).is_ok() {
+                    self.timeline.push(Event::RicAction {
+                        t_s: self.t_s,
+                        xapp: (*xapp).to_string(),
+                        action: action.describe(),
+                    });
+                }
+            }
         }
         let raw = self.net.poll();
         // Quality control before anything becomes a CFD boundary
@@ -618,6 +681,13 @@ impl XgFabric {
                 if known && self.ran.serves_gateway(cell) {
                     self.gateway_cell_partitioned = change.active;
                     self.sync_partition();
+                }
+            }
+            FaultKind::RicIndicationDrop { cell } => {
+                if change.active {
+                    self.ric_dropped.insert(cell.clone());
+                } else {
+                    self.ric_dropped.remove(cell);
                 }
             }
             FaultKind::HpcSiteOutage { site } => {
@@ -1351,6 +1421,23 @@ mod tests {
         assert_eq!(reg.counter("fabric.report_cycles").get(), 24);
         assert!(reg.histogram("cspot.append.total_ms").count() > 0);
         assert!(reg.histogram("cfd.step.wall_ms").count() > 0);
+    }
+
+    #[test]
+    fn zero_xapp_ric_is_a_bitwise_noop() {
+        // Collecting indications must not perturb anything: a run with a
+        // RIC that has no xApps produces the exact same timeline as a
+        // RIC-less run of the same seed.
+        let mut without = XgFabric::new(fast_config(6));
+        let mut with_ric = XgFabric::new(FabricConfig {
+            ric: Some(Ric::new(6, 300.0)),
+            ..fast_config(6)
+        });
+        without.run_cycles(8).unwrap();
+        with_ric.run_cycles(8).unwrap();
+        assert_eq!(without.timeline(), with_ric.timeline());
+        assert_eq!(with_ric.ric().unwrap().periods(), 8);
+        assert_eq!(with_ric.timeline().ric_actions(), 0);
     }
 
     #[test]

@@ -11,13 +11,33 @@
 //! alone.
 
 use std::sync::Arc;
+use xg_net::device::UnitVariation;
+use xg_net::e2::CellIndication;
 use xg_net::fleet::{CellId, FleetUe, RanFleet};
 use xg_net::prelude::{CellConfig, DeviceClass, Duplex, MHz, Modem, NetError, Rat};
+use xg_net::sim::UeHandle;
+use xg_net::slice::{SliceConfig, SliceProfile, Snssai};
+use xg_net::traffic::TrafficModel;
 use xg_obs::Obs;
+use xg_ric::RicAction;
 
 /// SNR offset applied to a partitioned cell: far below any MCS floor,
 /// so every UE on it reads ~0 goodput.
 const CELL_DOWN_SNR_DB: f64 = -200.0;
+
+/// One scripted traffic-bearing UE attached to a cell at construction
+/// (beyond the backlogged probe UEs): a weather-station cluster on the
+/// mIoT slice, a pest camera on eMBB. These are the UEs a RIC steers.
+#[derive(Debug, Clone)]
+pub struct ScenarioUe {
+    /// Device class (propagation + power profile).
+    pub device: DeviceClass,
+    /// Slice the UE's PDU session rides (must be admitted by the cell's
+    /// slice table).
+    pub snssai: Snssai,
+    /// Offered-traffic model.
+    pub traffic: TrafficModel,
+}
 
 /// One named cell of the deployment.
 #[derive(Debug, Clone)]
@@ -30,6 +50,9 @@ pub struct RanCellSpec {
     /// Backlogged probe UEs attached at construction — the synthetic
     /// load whose measured goodput stands in for the cell's health.
     pub probe_ues: usize,
+    /// Scripted traffic-bearing UEs attached after the probes (empty by
+    /// default). Their cell-local ids follow the probe UEs' in order.
+    pub scenario_ues: Vec<ScenarioUe>,
 }
 
 impl RanCellSpec {
@@ -39,7 +62,20 @@ impl RanCellSpec {
             name: name.to_string(),
             config: CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0)),
             probe_ues: 1,
+            scenario_ues: Vec::new(),
         }
+    }
+
+    /// Replace the radio configuration (e.g. to install a slice table).
+    pub fn with_config(mut self, config: CellConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Add a scripted traffic-bearing UE.
+    pub fn with_scenario_ue(mut self, ue: ScenarioUe) -> Self {
+        self.scenario_ues.push(ue);
+        self
     }
 }
 
@@ -104,6 +140,7 @@ pub struct CellHealth {
 struct CellState {
     name: String,
     ues: Vec<FleetUe>,
+    scenario: Vec<FleetUe>,
     fade_db: f64,
     down: bool,
     goodput_gauge: Option<Arc<xg_obs::Gauge>>,
@@ -148,9 +185,22 @@ impl RanProbe {
                 fleet.set_backlogged(ue, true)?;
                 ues.push(ue);
             }
+            let mut scenario = Vec::with_capacity(spec.scenario_ues.len());
+            for s in &spec.scenario_ues {
+                let ue = fleet.attach_with(
+                    CellId(i as u32),
+                    s.device,
+                    Modem::paper_default(s.device, spec.config.rat),
+                    s.snssai,
+                    UnitVariation::default(),
+                )?;
+                fleet.set_traffic(ue, s.traffic)?;
+                scenario.push(ue);
+            }
             cells.push(CellState {
                 name: spec.name.clone(),
                 ues,
+                scenario,
                 fade_db: 0.0,
                 down: false,
                 goodput_gauge: reg
@@ -257,6 +307,66 @@ impl RanProbe {
         &self.fleet
     }
 
+    /// The deployment label of fleet cell `id`, if it exists.
+    pub fn cell_name(&self, id: u32) -> Option<&str> {
+        self.cells.get(id as usize).map(|c| c.name.as_str())
+    }
+
+    /// The fleet cell id carrying the named cell, if it exists.
+    pub fn cell_id(&self, name: &str) -> Option<u32> {
+        self.cells
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| i as u32)
+    }
+
+    /// Whether the named cell is currently partitioned off the backhaul.
+    pub fn cell_down(&self, name: &str) -> bool {
+        self.cells.iter().any(|c| c.name == name && c.down)
+    }
+
+    /// The scenario UEs attached to the named cell (`None` for unknown
+    /// cells; empty for cells without scripted traffic).
+    pub fn scenario_ues(&self, name: &str) -> Option<&[FleetUe]> {
+        self.cells
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.scenario.as_slice())
+    }
+
+    /// Drain every cell's E2 indication window, in cell order. Pure
+    /// reads and resets — collecting never perturbs the fleet's RNG
+    /// streams, so a RIC-less run and a collecting run stay bitwise
+    /// identical.
+    pub fn collect_indications(&mut self) -> Vec<CellIndication> {
+        self.fleet.collect_indications()
+    }
+
+    /// Apply one RIC control action to the live fleet. Surfaces an
+    /// invalid target (unknown cell or UE, infeasible slice table) as a
+    /// typed error instead of a panic — a RIC must never crash the RAN.
+    pub fn apply_ric_action(&mut self, action: &RicAction) -> Result<(), NetError> {
+        match action {
+            RicAction::ReapportionSlices { cell, shares } => {
+                let config = SliceConfig::new(
+                    shares
+                        .iter()
+                        .map(|&(snssai, prb_share)| SliceProfile { snssai, prb_share })
+                        .collect(),
+                )?;
+                self.fleet.cell_mut(CellId(*cell))?.set_slices(config)
+            }
+            RicAction::SetPfWeight { cell, ue, weight } => self
+                .fleet
+                .cell_mut(CellId(*cell))?
+                .set_pf_weight(UeHandle::from_id(*ue), *weight),
+            RicAction::CapUeMcs { cell, ue, max_eff } => self
+                .fleet
+                .cell_mut(CellId(*cell))?
+                .set_mcs_cap(UeHandle::from_id(*ue), *max_eff),
+        }
+    }
+
     /// The probe UEs attached to the named cell (`None` for unknown
     /// cells).
     pub fn probe_ues(&self, name: &str) -> Option<&[FleetUe]> {
@@ -324,6 +434,86 @@ mod tests {
         let downed = probe.probe();
         assert!(downed[1].goodput_mbps < 0.01, "{}", downed[1].goodput_mbps);
         assert!(!probe.gateway_cell_down(), "gateway rides its own cell");
+    }
+
+    #[test]
+    fn scenario_ues_ride_slices_and_ric_actions_land() {
+        let mut topo = RanTopology::default();
+        topo.cells[0] = RanCellSpec::paper_default("UNL-5G")
+            .with_config(
+                CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0)).with_slices(
+                    SliceConfig::new(vec![
+                        SliceProfile {
+                            snssai: Snssai::miot(1),
+                            prb_share: 0.5,
+                        },
+                        SliceProfile {
+                            snssai: Snssai::embb(1),
+                            prb_share: 0.5,
+                        },
+                    ])
+                    .unwrap(),
+                ),
+            )
+            .with_scenario_ue(ScenarioUe {
+                device: DeviceClass::RaspberryPi,
+                snssai: Snssai::miot(1),
+                traffic: TrafficModel::Cbr { rate_mbps: 4.0 },
+            });
+        topo.cells[0].probe_ues = 1;
+        let mut probe = RanProbe::try_new(&topo, 11, &Obs::disabled()).unwrap();
+        assert_eq!(probe.cell_id("UNL-5G"), Some(0));
+        assert_eq!(probe.cell_name(0), Some("UNL-5G"));
+        assert!(probe.cell_id("NOWHERE").is_none());
+        let scenario = probe.scenario_ues("UNL-5G").unwrap().to_vec();
+        assert_eq!(scenario.len(), 1);
+        probe.probe();
+        let inds = probe.collect_indications();
+        assert_eq!(inds.len(), 1);
+        assert_eq!(inds[0].slices.len(), 2);
+        assert!(
+            inds[0].slice(Snssai::miot(1)).unwrap().offered_bits > 0.0,
+            "scenario CBR traffic must show up in the mIoT slice"
+        );
+        // All three action kinds land on the live fleet.
+        probe
+            .apply_ric_action(&RicAction::ReapportionSlices {
+                cell: 0,
+                shares: vec![(Snssai::miot(1), 0.3), (Snssai::embb(1), 0.7)],
+            })
+            .unwrap();
+        probe
+            .apply_ric_action(&RicAction::SetPfWeight {
+                cell: 0,
+                ue: scenario[0].ue.id(),
+                weight: 2.5,
+            })
+            .unwrap();
+        probe
+            .apply_ric_action(&RicAction::CapUeMcs {
+                cell: 0,
+                ue: scenario[0].ue.id(),
+                max_eff: Some(1.0),
+            })
+            .unwrap();
+        let cell = probe.fleet().cell(CellId(0)).unwrap();
+        assert_eq!(cell.pf_weight(scenario[0].ue).unwrap(), 2.5);
+        assert_eq!(cell.mcs_cap(scenario[0].ue).unwrap(), Some(1.0));
+        // Invalid targets surface as typed errors, never panics.
+        assert!(probe
+            .apply_ric_action(&RicAction::SetPfWeight {
+                cell: 9,
+                ue: 0,
+                weight: 1.0,
+            })
+            .is_err());
+        assert!(probe
+            .apply_ric_action(&RicAction::CapUeMcs {
+                cell: 0,
+                ue: 99,
+                max_eff: None,
+            })
+            .is_err());
     }
 
     #[test]

@@ -135,6 +135,16 @@ pub enum Event {
         /// That cell's mean probe goodput (Mbps).
         worst_goodput_mbps: f64,
     },
+    /// The near-RT RIC applied a control action to the live RAN.
+    RicAction {
+        /// Wall-clock time (s).
+        t_s: f64,
+        /// Name of the xApp that won the action's control knob.
+        xapp: String,
+        /// Human-readable action description
+        /// (`xg_ric::RicAction::describe`).
+        action: String,
+    },
     /// A lost CFD task was resubmitted to another site.
     FailoverTriggered {
         /// Wall-clock time (s).
@@ -196,6 +206,19 @@ impl Timeline {
                     ..
                 }
             )
+        })
+    }
+
+    /// Number of RIC control actions applied.
+    pub fn ric_actions(&self) -> usize {
+        self.count(|e| matches!(e, Event::RicAction { .. }))
+    }
+
+    /// `(t_s, xapp)` of the first RIC action, if any was applied.
+    pub fn first_ric_action(&self) -> Option<(f64, &str)> {
+        self.events.iter().find_map(|e| match e {
+            Event::RicAction { t_s, xapp, .. } => Some((*t_s, xapp.as_str())),
+            _ => None,
         })
     }
 

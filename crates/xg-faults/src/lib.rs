@@ -64,6 +64,15 @@ pub enum FaultKind {
         /// Cell identifier (deployment label).
         cell: String,
     },
+    /// One cell's E2 indication stream to the RIC is lost (xApp-plane
+    /// congestion, E2 termination crash) while the cell itself keeps
+    /// serving traffic: the RIC sees only the cell's cached last report,
+    /// marks it stale, and holds its last-known-good policy instead of
+    /// steering on dead telemetry.
+    RicIndicationDrop {
+        /// Cell identifier (deployment label).
+        cell: String,
+    },
     /// An HPC facility becomes unreachable: pilots die, in-flight tasks
     /// are lost (`xg_hpc::multisite::MultiSiteController::set_site_down`).
     HpcSiteOutage {
@@ -138,6 +147,7 @@ impl FaultKind {
                 snr_offset_db,
             } => format!("ran-degradation {cell} snr{snr_offset_db:+}dB"),
             FaultKind::CellPartition { cell } => format!("cell-partition {cell}"),
+            FaultKind::RicIndicationDrop { cell } => format!("ric-indication-drop {cell}"),
             FaultKind::HpcSiteOutage { site } => format!("hpc-outage {site}"),
             FaultKind::HpcQueueStall { site } => format!("hpc-queue-stall {site}"),
             FaultKind::SensorDropout { station } => format!("sensor-dropout station{station}"),
@@ -251,6 +261,18 @@ impl FaultPlanBuilder {
             start_s,
             duration_s,
             FaultKind::CellPartition {
+                cell: cell.to_string(),
+            },
+        )
+    }
+
+    /// Convenience: drop one cell's E2 indication stream to the RIC on
+    /// `[start_s, start_s + duration_s)` (the cell keeps serving).
+    pub fn drop_indications(self, start_s: f64, duration_s: f64, cell: &str) -> Self {
+        self.scripted(
+            start_s,
+            duration_s,
+            FaultKind::RicIndicationDrop {
                 cell: cell.to_string(),
             },
         )
@@ -596,6 +618,25 @@ mod tests {
         assert_eq!(plan.active(), vec![&stuck1]);
         plan.advance_to(30.0);
         assert!(plan.active().is_empty());
+    }
+
+    #[test]
+    fn ric_indication_drop_is_schedulable_and_described() {
+        let mut plan = FaultPlan::builder(8)
+            .drop_indications(100.0, 600.0, "FIELD-B")
+            .build();
+        plan.advance_to(150.0);
+        assert!(plan.is_active(&FaultKind::RicIndicationDrop {
+            cell: "FIELD-B".into(),
+        }));
+        assert_eq!(plan.describe_active(), "ric-indication-drop FIELD-B");
+        plan.advance_to(800.0);
+        assert_eq!(plan.describe_active(), "none");
+        assert!(
+            (plan.active_seconds(|k| matches!(k, FaultKind::RicIndicationDrop { .. })) - 600.0)
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ impl Config {
         Config {
             deterministic_paths: s(&[
                 "crates/xg-net/src/",
+                "crates/xg-ric/src/",
                 "crates/xg-cfd/src/",
                 "crates/xg-fabric/src/",
                 "crates/xg-cspot/src/",
@@ -34,6 +35,7 @@ impl Config {
             ]),
             panicking_paths: s(&[
                 "crates/xg-net/src/",
+                "crates/xg-ric/src/",
                 "crates/xg-cfd/src/",
                 "crates/xg-fabric/src/",
                 "crates/xg-cspot/src/",

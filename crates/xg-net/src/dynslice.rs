@@ -8,9 +8,49 @@
 //! to a per-slice floor that protects lightweight IoT traffic (the sensor
 //! telemetry) from starvation by heavy co-tenants (video).
 
-use crate::error::Result;
+use crate::error::{NetError, Result};
 use crate::slice::{SliceConfig, SliceProfile, Snssai};
 use serde::{Deserialize, Serialize};
+
+/// Staged construction of a [`DynamicSlicer`]: slices → floor → alpha,
+/// validated once at [`build`](DynamicSlicerBuilder::build) — the same
+/// fallible-builder convention as [`LinkSimulatorBuilder`].
+///
+/// [`LinkSimulatorBuilder`]: crate::sim::LinkSimulatorBuilder
+#[derive(Debug, Clone)]
+pub struct DynamicSlicerBuilder {
+    snssais: Vec<Snssai>,
+    min_share: f64,
+    alpha: f64,
+}
+
+impl DynamicSlicerBuilder {
+    /// Start from the slice identities the controller will apportion.
+    pub fn new(snssais: Vec<Snssai>) -> Self {
+        DynamicSlicerBuilder {
+            snssais,
+            min_share: 0.0,
+            alpha: 0.5,
+        }
+    }
+
+    /// Guaranteed minimum share per slice (default 0).
+    pub fn min_share(mut self, min_share: f64) -> Self {
+        self.min_share = min_share;
+        self
+    }
+
+    /// EWMA smoothing factor per observation window (default 0.5).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Validate the configuration and construct the controller.
+    pub fn build(self) -> Result<DynamicSlicer> {
+        DynamicSlicer::try_new(self.snssais, self.min_share, self.alpha)
+    }
+}
 
 /// Demand-proportional slice-share controller.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -26,23 +66,59 @@ pub struct DynamicSlicer {
 }
 
 impl DynamicSlicer {
-    /// Create a controller over the given slices.
-    ///
-    /// Panics if the floors are infeasible (`n · min_share > 1`).
-    pub fn new(snssais: Vec<Snssai>, min_share: f64, alpha: f64) -> Self {
-        assert!(!snssais.is_empty(), "need at least one slice");
-        assert!(
-            min_share * snssais.len() as f64 <= 1.0 + 1e-9,
-            "floors exceed the grid"
-        );
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0, 1]");
+    /// Start a staged [`DynamicSlicerBuilder`] over the given slices.
+    pub fn builder(snssais: Vec<Snssai>) -> DynamicSlicerBuilder {
+        DynamicSlicerBuilder::new(snssais)
+    }
+
+    /// Create a controller over the given slices, surfacing an invalid
+    /// configuration (no slices, infeasible floors, alpha outside
+    /// `(0, 1]`) as a typed error instead of a panic — the workspace's
+    /// fallible-construction convention.
+    pub fn try_new(snssais: Vec<Snssai>, min_share: f64, alpha: f64) -> Result<Self> {
+        if snssais.is_empty() {
+            return Err(NetError::InvalidParameter(
+                "dynamic slicer needs at least one slice".into(),
+            ));
+        }
+        let floor_total = min_share * snssais.len() as f64;
+        if min_share.is_nan() || min_share < 0.0 || floor_total > 1.0 + 1e-9 {
+            return Err(NetError::InvalidParameter(format!(
+                "floors exceed the grid or are negative: {} slices x min_share {min_share}",
+                snssais.len()
+            )));
+        }
+        if alpha.is_nan() || alpha <= 0.0 || alpha > 1.0 {
+            return Err(NetError::InvalidParameter(format!(
+                "alpha must be in (0, 1], got {alpha}"
+            )));
+        }
         let n = snssais.len();
-        DynamicSlicer {
+        Ok(DynamicSlicer {
             snssais,
             min_share,
             alpha,
             demand: vec![0.0; n],
-        }
+        })
+    }
+
+    /// Create a controller over the given slices.
+    ///
+    /// Panics if the floors are infeasible (`n · min_share > 1`), the
+    /// slice list is empty, or alpha is outside `(0, 1]`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use DynamicSlicer::try_new (fallible) or DynamicSlicer::builder"
+    )]
+    pub fn new(snssais: Vec<Snssai>, min_share: f64, alpha: f64) -> Self {
+        Self::try_new(snssais, min_share, alpha)
+            // xg-lint: allow(panicking-call, deprecated back-compat wrapper; its documented contract is to panic)
+            .expect("dynamic slicer configuration must be valid")
+    }
+
+    /// The slice identities this controller apportions, in index order.
+    pub fn snssais(&self) -> &[Snssai] {
+        &self.snssais
     }
 
     /// Record one window's offered load for a slice (index order follows
@@ -96,7 +172,7 @@ mod tests {
     use super::*;
 
     fn slicer() -> DynamicSlicer {
-        DynamicSlicer::new(vec![Snssai::miot(1), Snssai::embb(1)], 0.1, 0.5)
+        DynamicSlicer::try_new(vec![Snssai::miot(1), Snssai::embb(1)], 0.1, 0.5).unwrap()
     }
 
     #[test]
@@ -133,7 +209,8 @@ mod tests {
 
     #[test]
     fn ewma_smooths_bursts() {
-        let mut s = DynamicSlicer::new(vec![Snssai::miot(1), Snssai::embb(1)], 0.0, 0.1);
+        let mut s =
+            DynamicSlicer::try_new(vec![Snssai::miot(1), Snssai::embb(1)], 0.0, 0.1).unwrap();
         for _ in 0..100 {
             s.observe(0, 100.0);
             s.observe(1, 100.0);
@@ -161,8 +238,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "floors exceed")]
-    fn infeasible_floors_rejected() {
-        DynamicSlicer::new(vec![Snssai::miot(1), Snssai::embb(1)], 0.6, 0.5);
+    fn invalid_configurations_are_typed_errors() {
+        // Infeasible floors: 2 x 0.6 > 1.
+        assert!(matches!(
+            DynamicSlicer::try_new(vec![Snssai::miot(1), Snssai::embb(1)], 0.6, 0.5),
+            Err(NetError::InvalidParameter(_))
+        ));
+        // Empty slice list.
+        assert!(DynamicSlicer::try_new(vec![], 0.0, 0.5).is_err());
+        // Alpha outside (0, 1].
+        assert!(DynamicSlicer::try_new(vec![Snssai::miot(1)], 0.0, 0.0).is_err());
+        assert!(DynamicSlicer::try_new(vec![Snssai::miot(1)], 0.0, 1.5).is_err());
+        assert!(DynamicSlicer::try_new(vec![Snssai::miot(1)], f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn builder_stages_configuration() {
+        let s = DynamicSlicer::builder(vec![Snssai::miot(1), Snssai::embb(1)])
+            .min_share(0.1)
+            .alpha(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(s.min_share, 0.1);
+        assert_eq!(s.alpha, 0.5);
+        assert_eq!(s.snssais(), &[Snssai::miot(1), Snssai::embb(1)]);
+        assert!(DynamicSlicer::builder(vec![]).build().is_err());
     }
 }

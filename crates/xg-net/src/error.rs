@@ -34,6 +34,8 @@ pub enum NetError {
     InvalidSessionState(String),
     /// The cell has reached its configured UE capacity.
     CellFull,
+    /// A configuration or control parameter is out of its valid range.
+    InvalidParameter(String),
 }
 
 impl fmt::Display for NetError {
@@ -54,6 +56,7 @@ impl fmt::Display for NetError {
             NetError::AlreadyRegistered(imsi) => write!(f, "IMSI {imsi} already registered"),
             NetError::InvalidSessionState(msg) => write!(f, "invalid session state: {msg}"),
             NetError::CellFull => write!(f, "cell is at UE capacity"),
+            NetError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
     }
 }
@@ -82,6 +85,10 @@ mod tests {
             ),
             (NetError::UnknownUe(7), "unknown UE id 7"),
             (NetError::CellFull, "capacity"),
+            (
+                NetError::InvalidParameter("alpha out of range".into()),
+                "invalid parameter",
+            ),
         ];
         for (err, needle) in cases {
             assert!(

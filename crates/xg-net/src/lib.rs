@@ -23,6 +23,9 @@
 //!   ratio allocations (the paper's Fig. 6 experiment).
 //! * [`mac`] — per-TTI uplink MAC scheduler (round-robin and
 //!   proportional-fair) operating inside slice quotas.
+//! * [`e2`] — E2-style MAC telemetry reports (per-UE PRB occupancy, CQI,
+//!   HARQ proxy; per-slice utilization and queue depth) feeding the
+//!   near-real-time RIC in `xg-ric`.
 //! * [`cell`] — a gNodeB/eNodeB cell binding configuration, SDR and slices.
 //! * [`ue`] — user equipment: device + SIM + attach state + traffic backlog.
 //! * [`sim`] — the TTI-level link simulator producing per-second throughput
@@ -59,6 +62,7 @@ pub mod channel;
 pub mod core5g;
 pub mod device;
 pub mod dynslice;
+pub mod e2;
 pub mod error;
 pub mod fleet;
 pub mod iperf;
@@ -77,7 +81,8 @@ pub mod prelude {
     pub use crate::cell::CellConfig;
     pub use crate::core5g::{Core5g, SimCard};
     pub use crate::device::{DeviceClass, Modem};
-    pub use crate::dynslice::DynamicSlicer;
+    pub use crate::dynslice::{DynamicSlicer, DynamicSlicerBuilder};
+    pub use crate::e2::{CellIndication, SliceReport, UeReport};
     pub use crate::error::NetError;
     pub use crate::fleet::{CellBatch, CellId, FleetUe, RanFleet, RanFleetBuilder};
     pub use crate::iperf::{IperfRun, IperfSummary};

@@ -29,6 +29,10 @@ pub struct UlRequest {
     /// Instantaneous achievable spectral efficiency (bits per resource
     /// element) given the UE's current channel. Used by proportional fair.
     pub inst_eff: f64,
+    /// Multiplicative bias on the proportional-fair metric (1.0 =
+    /// neutral). A RIC retunes this to favor or de-prioritize a UE
+    /// without touching slice quotas. Ignored by round-robin.
+    pub weight: f64,
 }
 
 /// EWMA smoothing factor for the proportional-fair average-rate tracker.
@@ -102,13 +106,18 @@ impl MacScheduler {
     }
 
     fn allocate_pf(&self, quota: u32, requests: &[UlRequest]) -> Vec<(u32, u32)> {
-        let weights: Vec<f64> = requests
+        let mut weights: Vec<f64> = requests
             .iter()
             .map(|r| {
                 let avg = self.avg_bits.get(&r.ue).copied().unwrap_or(0.0);
-                r.inst_eff.max(1e-9) / avg.max(PF_FLOOR)
+                r.weight.max(0.0) * r.inst_eff.max(1e-9) / avg.max(PF_FLOOR)
             })
             .collect();
+        if weights.iter().sum::<f64>() <= 0.0 {
+            // Every requester was weighted to zero; degrade to an equal
+            // split rather than dividing by zero below.
+            weights.iter_mut().for_each(|w| *w = 1.0);
+        }
         let total: f64 = weights.iter().sum();
         // Largest-remainder apportionment of the quota by weight.
         let exact: Vec<f64> = weights.iter().map(|w| w / total * quota as f64).collect();
@@ -148,7 +157,13 @@ mod tests {
     use super::*;
 
     fn reqs(n: u32) -> Vec<UlRequest> {
-        (0..n).map(|ue| UlRequest { ue, inst_eff: 3.0 }).collect()
+        (0..n)
+            .map(|ue| UlRequest {
+                ue,
+                inst_eff: 3.0,
+                weight: 1.0,
+            })
+            .collect()
     }
 
     #[test]
@@ -223,16 +238,63 @@ mod tests {
             UlRequest {
                 ue: 0,
                 inst_eff: 5.0,
+                weight: 1.0,
             },
             UlRequest {
                 ue: 1,
                 inst_eff: 1.0,
+                weight: 1.0,
             },
         ];
         let g = s.allocate(120, &requests);
         let g0 = g.iter().find(|&&(ue, _)| ue == 0).unwrap().1;
         let g1 = g.iter().find(|&&(ue, _)| ue == 1).unwrap().1;
         assert!(g0 > 3 * g1, "high-SNR UE should dominate: {g0} vs {g1}");
+    }
+
+    #[test]
+    fn pf_weight_biases_allocation() {
+        // Identical channels and averages, but UE 1 carries a 4x RIC
+        // weight: it must receive visibly more PRBs.
+        let mut s = MacScheduler::new(SchedulerKind::ProportionalFair);
+        s.observe(0, 1000.0);
+        s.observe(1, 1000.0);
+        let requests = [
+            UlRequest {
+                ue: 0,
+                inst_eff: 3.0,
+                weight: 1.0,
+            },
+            UlRequest {
+                ue: 1,
+                inst_eff: 3.0,
+                weight: 4.0,
+            },
+        ];
+        let g = s.allocate(100, &requests);
+        let g0 = g.iter().find(|&&(ue, _)| ue == 0).unwrap().1;
+        let g1 = g.iter().find(|&&(ue, _)| ue == 1).unwrap().1;
+        assert_eq!(g0 + g1, 100);
+        assert!(g1 >= 3 * g0, "weighted UE should dominate: {g0} vs {g1}");
+    }
+
+    #[test]
+    fn all_zero_weights_degrade_to_equal_split() {
+        let mut s = MacScheduler::new(SchedulerKind::ProportionalFair);
+        let requests = [
+            UlRequest {
+                ue: 0,
+                inst_eff: 3.0,
+                weight: 0.0,
+            },
+            UlRequest {
+                ue: 1,
+                inst_eff: 3.0,
+                weight: 0.0,
+            },
+        ];
+        let g = s.allocate(100, &requests);
+        assert_eq!(g.iter().map(|&(_, p)| p).sum::<u32>(), 100);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::cell::CellConfig;
 use crate::channel::ShadowingChannel;
 use crate::core5g::{Core5g, SimCard};
 use crate::device::{DeviceClass, Modem, RadioProfile, UnitVariation};
+use crate::e2::{eff_to_cqi, CellIndication, SliceReport, UeReport};
 use crate::error::{NetError, Result};
 use crate::iperf::IperfRun;
 use crate::mac::{MacScheduler, UlRequest};
@@ -33,6 +34,14 @@ impl UeHandle {
     /// as a map key or label when recording results).
     pub fn id(self) -> u32 {
         self.0
+    }
+
+    /// Rebuild a handle from a cell-local UE id carried through an
+    /// external control channel (an E2 report, a RIC action). Validity is
+    /// checked by whichever simulator API the handle is passed to — an
+    /// id no UE owns yields `NetError::UnknownUe`, not a panic.
+    pub fn from_id(id: u32) -> Self {
+        UeHandle(id)
     }
 }
 
@@ -63,6 +72,43 @@ impl RanObs {
     }
 }
 
+/// Fast-fade depth (dB, relative to the link-adaptation operating point)
+/// below which a scheduled TTI is counted as an initial-transmission
+/// failure — the HARQ retransmission proxy reported over E2.
+const HARQ_NACK_FADE_DB: f64 = -6.0;
+
+/// Per-cell E2 accumulator: everything [`LinkSimulator::take_indication`]
+/// drains. Updated with plain arithmetic only — no RNG draws — so
+/// collecting indications cannot perturb the simulation.
+#[derive(Debug, Clone, Default)]
+struct E2Acc {
+    /// Slots stepped since the last drain (window length).
+    slots: u64,
+    /// Uplink-capable slots since the last drain.
+    ul_slots: u64,
+    /// Per-slice PRB·TTIs granted.
+    slice_granted: Vec<u64>,
+    /// Per-slice PRB·TTIs offered by the quota (quota × uplink slots).
+    slice_capacity: Vec<u64>,
+    /// Per-slice bits entering uplink queues.
+    slice_offered: Vec<f64>,
+    /// Per-slice MAC bits served.
+    slice_served: Vec<f64>,
+}
+
+impl E2Acc {
+    fn sized(slices: usize) -> Self {
+        E2Acc {
+            slots: 0,
+            ul_slots: 0,
+            slice_granted: vec![0; slices],
+            slice_capacity: vec![0; slices],
+            slice_offered: vec![0.0; slices],
+            slice_served: vec![0.0; slices],
+        }
+    }
+}
+
 /// The uplink link-level simulator for one cell.
 pub struct LinkSimulator {
     cell: CellConfig,
@@ -79,6 +125,8 @@ pub struct LinkSimulator {
     /// models RAN degradation (interference, weather, detuned antenna)
     /// that collapses every UE's MCS without detaching anyone.
     snr_offset_db: f64,
+    /// E2 indication window accumulator.
+    e2: E2Acc,
     obs: Option<RanObs>,
 }
 
@@ -168,6 +216,7 @@ impl LinkSimulator {
             .map(|_| MacScheduler::new(cell.scheduler))
             .collect();
         let link_adapt = LinkAdaptation::for_rat(cell.rat);
+        let e2 = E2Acc::sized(cell.slices.len());
         Ok(LinkSimulator {
             cell,
             core: Core5g::new(),
@@ -180,6 +229,7 @@ impl LinkSimulator {
             total_prbs,
             quotas,
             snr_offset_db: 0.0,
+            e2,
             obs: None,
         })
     }
@@ -253,6 +303,13 @@ impl LinkSimulator {
         // Grow or shrink the per-slice scheduler set.
         self.scheds
             .resize_with(slices.len(), || MacScheduler::new(self.cell.scheduler));
+        // Keep the E2 accumulator aligned with the slice table; counters
+        // accumulated so far stay attached to their slice index (the
+        // window closes at the next indication drain anyway).
+        self.e2.slice_granted.resize(slices.len(), 0);
+        self.e2.slice_capacity.resize(slices.len(), 0);
+        self.e2.slice_offered.resize(slices.len(), 0.0);
+        self.e2.slice_served.resize(slices.len(), 0.0);
         self.cell.slices = slices;
         Ok(())
     }
@@ -345,6 +402,141 @@ impl LinkSimulator {
         Ok(())
     }
 
+    /// Set a UE's proportional-fair scheduler weight (RIC control).
+    /// Must be positive and finite; 1.0 restores the neutral weight.
+    pub fn set_pf_weight(&mut self, ue: UeHandle, weight: f64) -> Result<()> {
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(NetError::InvalidParameter(format!(
+                "PF weight must be positive and finite, got {weight}"
+            )));
+        }
+        self.ues
+            .get_mut(ue.0 as usize)
+            .ok_or(NetError::UnknownUe(ue.0))?
+            .pf_weight = weight;
+        Ok(())
+    }
+
+    /// A UE's current proportional-fair scheduler weight.
+    pub fn pf_weight(&self, ue: UeHandle) -> Result<f64> {
+        Ok(self
+            .ues
+            .get(ue.0 as usize)
+            .ok_or(NetError::UnknownUe(ue.0))?
+            .pf_weight)
+    }
+
+    /// Cap a UE's link adaptation at `max_eff` bits per resource element
+    /// (RIC MCS cap); `None` removes the cap.
+    pub fn set_mcs_cap(&mut self, ue: UeHandle, max_eff: Option<f64>) -> Result<()> {
+        if let Some(cap) = max_eff {
+            if !cap.is_finite() || cap <= 0.0 {
+                return Err(NetError::InvalidParameter(format!(
+                    "MCS cap must be positive and finite, got {cap}"
+                )));
+            }
+        }
+        self.ues
+            .get_mut(ue.0 as usize)
+            .ok_or(NetError::UnknownUe(ue.0))?
+            .mcs_cap = max_eff;
+        Ok(())
+    }
+
+    /// A UE's current MCS cap (spectral-efficiency ceiling), if any.
+    pub fn mcs_cap(&self, ue: UeHandle) -> Result<Option<f64>> {
+        Ok(self
+            .ues
+            .get(ue.0 as usize)
+            .ok_or(NetError::UnknownUe(ue.0))?
+            .mcs_cap)
+    }
+
+    /// The spectral-efficiency ceiling of the cell's link adaptation
+    /// (what an uncapped UE can reach at best).
+    pub fn max_spectral_eff(&self) -> f64 {
+        self.link_adapt.max_eff
+    }
+
+    /// Drain the E2 indication window accumulated since the previous
+    /// drain (or construction) into a [`CellIndication`] stamped with
+    /// `cell`. Pure reads and resets — no RNG draws — so a run that
+    /// collects indications is bitwise identical to one that does not.
+    pub fn take_indication(&mut self, cell: u32) -> CellIndication {
+        let window_s = self.e2.slots as f64 / self.cell.scs.slots_per_second() as f64;
+        // Queue depths per slice, measured before the per-UE reset.
+        let mut slice_queued = vec![0.0; self.quotas.len()];
+        for u in &self.ues {
+            if !matches!(u.traffic, TrafficModel::FullBuffer) {
+                if let Some(q) = slice_queued.get_mut(u.slice.0 as usize) {
+                    *q += u.pending_bits;
+                }
+            }
+        }
+        let max_eff = self.link_adapt.max_eff;
+        let ues: Vec<UeReport> = self
+            .ues
+            .iter_mut()
+            .map(|u| {
+                let cqi = if u.e2_eff_ttis > 0 {
+                    eff_to_cqi(u.e2_eff_sum / u.e2_eff_ttis as f64, max_eff)
+                } else {
+                    0
+                };
+                let harq_nack_rate = if u.e2_sched_ttis > 0 {
+                    u.e2_nack_ttis as f64 / u.e2_sched_ttis as f64
+                } else {
+                    0.0
+                };
+                let report = UeReport {
+                    ue: u.id,
+                    slice: u.slice.0,
+                    granted_prb_ttis: u.e2_granted_prb_ttis,
+                    sched_ttis: u.e2_sched_ttis,
+                    served_bits: u.e2_served_bits,
+                    queued_bits: if matches!(u.traffic, TrafficModel::FullBuffer) {
+                        0.0
+                    } else {
+                        u.pending_bits
+                    },
+                    cqi,
+                    harq_nack_rate,
+                };
+                u.reset_e2();
+                report
+            })
+            .collect();
+        let slices: Vec<SliceReport> = self
+            .cell
+            .slices
+            .iter()
+            .map(|(id, p)| {
+                let i = id.0 as usize;
+                SliceReport {
+                    slice: id.0,
+                    snssai: p.snssai,
+                    prb_share: p.prb_share,
+                    quota_prbs: self.quotas[i],
+                    granted_prb_ttis: self.e2.slice_granted[i],
+                    capacity_prb_ttis: self.e2.slice_capacity[i],
+                    offered_bits: self.e2.slice_offered[i],
+                    served_bits: self.e2.slice_served[i],
+                    queued_bits: slice_queued[i],
+                }
+            })
+            .collect();
+        let indication = CellIndication {
+            cell,
+            window_s,
+            ul_slots: self.e2.ul_slots,
+            total_prbs: self.total_prbs,
+            ues,
+            slices,
+        };
+        self.e2 = E2Acc::sized(self.cell.slices.len());
+        indication
+    }
+
     /// Current simulated time (s) derived from the slot counter.
     pub fn now_s(&self) -> f64 {
         self.slot as f64 / self.cell.scs.slots_per_second() as f64
@@ -420,9 +612,11 @@ impl LinkSimulator {
     fn step_slot(&mut self) {
         let ul_frac = self.slot_ul_fraction();
         self.slot += 1;
+        self.e2.slots += 1;
         if ul_frac == 0.0 {
             return;
         }
+        self.e2.ul_slots += 1;
         if let Some(o) = &self.obs {
             o.slots.inc();
         }
@@ -430,6 +624,7 @@ impl LinkSimulator {
         let re_per_prb = res_per_prb_slot() as f64;
         for slice_idx in 0..self.quotas.len() {
             let quota = self.quotas[slice_idx];
+            self.e2.slice_capacity[slice_idx] += quota as u64;
             // Gather backlogged UEs of this slice with an efficiency
             // estimate at their expected share (for proportional fair).
             let members: Vec<u32> = self
@@ -442,18 +637,30 @@ impl LinkSimulator {
                 continue;
             }
             let share = (quota / members.len() as u32).max(1);
-            let requests: Vec<UlRequest> = members
-                .iter()
-                .map(|&id| {
-                    let u = &self.ues[id as usize];
-                    let snr =
-                        Db(u.profile.power.snr(share).0 + self.tdd_offset(u) + self.snr_offset_db);
-                    UlRequest {
-                        ue: id,
-                        inst_eff: self.link_adapt.efficiency(snr),
-                    }
-                })
-                .collect();
+            let mut requests: Vec<UlRequest> = Vec::with_capacity(members.len());
+            for &id in &members {
+                let u = &mut self.ues[id as usize];
+                let tdd_off = match self.cell.duplex {
+                    Duplex::Fdd => 0.0,
+                    Duplex::Tdd(_) => u.profile.tdd_power_offset.0,
+                };
+                let snr = Db(u.profile.power.snr(share).0 + tdd_off + self.snr_offset_db);
+                let eff = self.link_adapt.efficiency(snr);
+                // CQI reports the raw channel; the RIC's MCS cap only
+                // constrains what the scheduler may use (a capped report
+                // would make the capper feed back on itself).
+                u.e2_eff_sum += eff;
+                u.e2_eff_ttis += 1;
+                let inst_eff = match u.mcs_cap {
+                    Some(cap) => eff.min(cap),
+                    None => eff,
+                };
+                requests.push(UlRequest {
+                    ue: id,
+                    inst_eff,
+                    weight: u.pf_weight,
+                });
+            }
             let grants = self.scheds[slice_idx].allocate(quota, &requests);
             if let Some(o) = &self.obs {
                 let granted: u32 = grants.iter().map(|&(_, prbs)| prbs).sum();
@@ -468,7 +675,10 @@ impl LinkSimulator {
                 let u = &mut self.ues[ue_id as usize];
                 let jitter = u.channel.step(&mut self.rng);
                 let snr = Db(u.profile.power.snr(prbs).0 + tdd_off + jitter.0 + snr_fault);
-                let eff = self.link_adapt.efficiency(snr);
+                let mut eff = self.link_adapt.efficiency(snr);
+                if let Some(cap) = u.mcs_cap {
+                    eff = eff.min(cap);
+                }
                 let modem = u.profile.modem_factor(prbs as f64 * prb_mhz);
                 let capacity = prbs as f64 * re_per_prb * eff * ul_frac * modem;
                 // Finite traffic models serve at most their queue.
@@ -481,6 +691,14 @@ impl LinkSimulator {
                 };
                 u.window_bits += bits;
                 u.window_granted_prb_ttis += prbs as u64;
+                u.e2_granted_prb_ttis += prbs as u64;
+                u.e2_sched_ttis += 1;
+                u.e2_served_bits += bits;
+                if jitter.0 + snr_fault <= HARQ_NACK_FADE_DB {
+                    u.e2_nack_ttis += 1;
+                }
+                self.e2.slice_granted[slice_idx] += prbs as u64;
+                self.e2.slice_served[slice_idx] += bits;
                 self.scheds[slice_idx].observe(ue_id, bits);
             }
         }
@@ -495,9 +713,13 @@ impl LinkSimulator {
         for _ in 0..slots {
             if (self.slot as usize).is_multiple_of(per_second) {
                 let t = self.now_s();
+                let e2 = &mut self.e2;
                 for u in &mut self.ues {
                     if let Some(bits) = u.traffic.offered_bits(t) {
                         u.pending_bits += bits;
+                        if let Some(o) = e2.slice_offered.get_mut(u.slice.0 as usize) {
+                            *o += bits;
+                        }
                     }
                 }
             }
@@ -510,9 +732,13 @@ impl LinkSimulator {
     pub fn run_second(&mut self) -> Vec<(UeHandle, f64)> {
         // Enqueue each UE's offered traffic for this second.
         let t = self.now_s();
+        let e2 = &mut self.e2;
         for u in &mut self.ues {
             if let Some(bits) = u.traffic.offered_bits(t) {
                 u.pending_bits += bits;
+                if let Some(o) = e2.slice_offered.get_mut(u.slice.0 as usize) {
+                    *o += bits;
+                }
             }
         }
         let slots = self.cell.scs.slots_per_second();
@@ -921,6 +1147,154 @@ mod tests {
         assert_eq!(g.get(), -12.0);
         sim.set_snr_offset_db(0.0);
         assert_eq!(g.get(), 0.0);
+    }
+
+    #[test]
+    fn indication_reports_occupancy_and_queues() {
+        let cell = CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0))
+            .with_slices(SliceConfig::complementary_pair(0.5).unwrap());
+        let mut sim = LinkSimulator::try_new(cell, 31).unwrap();
+        let fb = sim
+            .attach_with(
+                DeviceClass::RaspberryPi,
+                Modem::Rm530nGl,
+                Snssai::miot(1),
+                UnitVariation::default(),
+            )
+            .unwrap();
+        let cbr = sim
+            .attach_with(
+                DeviceClass::RaspberryPi,
+                Modem::Rm530nGl,
+                Snssai::miot(2),
+                UnitVariation::default(),
+            )
+            .unwrap();
+        // Far more CBR load than a 50% slice serves: the queue must grow.
+        sim.set_traffic(cbr, TrafficModel::Cbr { rate_mbps: 60.0 })
+            .unwrap();
+        sim.run_second();
+        sim.run_second();
+        let ind = sim.take_indication(5);
+        assert_eq!(ind.cell, 5);
+        assert!((ind.window_s - 2.0).abs() < 1e-9);
+        assert_eq!(ind.ul_slots, 2000, "FDD: every slot is uplink-capable");
+        assert_eq!(ind.total_prbs, 106);
+        assert_eq!(ind.slices.len(), 2);
+        assert_eq!(ind.ues.len(), 2);
+
+        let fb_rep = &ind.ues[fb.id() as usize];
+        assert!(fb_rep.granted_prb_ttis > 0);
+        assert!(fb_rep.served_bits > 0.0);
+        assert_eq!(fb_rep.queued_bits, 0.0, "full buffer reports no queue");
+        assert!((1..=15).contains(&fb_rep.cqi));
+        assert!((0.0..=1.0).contains(&fb_rep.harq_nack_rate));
+
+        let cbr_rep = &ind.ues[cbr.id() as usize];
+        assert!(
+            cbr_rep.queued_bits > 1e6,
+            "overloaded CBR queue must grow: {}",
+            cbr_rep.queued_bits
+        );
+
+        let s0 = ind.slice(Snssai::miot(1)).unwrap();
+        assert!(s0.utilization() > 0.9, "full buffer saturates its quota");
+        assert_eq!(s0.capacity_prb_ttis, 53 * 2000);
+        let s1 = ind.slice(Snssai::miot(2)).unwrap();
+        assert!((s1.offered_bits - 2.0 * 60e6).abs() < 1.0);
+        assert!(s1.queued_bits > 1e6);
+
+        // Drain semantics: a fresh window starts at zero.
+        let empty = sim.take_indication(5);
+        assert_eq!(empty.ul_slots, 0);
+        assert_eq!(empty.ues[0].granted_prb_ttis, 0);
+        assert_eq!(empty.slices[0].offered_bits, 0.0);
+    }
+
+    #[test]
+    fn indication_collection_does_not_perturb_the_run() {
+        // The no-op contract the RIC relies on: draining indications
+        // between seconds leaves the trajectory bitwise identical.
+        let run = |drain: bool| {
+            let mut sim = LinkSimulator::try_new(cell_5g_fdd20(), 77).unwrap();
+            let ue = sim
+                .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
+                .unwrap();
+            sim.set_backlogged(ue, true).unwrap();
+            let mut out = Vec::new();
+            for _ in 0..5 {
+                out.extend(sim.run_second().iter().map(|&(_, m)| m.to_bits()));
+                if drain {
+                    sim.take_indication(0);
+                }
+            }
+            out
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn mcs_cap_limits_throughput_and_lifts() {
+        let mut sim = LinkSimulator::try_new(cell_5g_fdd20(), 13).unwrap();
+        let ue = sim
+            .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
+            .unwrap();
+        let nominal = sim.run_second()[0].1;
+        sim.set_mcs_cap(ue, Some(sim.max_spectral_eff() * 0.1))
+            .unwrap();
+        assert!(sim.mcs_cap(ue).unwrap().is_some());
+        let capped = sim.run_second()[0].1;
+        assert!(
+            capped < nominal * 0.5,
+            "MCS cap must bite: {capped} vs {nominal}"
+        );
+        sim.set_mcs_cap(ue, None).unwrap();
+        let restored = sim.run_second()[0].1;
+        assert!(
+            restored > capped * 2.0,
+            "clearing the cap must restore rate: {restored} vs {capped}"
+        );
+        // Invalid caps and weights are typed errors.
+        assert!(matches!(
+            sim.set_mcs_cap(ue, Some(0.0)),
+            Err(NetError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            sim.set_pf_weight(ue, f64::NAN),
+            Err(NetError::InvalidParameter(_))
+        ));
+        assert!(sim.set_mcs_cap(UeHandle(9), None).is_err());
+        assert!(sim.set_pf_weight(UeHandle(9), 1.0).is_err());
+    }
+
+    #[test]
+    fn pf_weight_shifts_shared_slice_throughput() {
+        let mut cell = cell_5g_fdd20();
+        cell.scheduler = crate::mac::SchedulerKind::ProportionalFair;
+        let mut sim = LinkSimulator::try_new(cell, 17).unwrap();
+        let a = sim
+            .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
+            .unwrap();
+        let b = sim
+            .attach(DeviceClass::RaspberryPi, Modem::Rm530nGl)
+            .unwrap();
+        sim.set_pf_weight(b, 6.0).unwrap();
+        assert_eq!(sim.pf_weight(b).unwrap(), 6.0);
+        let mut ra = 0.0;
+        let mut rb = 0.0;
+        for _ in 0..5 {
+            for (h, m) in sim.run_second() {
+                if h == a {
+                    ra += m;
+                } else if h == b {
+                    rb += m;
+                }
+            }
+        }
+        assert!(
+            rb > ra * 2.0,
+            "6x PF weight must visibly favor UE b: {ra} vs {rb}"
+        );
     }
 
     #[test]

@@ -27,6 +27,20 @@ pub enum TrafficModel {
         /// Offered rate (Mbps).
         rate_mbps: f64,
     },
+    /// Constant bit rate with a scripted burst window: `rate_mbps`
+    /// outside `[burst_start_s, burst_end_s)`, `burst_rate_mbps` inside.
+    /// Models a pest-detection camera that jumps from keep-alive imagery
+    /// to a full image burst when traps trigger (§3.3's eMBB load).
+    BurstCbr {
+        /// Baseline offered rate (Mbps).
+        rate_mbps: f64,
+        /// Offered rate during the burst window (Mbps).
+        burst_rate_mbps: f64,
+        /// Burst onset (s, inclusive).
+        burst_start_s: f64,
+        /// Burst end (s, exclusive).
+        burst_end_s: f64,
+    },
 }
 
 impl TrafficModel {
@@ -52,6 +66,19 @@ impl TrafficModel {
                 Some(n as f64 * payload_bytes as f64 * 8.0)
             }
             TrafficModel::Cbr { rate_mbps } => Some(rate_mbps.max(0.0) * 1e6),
+            TrafficModel::BurstCbr {
+                rate_mbps,
+                burst_rate_mbps,
+                burst_start_s,
+                burst_end_s,
+            } => {
+                let rate = if t_s >= burst_start_s && t_s < burst_end_s {
+                    burst_rate_mbps
+                } else {
+                    rate_mbps
+                };
+                Some(rate.max(0.0) * 1e6)
+            }
         }
     }
 
@@ -66,6 +93,17 @@ impl TrafficModel {
     /// A 1080p surveillance stream (~8 Mbps).
     pub fn surveillance_video() -> Self {
         TrafficModel::Cbr { rate_mbps: 8.0 }
+    }
+
+    /// A pest-detection camera: keep-alive imagery at `base_mbps`,
+    /// jumping to `burst_mbps` for `[start_s, end_s)` when traps fire.
+    pub fn pest_camera(base_mbps: f64, burst_mbps: f64, start_s: f64, end_s: f64) -> Self {
+        TrafficModel::BurstCbr {
+            rate_mbps: base_mbps,
+            burst_rate_mbps: burst_mbps,
+            burst_start_s: start_s,
+            burst_end_s: end_s,
+        }
     }
 }
 
@@ -104,6 +142,17 @@ mod tests {
         assert_eq!(m.offered_bits(7.0), Some(2e6));
         let neg = TrafficModel::Cbr { rate_mbps: -1.0 };
         assert_eq!(neg.offered_bits(0.0), Some(0.0));
+    }
+
+    #[test]
+    fn burst_cbr_switches_rate_inside_window() {
+        let m = TrafficModel::pest_camera(8.0, 80.0, 10.0, 20.0);
+        assert_eq!(m.offered_bits(9.0), Some(8e6));
+        assert_eq!(m.offered_bits(10.0), Some(80e6), "onset is inclusive");
+        assert_eq!(m.offered_bits(19.0), Some(80e6));
+        assert_eq!(m.offered_bits(20.0), Some(8e6), "end is exclusive");
+        let neg = TrafficModel::pest_camera(-1.0, -2.0, 0.0, 1.0);
+        assert_eq!(neg.offered_bits(0.5), Some(0.0));
     }
 
     #[test]

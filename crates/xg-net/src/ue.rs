@@ -35,6 +35,24 @@ pub struct UeContext {
     /// Sum of per-TTI modem factors weighted by granted bits, used to apply
     /// the modem's allocation-bandwidth decay to the window total.
     pub window_granted_prb_ttis: u64,
+    /// RIC-imposed spectral-efficiency ceiling (MCS cap); `None` leaves
+    /// link adaptation unconstrained.
+    pub mcs_cap: Option<f64>,
+    /// RIC-tunable proportional-fair scheduler weight (1.0 = neutral).
+    pub pf_weight: f64,
+    /// E2 window: PRB·TTIs granted since the last indication drain.
+    pub e2_granted_prb_ttis: u64,
+    /// E2 window: TTIs with a non-zero grant since the last drain.
+    pub e2_sched_ttis: u64,
+    /// E2 window: MAC bits served since the last drain.
+    pub e2_served_bits: f64,
+    /// E2 window: scheduled TTIs that fell into a deep fade (HARQ
+    /// retransmission proxy).
+    pub e2_nack_ttis: u64,
+    /// E2 window: sum of reported instantaneous spectral efficiencies.
+    pub e2_eff_sum: f64,
+    /// E2 window: number of efficiency reports behind `e2_eff_sum`.
+    pub e2_eff_ttis: u64,
 }
 
 impl UeContext {
@@ -65,6 +83,14 @@ impl UeContext {
             pending_bits: 0.0,
             window_bits: 0.0,
             window_granted_prb_ttis: 0,
+            mcs_cap: None,
+            pf_weight: 1.0,
+            e2_granted_prb_ttis: 0,
+            e2_sched_ttis: 0,
+            e2_served_bits: 0.0,
+            e2_nack_ttis: 0,
+            e2_eff_sum: 0.0,
+            e2_eff_ttis: 0,
         }
     }
 
@@ -72,6 +98,16 @@ impl UeContext {
     pub fn reset_window(&mut self) {
         self.window_bits = 0.0;
         self.window_granted_prb_ttis = 0;
+    }
+
+    /// Reset the E2 indication window (after a drain).
+    pub fn reset_e2(&mut self) {
+        self.e2_granted_prb_ttis = 0;
+        self.e2_sched_ttis = 0;
+        self.e2_served_bits = 0.0;
+        self.e2_nack_ttis = 0;
+        self.e2_eff_sum = 0.0;
+        self.e2_eff_ttis = 0;
     }
 }
 
@@ -121,5 +157,35 @@ mod tests {
         ue.reset_window();
         assert_eq!(ue.window_bits, 0.0);
         assert_eq!(ue.window_granted_prb_ttis, 0);
+    }
+
+    #[test]
+    fn e2_window_reset() {
+        let profile = RadioProfile::lookup(DeviceClass::Laptop, Modem::Rm530nGl, Rat::Nr5g);
+        let mut ue = UeContext::new(
+            2,
+            DeviceClass::Laptop,
+            Modem::Rm530nGl,
+            profile,
+            UnitVariation::default(),
+            SimCard::provision(2),
+            SliceId(0),
+            ShadowingChannel::default_lab(),
+        );
+        assert_eq!(ue.pf_weight, 1.0);
+        assert!(ue.mcs_cap.is_none());
+        ue.e2_granted_prb_ttis = 10;
+        ue.e2_sched_ttis = 5;
+        ue.e2_served_bits = 1e5;
+        ue.e2_nack_ttis = 1;
+        ue.e2_eff_sum = 12.0;
+        ue.e2_eff_ttis = 5;
+        ue.reset_e2();
+        assert_eq!(ue.e2_granted_prb_ttis, 0);
+        assert_eq!(ue.e2_sched_ttis, 0);
+        assert_eq!(ue.e2_served_bits, 0.0);
+        assert_eq!(ue.e2_nack_ttis, 0);
+        assert_eq!(ue.e2_eff_sum, 0.0);
+        assert_eq!(ue.e2_eff_ttis, 0);
     }
 }

@@ -1,0 +1,41 @@
+//! xg-ric: a near-real-time RAN Intelligent Controller for the
+//! simulated xGFabric RAN.
+//!
+//! The O-RAN near-RT RIC closes a measurement→decision→actuation loop
+//! over the RAN: every indication period the MAC reports E2-style
+//! telemetry (per-UE PRB occupancy, CQI, HARQ retransmissions; per-slice
+//! utilization and queue depth — [`xg_net::e2`]), pluggable *xApps*
+//! decide, and typed [`RicAction`]s flow back to the live cells. This
+//! crate provides:
+//!
+//! * [`ric`] — the deterministic engine: the [`XApp`] trait and its
+//!   seeded, ordered execution contract, per-cell indication caching
+//!   with staleness tracking, and conflict resolution across xApps.
+//! * [`action`] — the typed control-action vocabulary and merge rules.
+//! * [`xapps`] — three built-in controllers: [`DemandSlicer`]
+//!   (demand-proportional slice shares), [`BurstGuard`] (protects the
+//!   sensor-telemetry slice through an eMBB burst), [`McsCapper`]
+//!   (HARQ-driven per-UE link-adaptation caps).
+//!
+//! The orchestrator (`xg-fabric`) owns the wiring: it drains fleet
+//! indications once per report cycle, steps the engine, and applies the
+//! resolved actions between cycles.
+
+#![deny(deprecated)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod action;
+pub mod ric;
+pub mod xapps;
+
+pub use action::{resolve_conflicts, ActionKey, Emitted, RicAction};
+pub use ric::{xapp_seed, CellView, Indication, Ric, RicOutcome, XApp, XAppCtx};
+pub use xapps::{BurstGuard, DemandSlicer, McsCapper};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::action::RicAction;
+    pub use crate::ric::{Indication, Ric, RicOutcome, XApp, XAppCtx};
+    pub use crate::xapps::{BurstGuard, DemandSlicer, McsCapper};
+}

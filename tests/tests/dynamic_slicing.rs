@@ -39,7 +39,8 @@ fn controller_tracks_demand_shift_end_to_end() {
             UnitVariation::default(),
         )
         .unwrap();
-    let mut slicer = DynamicSlicer::new(vec![Snssai::miot(1), Snssai::embb(1)], 0.1, 0.5);
+    let mut slicer = DynamicSlicer::try_new(vec![Snssai::miot(1), Snssai::embb(1)], 0.1, 0.5)
+        .expect("two slices with a 0.1 floor are feasible");
 
     let rate = |results: &[(UeHandle, f64)], h: UeHandle| {
         results

@@ -49,7 +49,7 @@ proptest! {
         let kind = if pf { SchedulerKind::ProportionalFair } else { SchedulerKind::RoundRobin };
         let mut sched = MacScheduler::new(kind);
         let requests: Vec<UlRequest> = (0..n_ues)
-            .map(|i| UlRequest { ue: i as u32, inst_eff: effs[i] })
+            .map(|i| UlRequest { ue: i as u32, inst_eff: effs[i], weight: 1.0 })
             .collect();
         for _ in 0..5 {
             let grants = sched.allocate(quota, &requests);
