@@ -1,0 +1,51 @@
+//! `xg-trace` — offline analysis of black-box / JSONL span dumps.
+//!
+//! ```text
+//! xg-trace critical <dump>       per-cycle critical paths + slowest cycle
+//! xg-trace flame    <dump>       merged hierarchical attribution
+//! xg-trace diff     <old> <new>  two-run regression attribution
+//! ```
+//!
+//! A dump is any file whose lines include span JSONL — a raw
+//! `spans_to_jsonl` dump or a full black-box bundle (non-span lines are
+//! skipped by the parser).
+
+use std::process::ExitCode;
+use xg_bench::trace::{critical_report, diff_report, flame_report};
+use xg_obs::parse_spans_jsonl;
+use xg_obs::span::SpanRecord;
+
+const USAGE: &str = "usage: xg-trace critical <dump> | flame <dump> | diff <old> <new>";
+
+fn load(path: &str) -> Result<Vec<SpanRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("xg-trace: {path}: {e}"))?;
+    Ok(parse_spans_jsonl(&text))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let report = match args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        ["critical", dump] => load(dump).map(|s| critical_report(&s)),
+        ["flame", dump] => load(dump).map(|s| flame_report(&s)),
+        ["diff", old, new] => load(old).and_then(|o| load(new).map(|n| diff_report(&o, &n))),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match report {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

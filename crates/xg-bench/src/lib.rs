@@ -8,6 +8,7 @@
 use std::path::PathBuf;
 
 pub mod scenario;
+pub mod trace;
 pub mod traj;
 
 /// Directory where figure data lands (`results/` under the workspace).

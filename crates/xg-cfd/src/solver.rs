@@ -43,12 +43,17 @@ struct CfdObs {
     steps: Arc<Counter>,
     /// Rayon worker count in effect.
     workers: Arc<Gauge>,
+    /// The full handle: the measured step/sweep durations also feed the
+    /// hierarchical profiler (`cfd.step` / `cfd.step/sweep`) so the CFD
+    /// solve shows up in cross-layer attribution without extra timers.
+    handle: Obs,
 }
 
 impl CfdObs {
     fn new(obs: &Obs) -> Option<Self> {
         let reg = obs.registry()?;
         Some(CfdObs {
+            handle: obs.clone(),
             step_wall_ms: reg.histogram("cfd.step.wall_ms"),
             sweep_wall_ms: reg.histogram("cfd.sweep.wall_ms"),
             sweep_wall_ms_per_worker: reg.histogram("cfd.sweep.wall_ms_per_worker"),
@@ -297,10 +302,14 @@ impl Simulation {
                 }
             });
         if let (Some(o), Some(t0)) = (&self.obs, sweep_timer) {
-            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let elapsed = t0.elapsed();
+            let ms = elapsed.as_secs_f64() * 1e3;
             o.sweep_wall_ms.record(ms);
             o.sweep_wall_ms_per_worker
                 .record(ms / rayon::current_num_threads().max(1) as f64);
+            if let Some(p) = o.handle.profiler() {
+                p.record_at("cfd.step/sweep", elapsed.as_nanos() as u64);
+            }
         }
         out
     }
@@ -421,9 +430,13 @@ impl Simulation {
             }
         }
         if let (Some(o), Some(t0)) = (&self.obs, step_timer) {
-            o.step_wall_ms.record(t0.elapsed().as_secs_f64() * 1e3);
+            let elapsed = t0.elapsed();
+            o.step_wall_ms.record(elapsed.as_secs_f64() * 1e3);
             o.steps.inc();
             o.workers.set(rayon::current_num_threads() as f64);
+            if let Some(p) = o.handle.profiler() {
+                p.record_at("cfd.step", elapsed.as_nanos() as u64);
+            }
         }
         self.steps_done += 1;
     }

@@ -41,12 +41,15 @@ struct ProtocolObs {
     retries: Arc<Counter>,
     /// Logical appends that exhausted the retry budget.
     exhausted: Arc<Counter>,
+    /// The full handle, kept for profiler attribution of append work.
+    handle: Obs,
 }
 
 impl ProtocolObs {
     fn new(obs: &Obs) -> Option<Self> {
         let reg = obs.registry()?;
         Some(ProtocolObs {
+            handle: obs.clone(),
             phase1_ms: reg.histogram("cspot.append.phase1_ms"),
             phase2_ms: reg.histogram("cspot.append.phase2_ms"),
             total_ms: reg.histogram("cspot.append.total_ms"),
@@ -208,6 +211,13 @@ impl RemoteAppender {
         token: u128,
     ) -> Result<AppendOutcome> {
         let start = self.clock.now_ms();
+        // Wall-time attribution of the append's compute cost (the virtual
+        // protocol latency is already covered by the phase histograms).
+        let handle = self.obs.as_ref().map(|o| o.handle.clone());
+        let _prof = handle
+            .as_ref()
+            .and_then(Obs::profiler)
+            .map(|p| p.scope("cspot.append"));
         let mut attempts = 0u32;
         loop {
             attempts += 1;

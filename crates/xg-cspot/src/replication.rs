@@ -32,6 +32,7 @@ use crate::log::{Log, ReplicaApply};
 use crate::netsim::{RoutePath, SimClock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use xg_obs::Obs;
 
 /// Tunables of a replication link.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,6 +78,7 @@ pub struct Replicator {
     route: RoutePath,
     rng: StdRng,
     config: ReplicationConfig,
+    obs: Obs,
 }
 
 impl Replicator {
@@ -88,7 +90,14 @@ impl Replicator {
             route,
             rng: StdRng::seed_from_u64(seed),
             config,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle: pump rounds land in the profiler
+    /// as `cspot.repl.pump` (apply/sync work attributed as children).
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs = obs.clone();
     }
 
     /// Mutable route access (partition injection and heal).
@@ -100,6 +109,9 @@ impl Replicator {
     /// the primary's durable storage, ship, apply. Two crossings of
     /// virtual latency (request + response) per round.
     pub fn pump(&mut self, primary: &Log, follower: &Log) -> Result<PumpOutcome> {
+        let handle = self.obs.clone();
+        let prof = handle.profiler();
+        let _round = prof.map(|p| p.scope("cspot.repl.pump"));
         // Crossing 1: the puller asks the follower-side agent for its
         // frontier — local in this simulation, but the latency is real.
         let from = follower.latest_seq().map(|s| s + 1).unwrap_or(1);
@@ -129,13 +141,21 @@ impl Replicator {
         self.clock.advance_ms(req_ms + resp_ms);
         let mut applied = 0u64;
         let mut duplicates = 0u64;
-        for record in &records {
-            match follower.apply_replica(record)? {
-                ReplicaApply::Applied => applied += 1,
-                ReplicaApply::Duplicate => duplicates += 1,
+        {
+            let _apply = prof.map(|p| p.scope_under("cspot.repl.pump", "apply"));
+            for record in &records {
+                match follower.apply_replica(record)? {
+                    ReplicaApply::Applied => applied += 1,
+                    ReplicaApply::Duplicate => duplicates += 1,
+                }
             }
         }
-        follower.sync()?;
+        {
+            // The follower's group-commit fsync — usually the round's
+            // dominant real (non-virtual) cost on durable backends.
+            let _sync = prof.map(|p| p.scope_under("cspot.repl.pump", "sync"));
+            follower.sync()?;
+        }
         Ok(PumpOutcome::Shipped {
             applied,
             duplicates,
@@ -326,6 +346,25 @@ mod tests {
                 got: 7
             }
         ));
+    }
+
+    #[test]
+    fn pump_rounds_land_in_the_profiler() {
+        let primary = mem_log(1 << 20);
+        let follower = mem_log(1 << 20);
+        for i in 1..=10 {
+            primary.append(&payload(i)).unwrap();
+        }
+        let obs = Obs::enabled();
+        let mut r = wired_replicator(5);
+        r.set_obs(&obs);
+        r.catch_up(&primary, &follower, 100).unwrap();
+        let snap = obs.profiler().unwrap().snapshot();
+        let pump = &snap.nodes["cspot.repl.pump"];
+        assert!(pump.calls >= 1);
+        assert!(snap.nodes.contains_key("cspot.repl.pump/apply"));
+        assert!(snap.nodes.contains_key("cspot.repl.pump/sync"));
+        assert!(pump.total_ns >= pump.child_ns);
     }
 
     #[test]

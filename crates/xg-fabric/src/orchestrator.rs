@@ -49,10 +49,13 @@ use xg_hpc::site::SiteProfile;
 use xg_laminar::change::{build_change_graph, ChangeDetector};
 use xg_laminar::runtime::LaminarRuntime;
 use xg_laminar::value::Value;
-use xg_obs::clock::secs_to_us;
+use xg_obs::clock::{secs_to_us, wall_now_us};
+use xg_obs::critical::{extract_critical, CriticalPath};
 use xg_obs::recorder::{dump_bundle, BundleContext};
 use xg_obs::slo::{Hysteresis, SloEventKind, SloOp, SloSpec, SloStat, SloWatchdog};
+use xg_obs::span::SpanRecord;
 use xg_obs::window::{MetricsWindow, WindowConfig};
+use xg_obs::ClockDomain;
 use xg_obs::{Obs, SpanId, TraceId};
 use xg_ric::Ric;
 use xg_sensors::breach::Breach;
@@ -185,6 +188,8 @@ struct FabricObs {
     ric_actions: Arc<xg_obs::Counter>,
     ric_held: Arc<xg_obs::Counter>,
     ric_stale_cells: Arc<xg_obs::Gauge>,
+    critical_total_ms: Arc<xg_obs::Histogram>,
+    critical_depth: Arc<xg_obs::Gauge>,
 }
 
 impl FabricObs {
@@ -203,7 +208,122 @@ impl FabricObs {
             ric_actions: reg.counter("fabric.ric.actions"),
             ric_held: reg.counter("fabric.ric.held"),
             ric_stale_cells: reg.gauge("fabric.ric.stale_cells"),
+            critical_total_ms: reg.histogram("fabric.cycle.critical.total_ms"),
+            critical_depth: reg.gauge("fabric.cycle.critical.depth"),
         })
+    }
+
+    /// Register `# HELP` texts for the fabric's headline instruments so a
+    /// scraped snapshot is self-describing.
+    fn register_help(reg: &xg_obs::MetricsRegistry) {
+        for (name, help) in [
+            ("fabric.report_cycles", "Report cycles completed"),
+            (
+                "fabric.cycle.transfer_ms",
+                "Virtual telemetry transfer latency per report cycle",
+            ),
+            (
+                "fabric.cycle.critical.total_ms",
+                "Wall-time length of the report cycle's critical path",
+            ),
+            (
+                "fabric.cycle.critical.depth",
+                "Steps on the most recent cycle's critical path",
+            ),
+            (
+                "fabric.degradation.level",
+                "Current degradation ladder level (0 nominal)",
+            ),
+            (
+                "fabric.gateway.backlog",
+                "Telemetry records parked at the field gateway",
+            ),
+        ] {
+            reg.set_help(name, help);
+        }
+    }
+}
+
+/// Per-cycle wall-span bookkeeping. Phase boundaries are captured as
+/// explicit timestamps during the cycle and flushed as one span tree at
+/// cycle end — root first, so every phase span can carry a parent link
+/// (the tracer assigns ids at record time). Inert when observability is
+/// disabled: every call reduces to one branch.
+struct CycleSpans {
+    obs: Obs,
+    trace: TraceId,
+    /// Tracer length at cycle start; `spans_from(mark)` is this cycle.
+    mark: usize,
+    root_start_us: u64,
+    phases: Vec<(&'static str, u64, u64)>,
+}
+
+impl CycleSpans {
+    fn begin(obs: &Obs) -> Self {
+        match obs.tracer() {
+            Some(t) => CycleSpans {
+                obs: obs.clone(),
+                trace: t.new_trace(),
+                mark: t.len(),
+                root_start_us: wall_now_us(),
+                phases: Vec::with_capacity(8),
+            },
+            None => CycleSpans {
+                obs: Obs::disabled(),
+                trace: 0,
+                mark: 0,
+                root_start_us: 0,
+                phases: Vec::new(),
+            },
+        }
+    }
+
+    /// Timestamp a phase start (0 when disabled).
+    fn start(&self) -> u64 {
+        if self.obs.is_enabled() {
+            wall_now_us()
+        } else {
+            0
+        }
+    }
+
+    /// Close a phase opened by [`CycleSpans::start`].
+    fn end(&mut self, name: &'static str, start_us: u64) {
+        if self.obs.is_enabled() {
+            self.phases.push((name, start_us, wall_now_us()));
+        }
+    }
+
+    /// Record the cycle's span tree and return this cycle's wall spans
+    /// (the tree just recorded plus any other spans of this trace).
+    fn flush(self) -> Option<(TraceId, Vec<SpanRecord>)> {
+        let tracer = self.obs.tracer()?;
+        let root = tracer.record_raw(
+            self.trace,
+            None,
+            "fabric.cycle",
+            ClockDomain::Wall,
+            self.root_start_us,
+            wall_now_us(),
+            vec![],
+        );
+        for (name, s, e) in &self.phases {
+            tracer.record_raw(
+                self.trace,
+                Some(root),
+                name,
+                ClockDomain::Wall,
+                *s,
+                *e,
+                vec![],
+            );
+        }
+        let spans: Vec<SpanRecord> = tracer
+            .spans_from(self.mark)
+            .into_iter()
+            .filter(|s| s.trace == self.trace)
+            .collect();
+        Some((self.trace, spans))
     }
 }
 
@@ -309,6 +429,9 @@ pub struct XgFabric {
     prev_delivered: u64,
     /// Black-box bundles dumped so far (paths in `blackbox_dir`).
     bundles: Vec<PathBuf>,
+    /// The most recent report cycle's wall-time critical path (enabled
+    /// `obs` only); attached to every black-box bundle.
+    last_critical: Option<CriticalPath>,
 }
 
 impl XgFabric {
@@ -344,8 +467,14 @@ impl XgFabric {
         // The RAN fleet gets its own seed stream so growing the topology
         // never perturbs the sensor or gateway RNGs.
         let ran = RanProbe::try_new(&config.ran, config.seed ^ 0x0052_414E, &config.obs)?;
-        let ric = config.ric.clone();
+        let mut ric = config.ric.clone();
+        if let Some(r) = &mut ric {
+            r.set_obs(&config.obs);
+        }
         let obs = FabricObs::new(&config.obs);
+        if let Some(reg) = config.obs.registry() {
+            FabricObs::register_help(reg);
+        }
         let (window, watchdog) = if config.obs.is_enabled() {
             (
                 Some(MetricsWindow::new(config.slo_window)),
@@ -412,6 +541,7 @@ impl XgFabric {
             prev_dropped: 0,
             prev_delivered: 0,
             bundles: Vec::new(),
+            last_critical: None,
         })
     }
 
@@ -498,17 +628,25 @@ impl XgFabric {
 
     /// Run one 300-second report cycle.
     pub fn run_report_cycle(&mut self) -> Result<(), FabricError> {
+        // One wall trace per cycle: phase boundaries are captured as
+        // timestamps and flushed into a span tree at the end, feeding the
+        // profiler's attribution tree and the cycle's critical path.
+        let mut cyc = CycleSpans::begin(&self.config.obs);
         self.t_s += self.config.report_interval_s;
         // Faults change state at report-cycle resolution; their downtime
         // accounting inside the plan stays exact regardless.
+        let ph = cyc.start();
         let changes = self.faults.advance_to(self.t_s);
         for c in &changes {
             self.apply_fault(c);
         }
+        cyc.end("fabric.faults.advance", ph);
         // Step the RAN fleet one probe batch: measured per-cell goodput
         // lands on the registry (feeding the SLO window) and the worst
         // cell lands on the timeline, every cycle.
+        let ph = cyc.start();
         let health = self.ran.probe();
+        cyc.end("fabric.ran.probe", ph);
         if let Some(worst) = health
             .iter()
             .min_by(|a, b| a.goodput_mbps.total_cmp(&b.goodput_mbps))
@@ -528,6 +666,7 @@ impl XgFabric {
         // itself is pure reads + resets; with zero xApps the whole block
         // emits nothing and the run is bitwise identical to a RIC-less
         // one.
+        let ph = cyc.start();
         if let Some(ric) = &mut self.ric {
             let mut fresh = self.ran.collect_indications();
             let ran = &self.ran;
@@ -554,11 +693,16 @@ impl XgFabric {
                 }
             }
         }
+        cyc.end("fabric.ric.step", ph);
+        let ph = cyc.start();
         let raw = self.net.poll();
         // Quality control before anything becomes a CFD boundary
         // condition (§2's data-calibration concern).
         let (records, _rejected) = self.qc.filter(&raw);
+        cyc.end("fabric.sense.poll", ph);
+        let ph = cyc.start();
         let cycle = self.gateway.ship_cycle(&records)?;
+        cyc.end("fabric.gateway.ship", ph);
         self.last_transfer_ms = cycle.latency_ms;
         if let Some(o) = &self.obs {
             o.report_cycles.inc();
@@ -570,16 +714,21 @@ impl XgFabric {
         });
         self.reports_done += 1;
         // Advance the HPC side, resubmit lost tasks, absorb completions.
+        let ph = cyc.start();
         self.hpc.advance_to(self.t_s);
         self.service_retries();
         self.service_completions();
+        cyc.end("fabric.hpc.advance", ph);
         // Measured SLO evaluation first, so this cycle's breach can move
         // the ladder this cycle (within the 300 s duty cycle).
+        let ph = cyc.start();
         self.observe_cycle(cycle.latency_ms);
         self.update_degradation(records.len());
+        cyc.end("fabric.slo.observe", ph);
         // 30-minute change-detection duty cycle, gated on telemetry that
         // actually reached the repository: a partition defers detection
         // instead of re-reading stale windows.
+        let ph = cyc.start();
         let repo_len = self.gateway.repo_wind_len();
         if self
             .reports_done
@@ -595,8 +744,47 @@ impl XgFabric {
                 self.deferred_check_since = Some(self.t_s);
             }
         }
+        cyc.end("fabric.change.detect", ph);
         self.track_impairment();
+        self.finish_cycle_profiling(cyc);
         Ok(())
+    }
+
+    /// Close the cycle's span tree, feed it to the profiler's
+    /// attribution tree, and extract this cycle's critical path (emitted
+    /// as `fabric.cycle.critical.*` and attached to black-box bundles).
+    fn finish_cycle_profiling(&mut self, cyc: CycleSpans) {
+        let obs = cyc.obs.clone();
+        let Some((trace, spans)) = cyc.flush() else {
+            return;
+        };
+        if let Some(prof) = obs.profiler() {
+            prof.record_trace(&spans);
+        }
+        let Some(path) = extract_critical(&spans, trace) else {
+            return;
+        };
+        if let Some(o) = &self.obs {
+            o.critical_total_ms.record(path.total_us as f64 / 1e3);
+            o.critical_depth.set(path.depth() as f64);
+        }
+        if let (Some(reg), Some(leaf)) = (obs.registry(), path.leaf()) {
+            // Which stage gated the cycle, and by how much of the cycle:
+            // a counter per leaf name (the set of names is the fixed
+            // phase list, so cardinality stays bounded) plus its
+            // self-time distribution.
+            reg.counter(&format!("fabric.cycle.critical.leaf.{}", leaf.name))
+                .inc();
+            reg.histogram("fabric.cycle.critical.leaf_self_ms")
+                .record(leaf.self_us as f64 / 1e3);
+        }
+        self.last_critical = Some(path);
+    }
+
+    /// The most recent report cycle's wall-time critical path (None until
+    /// a cycle has run with observability enabled).
+    pub fn last_critical(&self) -> Option<&CriticalPath> {
+        self.last_critical.as_ref()
     }
 
     /// Run `n` report cycles.
@@ -956,6 +1144,8 @@ impl XgFabric {
                 ("breached_slos".into(), breached),
                 ("gateway_backlog".into(), self.gateway.backlog().to_string()),
             ],
+            profile: self.config.obs.profiler().map(|p| p.snapshot()),
+            critical: self.last_critical.clone(),
         };
         if let Ok(path) = dump_bundle(dir, rec, snapshot.as_ref(), &ctx) {
             self.bundles.push(path);

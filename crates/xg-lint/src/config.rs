@@ -32,6 +32,9 @@ impl Config {
                 "crates/xg-fabric/src/",
                 "crates/xg-cspot/src/",
                 "crates/xg-sensors/src/",
+                // Offline span analytics: two runs of `xg-trace` over the
+                // same dump must render byte-identical reports.
+                "crates/xg-bench/src/trace.rs",
             ]),
             panicking_paths: s(&[
                 "crates/xg-net/src/",
@@ -102,7 +105,16 @@ mod tests {
         let c = Config::workspace();
         assert!(c.is_deterministic_path("crates/xg-net/src/mac.rs"));
         assert!(!c.is_deterministic_path("crates/xg-bench/src/bin/fig4_single_user.rs"));
+        assert!(c.is_deterministic_path("crates/xg-bench/src/trace.rs"));
         assert!(c.is_panicking_scope("crates/xg-obs/src/metrics.rs"));
+        // The profiler and critical-path modules ride the xg-obs prefix:
+        // in panicking scope, not wall-clock-exempt (they must take time
+        // through xg_obs::clock, never read it themselves).
+        assert!(c.is_panicking_scope("crates/xg-obs/src/profile.rs"));
+        assert!(!c.wall_allowlisted("crates/xg-obs/src/profile.rs"));
+        assert!(!c.wall_allowlisted("crates/xg-obs/src/critical.rs"));
+        // The xg-trace CLI is a bench bin: wall reads allowed there.
+        assert!(c.wall_allowlisted("crates/xg-bench/src/bin/xg_trace.rs"));
         assert!(!c.is_panicking_scope("crates/xg-laminar/src/graph.rs"));
         assert!(c.wall_allowlisted("crates/xg-obs/src/clock.rs"));
         assert!(c.wall_allowlisted("crates/xg-bench/src/bin/perf_trajectory.rs"));

@@ -186,6 +186,7 @@ impl RanFleetBuilder {
             cells: sims,
             workers: self.workers,
             obs: fleet_obs,
+            handle: self.obs,
         })
     }
 }
@@ -203,7 +204,19 @@ pub struct RanFleet {
     cells: Vec<LinkSimulator>,
     workers: usize,
     obs: Option<FleetObs>,
+    handle: Obs,
 }
+
+/// Profiler path of the wall-clock batch scope (one per stepped batch;
+/// per-cell work lands under `ran.fleet.batch/cell`).
+const PROF_BATCH: &str = "ran.fleet.batch";
+
+/// Profiler path of the deterministic sim-time surface: each cell
+/// records the simulated nanoseconds it advanced via
+/// [`xg_obs::Profiler::record_at`], which is integer addition into a
+/// path-keyed tree — so the merged attribution under this path is
+/// **bitwise identical** for serial and sharded execution.
+const PROF_SIM_CELL: &str = "ran.fleet.sim/cell";
 
 impl RanFleet {
     /// Start a staged [`RanFleetBuilder`] derived from `seed`.
@@ -323,22 +336,42 @@ impl RanFleet {
     /// execution order cannot influence any cell's RNG stream.
     pub fn run_seconds(&mut self, seconds: usize) -> Vec<CellBatch> {
         self.note_batch(seconds);
-        self.shard(|id, sim| CellBatch {
-            cell: id,
-            seconds: (0..seconds).map(|_| sim.run_second()).collect(),
+        let obs = self.handle.clone();
+        let prof = obs.profiler();
+        let _batch = prof.map(|p| p.scope(PROF_BATCH));
+        self.shard(|id, sim| {
+            let _cell = prof.map(|p| p.scope_under(PROF_BATCH, "cell"));
+            if let Some(p) = prof {
+                p.record_at(PROF_SIM_CELL, seconds as u64 * 1_000_000_000);
+            }
+            CellBatch {
+                cell: id,
+                seconds: (0..seconds).map(|_| sim.run_second()).collect(),
+            }
         })
     }
 
     /// Serial reference implementation of [`run_seconds`](Self::run_seconds)
     /// (the determinism oracle; also the fast path for 1-cell fleets).
+    /// Records the same profiler attribution as the sharded path, so the
+    /// merged `ran.fleet.sim` subtree is comparable across both.
     pub fn run_seconds_serial(&mut self, seconds: usize) -> Vec<CellBatch> {
         self.note_batch(seconds);
+        let obs = self.handle.clone();
+        let prof = obs.profiler();
+        let _batch = prof.map(|p| p.scope(PROF_BATCH));
         self.cells
             .iter_mut()
             .enumerate()
-            .map(|(i, sim)| CellBatch {
-                cell: CellId(i as u32),
-                seconds: (0..seconds).map(|_| sim.run_second()).collect(),
+            .map(|(i, sim)| {
+                let _cell = prof.map(|p| p.scope_under(PROF_BATCH, "cell"));
+                if let Some(p) = prof {
+                    p.record_at(PROF_SIM_CELL, seconds as u64 * 1_000_000_000);
+                }
+                CellBatch {
+                    cell: CellId(i as u32),
+                    seconds: (0..seconds).map(|_| sim.run_second()).collect(),
+                }
             })
             .collect()
     }
@@ -347,7 +380,17 @@ impl RanFleet {
     /// (background load between measurements), sharded like
     /// [`run_seconds`](Self::run_seconds).
     pub fn step_slots(&mut self, slots: usize) {
-        self.shard(|_, sim| sim.step_slots(slots));
+        let obs = self.handle.clone();
+        let prof = obs.profiler();
+        let _batch = prof.map(|p| p.scope(PROF_BATCH));
+        self.shard(|_, sim| {
+            let _cell = prof.map(|p| p.scope_under(PROF_BATCH, "cell"));
+            if let Some(p) = prof {
+                // One TTI is 1 ms of simulated time.
+                p.record_at(PROF_SIM_CELL, slots as u64 * 1_000_000);
+            }
+            sim.step_slots(slots)
+        });
     }
 
     fn note_batch(&self, seconds: usize) {
@@ -585,6 +628,47 @@ mod tests {
                 None
             )
             .is_err());
+    }
+
+    #[test]
+    fn sim_attribution_is_identical_serial_vs_parallel() {
+        let obs_p = Obs::enabled();
+        let obs_s = Obs::enabled();
+        let mut parallel = RanFleet::builder(9)
+            .cells(5, cell_5g_fdd20())
+            .workers(4)
+            .obs(&obs_p)
+            .build()
+            .unwrap();
+        let mut serial = RanFleet::builder(9)
+            .cells(5, cell_5g_fdd20())
+            .workers(4)
+            .obs(&obs_s)
+            .build()
+            .unwrap();
+        serial.set_workers(1);
+        parallel.run_seconds(2);
+        parallel.step_slots(100);
+        serial.run_seconds_serial(2);
+        serial.step_slots(100);
+        let sim_nodes = |obs: &Obs| {
+            let snap = obs.profiler().unwrap().snapshot();
+            snap.nodes
+                .into_iter()
+                .filter(|(path, _)| path.starts_with("ran.fleet.sim"))
+                .collect::<std::collections::BTreeMap<_, _>>()
+        };
+        let p = sim_nodes(&obs_p);
+        let s = sim_nodes(&obs_s);
+        // Wall-clock scopes differ run to run; the deterministic
+        // sim-time subtree must be bitwise equal (calls, totals,
+        // histogram buckets) regardless of sharding.
+        assert_eq!(p, s);
+        assert_eq!(p["ran.fleet.sim/cell"].calls, 10);
+        assert_eq!(
+            p["ran.fleet.sim/cell"].total_ns,
+            5 * 2 * 1_000_000_000 + 5 * 100 * 1_000_000
+        );
     }
 
     #[test]

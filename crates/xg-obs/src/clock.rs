@@ -45,6 +45,13 @@ pub fn wall_now_us() -> u64 {
     wall_epoch().elapsed().as_micros() as u64
 }
 
+/// Nanoseconds of wall time since the process epoch — the profiler's
+/// time base, kept here so every wall-clock read in the workspace stays
+/// inside this allowlisted module.
+pub fn wall_now_ns() -> u64 {
+    wall_epoch().elapsed().as_nanos() as u64
+}
+
 /// A clock that yields microsecond timestamps in one [`ClockDomain`].
 ///
 /// `Sim` clocks wrap a shared atomic counter so a discrete-event driver

@@ -5,8 +5,9 @@
 //! budget table is the §4.4 artifact: group a span stream by stage name
 //! and attribute the closed-loop latency per stage.
 
+use crate::clock::ClockDomain;
 use crate::metrics::MetricsSnapshot;
-use crate::span::SpanRecord;
+use crate::span::{SpanId, SpanRecord};
 use std::fmt::Write as _;
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -59,6 +60,210 @@ pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
     out
 }
 
+/// Parse a JSONL span dump back into [`SpanRecord`]s.
+///
+/// Accepts both formats this crate writes: raw [`spans_to_jsonl`] lines
+/// and black-box bundle lines (where span objects carry
+/// `"kind":"span"` and other kinds — meta, notes, metrics — interleave).
+/// Non-span and malformed lines are skipped rather than failing the
+/// file: a black box from a crashed run is exactly when partial data
+/// still matters. The parser is hand-rolled like the writer, keeping
+/// the crate dependency-free; it understands only the flat shape these
+/// exporters emit, not arbitrary JSON.
+pub fn parse_spans_jsonl(text: &str) -> Vec<SpanRecord> {
+    text.lines().filter_map(parse_span_line).collect()
+}
+
+struct Cursor<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.b.get(self.i)?;
+            self.i += 1;
+            match c {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let e = *self.b.get(self.i)?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.b.get(self.i..self.i + 4)?;
+                            self.i += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                c => {
+                    // Re-sync to char boundaries for multi-byte UTF-8.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.i - 1;
+                        let mut end = self.i;
+                        while end < self.b.len() && (self.b[end] & 0xC0) == 0x80 {
+                            end += 1;
+                        }
+                        out.push_str(std::str::from_utf8(self.b.get(start..end)?).ok()?);
+                        self.i = end;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A numeric token, permissively (integers, floats, exponents).
+    fn number(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let start = self.i;
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn literal(&mut self, word: &str) -> Option<()> {
+        self.skip_ws();
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    /// A `{"k":"v",...}` object of string values.
+    fn string_map(&mut self) -> Option<Vec<(String, String)>> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Some(out);
+        }
+        loop {
+            let k = self.string()?;
+            self.eat(b':')?;
+            let v = self.string()?;
+            out.push((k, v));
+            match self.peek()? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+fn parse_span_line(line: &str) -> Option<SpanRecord> {
+    let mut c = Cursor {
+        b: line.as_bytes(),
+        i: 0,
+    };
+    c.eat(b'{')?;
+    let (mut trace, mut id, mut start, mut end) = (None, None, None, None);
+    let mut parent: Option<SpanId> = None;
+    let (mut name, mut clock) = (None, None);
+    let mut attrs = Vec::new();
+    if c.peek() == Some(b'}') {
+        return None;
+    }
+    loop {
+        let key = c.string()?;
+        c.eat(b':')?;
+        match key.as_str() {
+            "kind" => {
+                // Bundle lines: only span objects are spans; everything
+                // else (meta/note/metrics) is skipped wholesale.
+                if c.string()? != "span" {
+                    return None;
+                }
+            }
+            "trace" => trace = Some(c.number()? as u64),
+            "span" => id = Some(c.number()? as u64),
+            "parent" => {
+                parent = match c.peek()? {
+                    b'n' => {
+                        c.literal("null")?;
+                        None
+                    }
+                    _ => Some(c.number()? as u64),
+                }
+            }
+            "name" => name = Some(c.string()?),
+            "clock" => clock = Some(c.string()?),
+            "start_us" => start = Some(c.number()? as u64),
+            "end_us" => end = Some(c.number()? as u64),
+            "attrs" => attrs = c.string_map()?,
+            _ => return None, // not a shape these exporters write
+        }
+        match c.peek()? {
+            b',' => c.i += 1,
+            b'}' => break,
+            _ => return None,
+        }
+    }
+    let domain = match clock?.as_str() {
+        "sim" => ClockDomain::Sim,
+        "wall" => ClockDomain::Wall,
+        _ => return None,
+    };
+    Some(SpanRecord {
+        trace: trace?,
+        id: id?,
+        parent,
+        name: name?,
+        domain,
+        start_us: start?,
+        end_us: end?,
+        attrs,
+    })
+}
+
 /// Sanitize a metric name into the Prometheus charset.
 fn prom_name(name: &str) -> String {
     name.chars()
@@ -76,17 +281,28 @@ fn prom_name(name: &str) -> String {
 /// counters and gauges verbatim, histograms as summaries with
 /// p50/p90/p99 quantile series plus `_count`/`_sum`/`_max`.
 pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    // HELP text is escaped per the exposition format: backslash and
+    // newline only (HELP values may contain anything else verbatim).
+    let help_line = |out: &mut String, name: &str, n: &str| {
+        if let Some(h) = snap.help.get(name) {
+            let escaped = h.replace('\\', "\\\\").replace('\n', "\\n");
+            let _ = writeln!(out, "# HELP {n} {escaped}");
+        }
+    };
     let mut out = String::new();
     for (name, v) in &snap.counters {
         let n = prom_name(name);
+        help_line(&mut out, name, &n);
         let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
     }
     for (name, v) in &snap.gauges {
         let n = prom_name(name);
+        help_line(&mut out, name, &n);
         let _ = writeln!(out, "# TYPE {n} gauge\n{n} {v}");
     }
     for (name, h) in &snap.histograms {
         let n = prom_name(name);
+        help_line(&mut out, name, &n);
         let _ = writeln!(out, "# TYPE {n} summary");
         // An empty histogram has no quantiles or max; emitting NaN breaks
         // most scrapers, so only `_count`/`_sum` appear until data lands.
@@ -282,6 +498,68 @@ mod tests {
         let rendered = render_budget_table(&rows);
         assert!(rendered.contains("cfd.solve"));
         assert!(rendered.contains("queue.mask"));
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_the_parser() {
+        let spans = sample_spans();
+        let parsed = parse_spans_jsonl(&spans_to_jsonl(&spans));
+        assert_eq!(parsed, spans);
+    }
+
+    #[test]
+    fn parser_reads_bundle_lines_and_skips_other_kinds() {
+        let rec = crate::recorder::FlightRecorder::new(64);
+        rec.note(5, "a note line");
+        for s in sample_spans() {
+            rec.record_span(s);
+        }
+        let reg = MetricsRegistry::new();
+        reg.counter("c").inc();
+        reg.histogram("h_ms").record(1.0);
+        let ctx = crate::recorder::BundleContext {
+            reason: "unit".into(),
+            t_s: -1.0,
+            seed: 9,
+            context: vec![("k".into(), "v".into())],
+            ..Default::default()
+        };
+        let text = crate::recorder::render_bundle(&rec, Some(&reg.snapshot()), &ctx);
+        let parsed = parse_spans_jsonl(&text);
+        assert_eq!(parsed, sample_spans());
+    }
+
+    #[test]
+    fn parser_skips_malformed_lines() {
+        let good = spans_to_jsonl(&sample_spans());
+        let noisy = format!("not json\n{good}{{\"trace\":1}}\n{{}}\n");
+        assert_eq!(parse_spans_jsonl(&noisy).len(), 3);
+    }
+
+    #[test]
+    fn help_lines_render_only_when_registered() {
+        let reg = MetricsRegistry::new();
+        reg.counter("loop.cycles").add(7);
+        reg.gauge("level").set(1.0);
+        reg.histogram("lat_ms").record(2.0);
+        let without = prometheus_text(&reg.snapshot());
+        assert!(!without.contains("# HELP"), "byte-compatible when no help");
+        reg.set_help("loop.cycles", "Report cycles completed");
+        reg.set_help("lat_ms", "End-to-end latency\nmultiline");
+        let with = prometheus_text(&reg.snapshot());
+        assert!(
+            with.contains("# HELP loop_cycles Report cycles completed\n# TYPE loop_cycles counter")
+        );
+        assert!(with.contains("# HELP lat_ms End-to-end latency\\nmultiline"));
+        // Unhelped instruments render exactly as before: stripping the
+        // HELP lines recovers the original output byte-for-byte.
+        assert!(with.contains("# TYPE level gauge\nlevel 1"));
+        let stripped: String = with
+            .lines()
+            .filter(|l| !l.starts_with("# HELP"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, without);
     }
 
     #[test]

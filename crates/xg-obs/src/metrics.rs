@@ -134,8 +134,10 @@ pub struct Histogram {
     stripes: Vec<Mutex<HistCore>>,
 }
 
-/// Round-robin stripe assignment, one slot per thread.
-fn stripe_slot() -> usize {
+/// Round-robin stripe assignment, one slot per thread. Shared with the
+/// profiler so every striped structure in the crate agrees on a
+/// thread's slot.
+pub(crate) fn stripe_slot() -> usize {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
     thread_local! {
         static SLOT: usize = NEXT.fetch_add(1, Ordering::Relaxed);
@@ -362,6 +364,7 @@ enum Instrument {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     shards: [RwLock<HashMap<String, Instrument>>; REGISTRY_SHARDS],
+    help: RwLock<BTreeMap<String, String>>,
 }
 
 fn shard_of(name: &str) -> usize {
@@ -448,10 +451,25 @@ impl MetricsRegistry {
         )
     }
 
+    /// Register a one-line help text for an instrument name, surfaced by
+    /// the Prometheus exporter as a `# HELP` line. Optional: names with
+    /// no registered help render exactly as before. Last write wins.
+    pub fn set_help(&self, name: &str, help: &str) {
+        self.help.write().insert(name.to_string(), help.to_string());
+    }
+
+    /// The registered help text for a name, if any.
+    pub fn help(&self, name: &str) -> Option<String> {
+        self.help.read().get(name).cloned()
+    }
+
     /// A point-in-time snapshot of every registered instrument, sorted
     /// by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let mut snap = MetricsSnapshot::default();
+        let mut snap = MetricsSnapshot {
+            help: self.help.read().clone(),
+            ..MetricsSnapshot::default()
+        };
         for shard in &self.shards {
             for (name, inst) in shard.read().iter() {
                 match inst {
@@ -480,6 +498,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram snapshots by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Registered help texts by name (optional; often empty).
+    pub help: BTreeMap<String, String>,
 }
 
 #[cfg(test)]

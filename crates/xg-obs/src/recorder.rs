@@ -7,14 +7,19 @@
 //! entry count so an unattended soak can run forever without growing.
 //! When something goes wrong — SLO breach, injected-fault window, or a
 //! panic — [`dump_bundle`] writes a self-contained JSONL diagnostic
-//! bundle (schema `xg-blackbox/v1`): one meta line with the trigger
+//! bundle (schema `xg-blackbox/v2`): one meta line with the trigger
 //! reason, seed, and run context, then the buffered notes, the spans in
-//! causal parent-before-child order, and a metrics snapshot. Bundles are
-//! written via temp-file + atomic rename so a crash mid-dump cannot leave
-//! a truncated file that parses as a complete one.
+//! causal parent-before-child order, the wall-time attribution tree and
+//! last critical path when the caller supplies them, and a metrics
+//! snapshot. Bundles are written via temp-file + atomic rename so a
+//! crash mid-dump cannot leave a truncated file that parses as a
+//! complete one. (v2 is a strict superset of v1: the new `profile` and
+//! `critical` line kinds are optional, every v1 line is unchanged.)
 
+use crate::critical::CriticalPath;
 use crate::export::json_escape;
 use crate::metrics::MetricsSnapshot;
+use crate::profile::ProfileSnapshot;
 use crate::span::{SpanId, SpanRecord};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -204,7 +209,14 @@ pub struct BundleContext {
     pub seed: u64,
     /// Free-form key/value context (active faults, breached SLOs, …).
     pub context: Vec<(String, String)>,
+    /// Wall-time attribution tree at dump time, if the caller profiles.
+    pub profile: Option<ProfileSnapshot>,
+    /// The most recent report cycle's critical path, if extracted.
+    pub critical: Option<CriticalPath>,
 }
+
+/// The bundle schema version this module writes.
+pub const BUNDLE_SCHEMA: &str = "xg-blackbox/v2";
 
 fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
@@ -214,9 +226,10 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-/// Render the bundle JSONL (schema `xg-blackbox/v1`) without touching the
-/// filesystem. Line 1 is the meta object; then notes, spans in causal
-/// order, and the metrics snapshot, one object per line.
+/// Render the bundle JSONL (schema [`BUNDLE_SCHEMA`]) without touching
+/// the filesystem. Line 1 is the meta object; then notes, spans in
+/// causal order, the optional profile tree and critical path, and the
+/// metrics snapshot, one object per line.
 pub fn render_bundle(
     recorder: &FlightRecorder,
     metrics: Option<&MetricsSnapshot>,
@@ -225,7 +238,7 @@ pub fn render_bundle(
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"kind\":\"meta\",\"schema\":\"xg-blackbox/v1\",\"reason\":\"{}\",\"t_s\":{},\"seed\":{},\"entries\":{},\"dropped\":{},\"context\":{{",
+        "{{\"kind\":\"meta\",\"schema\":\"{BUNDLE_SCHEMA}\",\"reason\":\"{}\",\"t_s\":{},\"seed\":{},\"entries\":{},\"dropped\":{},\"context\":{{",
         json_escape(&ctx.reason),
         fmt_f64(ctx.t_s),
         ctx.seed,
@@ -274,6 +287,41 @@ pub fn render_bundle(
             let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
         }
         out.push_str("}}\n");
+    }
+    if let Some(prof) = &ctx.profile {
+        for (path, n) in &prof.nodes {
+            let _ = writeln!(
+                out,
+                "{{\"kind\":\"profile\",\"path\":\"{}\",\"calls\":{},\"total_ns\":{},\"self_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                json_escape(path),
+                n.calls,
+                n.total_ns,
+                n.self_ns(),
+                fmt_f64(n.hist.quantile(0.5).unwrap_or(f64::NAN)),
+                fmt_f64(n.hist.quantile(0.99).unwrap_or(f64::NAN)),
+            );
+        }
+    }
+    if let Some(path) = &ctx.critical {
+        let _ = write!(
+            out,
+            "{{\"kind\":\"critical\",\"trace\":{},\"total_us\":{},\"steps\":[",
+            path.trace, path.total_us
+        );
+        for (i, s) in path.steps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"duration_us\":{},\"self_us\":{},\"slack_us\":{}}}",
+                json_escape(&s.name),
+                s.duration_us,
+                s.self_us,
+                s.slack_us
+            );
+        }
+        out.push_str("]}\n");
     }
     if let Some(snap) = metrics {
         for (name, v) in &snap.counters {
@@ -345,6 +393,7 @@ pub fn install_panic_hook(recorder: Arc<FlightRecorder>, dir: PathBuf, seed: u64
             t_s: -1.0,
             seed,
             context: vec![("panic".to_string(), info.to_string())],
+            ..Default::default()
         };
         let _ = dump_bundle(&dir, &recorder, None, &ctx);
         prev(info);
@@ -428,10 +477,11 @@ mod tests {
             t_s: 600.0,
             seed: 7,
             context: vec![("slo".to_string(), "p99(lat_ms) < 10".to_string())],
+            ..Default::default()
         };
         let text = render_bundle(&rec, Some(&reg.snapshot()), &ctx);
         let lines: Vec<&str> = text.trim_end().lines().collect();
-        assert!(lines[0].contains("\"schema\":\"xg-blackbox/v1\""));
+        assert!(lines[0].contains("\"schema\":\"xg-blackbox/v2\""));
         assert!(lines[0].contains("\"seed\":7"));
         assert!(lines[0].contains("slo-breach"));
         assert!(lines.iter().any(|l| l.contains("\"kind\":\"note\"")));
@@ -442,6 +492,47 @@ mod tests {
             .iter()
             .any(|l| l.contains("\"kind\":\"counter\"") && l.contains("\"value\":3")));
         assert!(lines.iter().any(|l| l.contains("\"kind\":\"histogram\"")));
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "bad line {l}");
+        }
+    }
+
+    #[test]
+    fn v2_bundle_carries_profile_and_critical_lines() {
+        let rec = FlightRecorder::new(16);
+        rec.record_span(span(1, 1, None, "fabric.cycle"));
+        let prof = crate::profile::Profiler::with_stripes(1);
+        prof.record_at("cycle/ran.probe", 240_000);
+        prof.record_at("cycle", 351_000);
+        let critical = crate::critical::extract_critical(&rec.ordered_spans(), 1);
+        let ctx = BundleContext {
+            reason: "report-cycle".to_string(),
+            t_s: 300.0,
+            seed: 42,
+            context: vec![],
+            profile: Some(prof.snapshot()),
+            critical,
+        };
+        let text = render_bundle(&rec, None, &ctx);
+        let lines: Vec<&str> = text.trim_end().lines().collect();
+        let prof_lines: Vec<&&str> = lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"profile\""))
+            .collect();
+        assert_eq!(prof_lines.len(), 2);
+        assert!(prof_lines.iter().any(
+            |l| l.contains("\"path\":\"cycle/ran.probe\"") && l.contains("\"total_ns\":240000")
+        ));
+        // Parent self-time = total − child.
+        assert!(prof_lines
+            .iter()
+            .any(|l| l.contains("\"path\":\"cycle\"") && l.contains("\"self_ns\":111000")));
+        let crit = lines
+            .iter()
+            .find(|l| l.contains("\"kind\":\"critical\""))
+            .expect("critical line");
+        assert!(crit.contains("\"trace\":1"));
+        assert!(crit.contains("\"name\":\"fabric.cycle\""));
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "bad line {l}");
         }

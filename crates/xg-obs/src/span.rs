@@ -159,6 +159,14 @@ impl Tracer {
         self.spans.lock().clone()
     }
 
+    /// Clone out the spans recorded at index `start` and later. Pairing
+    /// this with [`len`](Tracer::len) taken at cycle start gives O(cycle)
+    /// per-cycle extraction instead of re-cloning the whole run.
+    pub fn spans_from(&self, start: usize) -> Vec<SpanRecord> {
+        let spans = self.spans.lock();
+        spans.get(start.min(spans.len())..).unwrap_or(&[]).to_vec()
+    }
+
     /// Drain every recorded span.
     pub fn take_spans(&self) -> Vec<SpanRecord> {
         std::mem::take(&mut *self.spans.lock())

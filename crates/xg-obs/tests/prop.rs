@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use xg_obs::clock::ClockDomain;
-use xg_obs::{FlightRecorder, Histogram, HistogramConfig, SpanRecord};
+use xg_obs::{FlightRecorder, Histogram, HistogramConfig, ProfileSnapshot, Profiler, SpanRecord};
 
 /// Exact nearest-rank quantile of a sorted sample vector, matching the
 /// rank convention `HistogramSnapshot::quantile` documents.
@@ -69,6 +69,90 @@ proptest! {
             merged.merge(&s.snapshot());
         }
         prop_assert_eq!(merged, single.snapshot());
+    }
+
+    /// Merging per-shard snapshots is order-independent — forward and
+    /// reverse merge orders answer every quantile identically — and the
+    /// merged result stays quantile-equivalent (within the configured
+    /// relative error) to the exact stream, for arbitrary float streams
+    /// where f64 sums are *not* exact.
+    #[test]
+    fn shard_merge_order_independent_and_quantile_equivalent(
+        values in proptest::collection::vec(1e-3f64..1e7, 1..300),
+        assignment in proptest::collection::vec(0usize..4, 300),
+        rel_err in 0.005f64..0.05,
+    ) {
+        let cfg = HistogramConfig { rel_err, stripes: 1 };
+        let shards: Vec<Histogram> = (0..4).map(|_| Histogram::with_config(cfg)).collect();
+        for (i, &v) in values.iter().enumerate() {
+            shards[assignment[i]].record(v);
+        }
+        let snaps: Vec<_> = shards.iter().map(Histogram::snapshot).collect();
+        let mut fwd = snaps[0].clone();
+        for s in &snaps[1..] {
+            fwd.merge(s);
+        }
+        let mut rev = snaps[3].clone();
+        for s in snaps[..3].iter().rev() {
+            rev.merge(s);
+        }
+        // Bucket counts and extremes add commutatively, so every
+        // quantile answer is identical whichever order shards merge in.
+        prop_assert_eq!(fwd.count(), rev.count());
+        prop_assert_eq!(fwd.min(), rev.min());
+        prop_assert_eq!(fwd.max(), rev.max());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(fwd.quantile(q), rev.quantile(q));
+        }
+        // And the merged view answers quantiles within the accuracy one
+        // histogram over the whole stream guarantees.
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = fwd.quantile(q).unwrap();
+            let exact = exact_quantile(&sorted, q);
+            prop_assert!(
+                (est - exact).abs() <= rel_err * exact * 1.0001,
+                "q={} est={} exact={} rel_err={}",
+                q, est, exact, rel_err
+            );
+        }
+    }
+
+    /// The profiler's attribution tree has the same property: per-shard
+    /// snapshots merged in any order are bitwise identical to the tree
+    /// one profiler builds from the whole stream — the invariant that
+    /// makes parallel-fleet attribution comparable to serial.
+    #[test]
+    fn profile_shard_merge_is_order_independent(
+        durs in proptest::collection::vec(1u64..1_000_000, 1..200),
+        assignment in proptest::collection::vec(0usize..3, 200),
+        path_pick in proptest::collection::vec(0usize..5, 200),
+    ) {
+        const PATHS: [&str; 5] = [
+            "cycle",
+            "cycle/ran.probe",
+            "cycle/gateway.ship",
+            "cycle/ran.probe/cell",
+            "hpc.advance",
+        ];
+        let shards: Vec<Profiler> = (0..3).map(|_| Profiler::with_stripes(1)).collect();
+        let all = Profiler::with_stripes(1);
+        for (i, &d) in durs.iter().enumerate() {
+            let path = PATHS[path_pick[i]];
+            shards[assignment[i]].record_at(path, d);
+            all.record_at(path, d);
+        }
+        let mut fwd = ProfileSnapshot::default();
+        for s in &shards {
+            fwd.merge(&s.snapshot());
+        }
+        let mut rev = ProfileSnapshot::default();
+        for s in shards.iter().rev() {
+            rev.merge(&s.snapshot());
+        }
+        prop_assert_eq!(&fwd, &rev);
+        prop_assert_eq!(fwd, all.snapshot());
     }
 }
 

@@ -176,6 +176,7 @@ pub struct Ric {
     xapps: Vec<Registered>,
     cache: BTreeMap<u32, CellIndication>,
     last_seen: BTreeMap<u32, u64>,
+    obs: xg_obs::Obs,
 }
 
 impl Ric {
@@ -189,7 +190,16 @@ impl Ric {
             xapps: Vec::new(),
             cache: BTreeMap::new(),
             last_seen: BTreeMap::new(),
+            obs: xg_obs::Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle: each period lands in the profiler
+    /// as `ric.step`, with per-xApp compute attributed under
+    /// `ric.step/<xapp-name>`. Profiling only reads clocks — the engine's
+    /// action stream stays bitwise deterministic.
+    pub fn set_obs(&mut self, obs: &xg_obs::Obs) {
+        self.obs = obs.clone();
     }
 
     /// Register an xApp. Later registrations are higher priority in
@@ -232,6 +242,9 @@ impl Ric {
     /// With zero registered xApps this is a pure bookkeeping step that
     /// emits nothing — the no-op contract the replay tests pin down.
     pub fn step(&mut self, fresh: Vec<CellIndication>, t_s: f64) -> RicOutcome {
+        let handle = self.obs.clone();
+        let prof = handle.profiler();
+        let _period = prof.map(|p| p.scope("ric.step"));
         self.seq += 1;
         for ind in fresh {
             self.last_seen.insert(ind.cell, self.seq);
@@ -264,6 +277,7 @@ impl Ric {
         for (index, reg) in self.xapps.iter_mut().enumerate() {
             reg.ctx.period = self.seq;
             let name = reg.app.name();
+            let _xapp = prof.map(|p| p.scope_under("ric.step", name));
             for action in reg.app.on_indication(&mut reg.ctx, &indication) {
                 emitted.push(Emitted {
                     xapp_index: index,

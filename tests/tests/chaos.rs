@@ -249,7 +249,7 @@ fn slo_watchdog_alone_degrades_and_recovers_with_black_box_evidence() {
         .iter()
         .map(|p| std::fs::read_to_string(p).unwrap())
         .collect();
-    assert!(all.contains("\"schema\":\"xg-blackbox/v1\""));
+    assert!(all.contains("\"schema\":\"xg-blackbox/v2\""));
     assert!(all.contains("ran-degradation"), "fault context in bundles");
     assert!(all.contains("slo breached"), "breach note in bundles");
     assert!(

@@ -146,6 +146,7 @@ fn blackbox_bundle_survives_process_death() {
                 t_s: 2.5,
                 seed: 42,
                 context: vec![("site".into(), "UNL".into())],
+                ..Default::default()
             },
         );
         bundle_len = bundle.len();
@@ -160,10 +161,10 @@ fn blackbox_bundle_survives_process_death() {
     assert_eq!(recovered.len(), bundle_len);
     assert!(recovered.contains("chaos: injected power loss"));
     assert!(recovered.contains("uplink degraded"));
-    assert!(recovered.contains("xg-blackbox/v1"));
+    assert!(recovered.contains("xg-blackbox/v2"));
 
     // A second bundle supersedes the first.
-    node.persist_blackbox("{\"schema\":\"xg-blackbox/v1\",\"reason\":\"second\"}")
+    node.persist_blackbox("{\"schema\":\"xg-blackbox/v2\",\"reason\":\"second\"}")
         .unwrap();
     let node = CspotNode::durable_with_storage("UNL", &dir, chaos_config());
     let latest = node.recovered_blackbox().unwrap().unwrap();
