@@ -20,7 +20,7 @@ fn sim_second(c: &mut Criterion) {
                     .unwrap();
                 sim
             },
-            |mut sim| sim.run_second(),
+            |mut sim| sim.measure_second(),
             BatchSize::SmallInput,
         )
     });
@@ -42,7 +42,7 @@ fn sim_second(c: &mut Criterion) {
                 }
                 sim
             },
-            |mut sim| sim.run_second(),
+            |mut sim| sim.measure_second(),
             BatchSize::SmallInput,
         )
     });

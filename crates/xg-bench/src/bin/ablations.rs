@@ -264,7 +264,7 @@ fn dynamic_vs_static_slicing(csv: &mut String, seed: u64) {
         let mut video_total = 0.0;
         let seconds = 20;
         for _ in 0..seconds {
-            let results = sim.run_second();
+            let results = sim.measure_second();
             for (h, m) in results {
                 if h == uploader {
                     upload_total += m;
@@ -333,7 +333,11 @@ fn vote_thresholds(csv: &mut String, seed: u64) {
             }
             // 6 reports per check.
             for _ in 0..6 {
-                let reports = net.poll();
+                let _ =
+                    net.advance_to(net.now().saturating_add(SimNs::from_secs_f64(
+                        xg_sensors::network::REPORT_INTERVAL_S,
+                    )));
+                let reports = net.take_reports();
                 let mean =
                     reports.iter().map(|r| r.wind_speed_ms).sum::<f64>() / reports.len() as f64;
                 history.push(mean);

@@ -97,10 +97,10 @@ fn sweep_point(seed: u64, cells: usize, ues_per_cell: usize, repeats: usize) -> 
     let mut bitwise_identical = true;
     for _ in 0..repeats {
         let start = Instant::now();
-        let a = serial.run_seconds_serial(1);
+        let a = serial.measure_seconds(1);
         serial_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
         let start = Instant::now();
-        let b = parallel.run_seconds(1);
+        let b = parallel.measure_seconds(1);
         parallel_ms.push(start.elapsed().as_secs_f64() * 1_000.0);
         bitwise_identical &= fingerprint(&a) == fingerprint(&b);
         for batch in &a {

@@ -19,6 +19,14 @@
 //! * `fleet_cell_second_ms` — one cell-second of batched TTI stepping
 //!   across a 4-cell RAN fleet (serial shard, so the number tracks the
 //!   per-cell cost rather than the host's core count);
+//! * `event_step_us` — one scheduled event through the xg-sim calendar
+//!   queue (pop + recurring re-push) under a mixed near/far-horizon
+//!   workload — the per-event overhead every engine drain pays;
+//! * `idle_hour_ms` — one idle-heavy simulated hour (a quiet weather
+//!   cell reporting 48 bytes per 300 s) through the event engine's
+//!   `advance_to`; the probe also gates on the idle-skip speedup over
+//!   the stepped reference engine, failing the run if skipping idle
+//!   TTIs stops paying for itself;
 //! * `cycle_wall_ms` — one full orchestrated report cycle, wall clock,
 //!   with `cycle_transfer_virtual_ms` (deterministic virtual time) from
 //!   the same run as a machine-independent companion;
@@ -224,10 +232,93 @@ fn bench_fleet_step(seed: u64) -> Summary {
     let mut samples = Vec::with_capacity(batches);
     for _ in 0..batches {
         let start = Instant::now();
-        fleet.run_seconds(1);
+        fleet.measure_seconds(1);
         samples.push(start.elapsed().as_secs_f64() * 1_000.0 / CELLS as f64);
     }
     summarize("fleet_cell_second_ms", "ms", samples)
+}
+
+fn bench_event_step() -> Summary {
+    use xg_sim::{EventQueue, SimNs};
+    // Four recurring sources with co-prime-ish periods: three churn the
+    // wheel at TTI-to-millisecond scale, the fourth lives in the
+    // overflow (a 300 s report timer) so every sample exercises both
+    // halves of the calendar queue.
+    let periods: [u64; 4] = [1_000_000, 3_000_000, 7_000_000, 300_000_000_000];
+    let mut q = EventQueue::with_layout(1_000_000, 1024);
+    for (i, p) in periods.iter().enumerate() {
+        q.push(SimNs(*p), i as u32, i);
+    }
+    const BATCH: usize = 1_024;
+    let batches = scaled(64);
+    let mut samples = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            let ev = q.pop_due(SimNs(u64::MAX)).expect("sources recur forever");
+            q.push(
+                SimNs(ev.at.0 + periods[ev.source as usize]),
+                ev.source,
+                ev.payload,
+            );
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / 1_000.0 / BATCH as f64);
+    }
+    summarize("event_step_us", "us", samples)
+}
+
+/// A quiet weather-station cell: one UE trickling 48 bytes per 300 s.
+fn quiet_cell(seed: u64) -> LinkSimulator {
+    let cell = CellConfig::new(Rat::Nr5g, Duplex::Fdd, MHz(20.0));
+    let mut sim = LinkSimulator::try_new(cell, seed).expect("paper cell config is valid");
+    let ue = sim
+        .attach(
+            DeviceClass::RaspberryPi,
+            Modem::paper_default(DeviceClass::RaspberryPi, Rat::Nr5g),
+        )
+        .expect("attach");
+    sim.set_traffic(
+        ue,
+        TrafficModel::Periodic {
+            payload_bytes: 48,
+            interval_s: 300.0,
+        },
+    )
+    .expect("known ue");
+    sim
+}
+
+fn bench_idle_skip(seed: u64) -> Summary {
+    // One idle-heavy simulated hour per sample: the event engine
+    // executes only the ~12 report arrivals and skips the other ~3.6M
+    // TTIs in O(1) jumps, so the wall cost is O(events).
+    let rounds = scaled(8).max(2);
+    let mut samples = Vec::with_capacity(rounds);
+    for i in 0..rounds {
+        let mut sim = quiet_cell(seed.wrapping_add(i as u64));
+        let start = Instant::now();
+        sim.advance_to(SimNs::from_secs(3_600)).expect("infallible");
+        samples.push(start.elapsed().as_secs_f64() * 1_000.0);
+        std::hint::black_box(sim.active_slots());
+    }
+    // The speedup gate: the same quiet minute through the stepped
+    // reference engine must cost decisively more than through the event
+    // engine, or idle skipping has silently stopped working.
+    let mut event = quiet_cell(seed);
+    let start = Instant::now();
+    event.advance_to(SimNs::from_secs(60)).expect("infallible");
+    let event_s = start.elapsed().as_secs_f64().max(1e-9);
+    let mut stepped = quiet_cell(seed);
+    let start = Instant::now();
+    stepped.advance_to_stepped(SimNs::from_secs(60));
+    let stepped_s = start.elapsed().as_secs_f64();
+    let speedup = stepped_s / event_s;
+    eprintln!("    idle-skip speedup over stepped: {speedup:.0}x");
+    assert!(
+        speedup >= 5.0,
+        "idle-skip must beat the stepped engine by >=5x on an idle minute, got {speedup:.1}x"
+    );
+    summarize("idle_hour_ms", "ms", samples)
 }
 
 fn bench_closed_loop(seed: u64) -> (Summary, Summary) {
@@ -510,6 +601,10 @@ fn run_probes(seed: u64) -> Vec<Summary> {
     out.push(bench_cfd_sweep());
     eprintln!("  fleet step ...");
     out.push(bench_fleet_step(seed));
+    eprintln!("  event step ...");
+    out.push(bench_event_step());
+    eprintln!("  idle skip ...");
+    out.push(bench_idle_skip(seed));
     eprintln!("  closed loop ...");
     let (wall, virt) = bench_closed_loop(seed);
     out.push(wall);

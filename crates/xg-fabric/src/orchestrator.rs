@@ -63,6 +63,7 @@ use xg_sensors::facility::CupsFacility;
 use xg_sensors::network::{BoundaryConditions, SensorNetwork};
 use xg_sensors::qc::QcScreen;
 use xg_sensors::telemetry::TelemetryRecord;
+use xg_sim::{Advance, EventQueue, SimNs};
 
 /// Full-fabric configuration.
 #[derive(Debug, Clone)]
@@ -327,6 +328,58 @@ impl CycleSpans {
     }
 }
 
+/// One phase of the report cycle, registered as a recurring event
+/// source on the fabric's calendar queue. Registration order (the
+/// [`PHASES`] table, mirroring how xg-ric registers xApps) fixes the
+/// source id, and the scheduler's `(time, source, seq)` tie-break
+/// replays the phases of a coincident cycle instant in exactly this
+/// order — so one [`Advance::advance_to`] drain reproduces the legacy
+/// `run_report_cycle` body statement for statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FabricPhase {
+    /// Advance the fault plan and apply state changes.
+    Faults,
+    /// Burst-probe the RAN fleet; worst cell lands on the timeline.
+    RanProbe,
+    /// Deliver E2 indications to the RIC and apply its actions.
+    RicStep,
+    /// Drain the sensor network's report round through QC.
+    SensePoll,
+    /// Ship the cycle's records through the field gateway.
+    GatewayShip,
+    /// Advance the HPC sites; service retries and completions.
+    HpcAdvance,
+    /// Evaluate measured SLOs and move the degradation ladder.
+    SloObserve,
+    /// The 30-minute change-detection duty cycle (internally gated).
+    ChangeDetect,
+    /// Close the cycle: impairment tracking and span-tree flush.
+    CycleClose,
+}
+
+/// The cycle's phases in registration order (= event-source id order).
+const PHASES: [FabricPhase; 9] = [
+    FabricPhase::Faults,
+    FabricPhase::RanProbe,
+    FabricPhase::RicStep,
+    FabricPhase::SensePoll,
+    FabricPhase::GatewayShip,
+    FabricPhase::HpcAdvance,
+    FabricPhase::SloObserve,
+    FabricPhase::ChangeDetect,
+    FabricPhase::CycleClose,
+];
+
+/// Per-cycle scratch threaded between the phase events of one cycle
+/// instant: opened by `Faults`, closed (taken) by `CycleClose`.
+struct CycleScratch {
+    cyc: CycleSpans,
+    /// QC-passed records of this cycle's report round.
+    records: Vec<TelemetryRecord>,
+    /// Transfer latency the gateway measured shipping them (ms).
+    latency_ms: f64,
+}
+
 /// Captured trigger context for one CFD run, including the resolution
 /// chosen by the degradation ladder at trigger time.
 struct PendingCfd {
@@ -432,6 +485,14 @@ pub struct XgFabric {
     /// The most recent report cycle's wall-time critical path (enabled
     /// `obs` only); attached to every black-box bundle.
     last_critical: Option<CriticalPath>,
+    /// The fabric's calendar queue: every report-cycle phase is a
+    /// recurring event source on it, and [`Advance::advance_to`] is one
+    /// scheduler drain. Report-interval bucket width keeps each cycle
+    /// instant in a single wheel bucket.
+    events: EventQueue<FabricPhase>,
+    /// Scratch threaded between this cycle instant's phase events
+    /// (`None` between cycles).
+    cycle: Option<CycleScratch>,
 }
 
 impl XgFabric {
@@ -476,10 +537,13 @@ impl XgFabric {
             FabricObs::register_help(reg);
         }
         let (window, watchdog) = if config.obs.is_enabled() {
-            (
-                Some(MetricsWindow::new(config.slo_window)),
-                Some(SloWatchdog::new(config.slos.clone(), config.slo_hysteresis)),
-            )
+            let watchdog = SloWatchdog::new(config.slos.clone(), config.slo_hysteresis);
+            // The window feeds the watchdog alone, so it only needs to
+            // diff the instruments the objectives actually read — not
+            // every live histogram in the registry, every cycle.
+            let mut window = MetricsWindow::new(config.slo_window);
+            window.focus(watchdog.metrics());
+            (Some(window), Some(watchdog))
         } else {
             (None, None)
         };
@@ -494,6 +558,17 @@ impl XgFabric {
             PANIC_HOOK.call_once(move || {
                 xg_obs::recorder::install_panic_hook(recorder, dir, seed);
             });
+        }
+        // Register the report-cycle phases as recurring event sources in
+        // PHASES order: source id = registration index, so the queue's
+        // (time, source, seq) tie-break replays a cycle instant in
+        // exactly the legacy statement order. Each phase fires first at
+        // the end of the first report interval and re-arms itself one
+        // interval ahead on every pop.
+        let mut events = EventQueue::with_layout(1_000_000_000, 1024);
+        let first = SimNs::from_secs_f64(config.report_interval_s);
+        for (source, phase) in PHASES.iter().enumerate() {
+            events.push(first, source as u32, *phase);
         }
         Ok(XgFabric {
             config,
@@ -542,6 +617,8 @@ impl XgFabric {
             prev_delivered: 0,
             bundles: Vec::new(),
             last_critical: None,
+            events,
+            cycle: None,
         })
     }
 
@@ -626,127 +703,215 @@ impl XgFabric {
         self.net.force_front();
     }
 
-    /// Run one 300-second report cycle.
+    /// Run one 300-second report cycle: a compatibility wrapper that
+    /// drains the event queue through exactly one report interval. The
+    /// cycle's phases are recurring events on the fabric's calendar
+    /// queue (see [`FabricPhase`]); [`Advance::advance_to`] is the
+    /// primitive.
     pub fn run_report_cycle(&mut self) -> Result<(), FabricError> {
-        // One wall trace per cycle: phase boundaries are captured as
-        // timestamps and flushed into a span tree at the end, feeding the
-        // profiler's attribution tree and the cycle's critical path.
-        let mut cyc = CycleSpans::begin(&self.config.obs);
-        self.t_s += self.config.report_interval_s;
-        // Faults change state at report-cycle resolution; their downtime
-        // accounting inside the plan stays exact regardless.
-        let ph = cyc.start();
-        let changes = self.faults.advance_to(self.t_s);
-        for c in &changes {
-            self.apply_fault(c);
-        }
-        cyc.end("fabric.faults.advance", ph);
-        // Step the RAN fleet one probe batch: measured per-cell goodput
-        // lands on the registry (feeding the SLO window) and the worst
-        // cell lands on the timeline, every cycle.
-        let ph = cyc.start();
-        let health = self.ran.probe();
-        cyc.end("fabric.ran.probe", ph);
-        if let Some(worst) = health
-            .iter()
-            .min_by(|a, b| a.goodput_mbps.total_cmp(&b.goodput_mbps))
-        {
-            self.timeline.push(Event::RanProbed {
-                t_s: self.t_s,
-                cells: health.len(),
-                worst_cell: worst.name.clone(),
-                worst_goodput_mbps: worst.goodput_mbps,
-            });
-        }
-        // Near-RT RIC loop: deliver this cycle's E2 indications (cells
-        // that are partitioned, or whose indication stream is dropped by
-        // a fault, go stale inside the engine), run the xApps, and apply
-        // the conflict-resolved actions to the live fleet — so the
-        // control response lands before the next probe batch. The drain
-        // itself is pure reads + resets; with zero xApps the whole block
-        // emits nothing and the run is bitwise identical to a RIC-less
-        // one.
-        let ph = cyc.start();
-        if let Some(ric) = &mut self.ric {
-            let mut fresh = self.ran.collect_indications();
-            let ran = &self.ran;
-            let dropped = &self.ric_dropped;
-            fresh.retain(|ind| match ran.cell_name(ind.cell) {
-                Some(name) => !ran.cell_down(name) && !dropped.contains(name),
-                None => false,
-            });
-            let outcome = ric.step(fresh, self.t_s);
-            if let Some(o) = &self.obs {
-                o.ric_actions.add(outcome.actions.len() as u64);
-                o.ric_held.add(outcome.held as u64);
-                o.ric_stale_cells.set(outcome.stale_cells.len() as f64);
+        let interval = SimNs::from_secs_f64(self.config.report_interval_s);
+        self.advance_to(self.events.now().saturating_add(interval))
+    }
+
+    /// Execute one phase event of the report cycle. Phases of one cycle
+    /// instant hand the per-cycle scratch (span clock, QC-passed
+    /// records, transfer latency) to each other through `self.cycle`;
+    /// `Faults` opens it and `CycleClose` consumes it. A phase that
+    /// finds no scratch open (its cycle was aborted by an earlier
+    /// phase's error) is a no-op.
+    fn run_phase(&mut self, phase: FabricPhase) -> Result<(), FabricError> {
+        match phase {
+            FabricPhase::Faults => {
+                // One wall trace per cycle: phase boundaries are captured
+                // as timestamps and flushed into a span tree at cycle
+                // close, feeding the profiler's attribution tree and the
+                // cycle's critical path.
+                let mut cyc = CycleSpans::begin(&self.config.obs);
+                self.t_s += self.config.report_interval_s;
+                // Faults change state at report-cycle resolution; their
+                // downtime accounting inside the plan stays exact
+                // regardless.
+                let ph = cyc.start();
+                let changes = self.faults.advance_to(self.t_s);
+                for c in &changes {
+                    self.apply_fault(c);
+                }
+                cyc.end("fabric.faults.advance", ph);
+                self.cycle = Some(CycleScratch {
+                    cyc,
+                    records: Vec::new(),
+                    latency_ms: 0.0,
+                });
             }
-            for (xapp, action) in &outcome.actions {
-                // A rejected action (the RAN refused the knob) is
-                // dropped; the xApp re-decides from the next indication.
-                if self.ran.apply_ric_action(action).is_ok() {
-                    self.timeline.push(Event::RicAction {
+            FabricPhase::RanProbe => {
+                // Step the RAN fleet one probe batch: measured per-cell
+                // goodput lands on the registry (feeding the SLO window)
+                // and the worst cell lands on the timeline, every cycle.
+                let Some(mut s) = self.cycle.take() else {
+                    return Ok(());
+                };
+                let ph = s.cyc.start();
+                let health = self.ran.probe();
+                s.cyc.end("fabric.ran.probe", ph);
+                if let Some(worst) = health
+                    .iter()
+                    .min_by(|a, b| a.goodput_mbps.total_cmp(&b.goodput_mbps))
+                {
+                    self.timeline.push(Event::RanProbed {
                         t_s: self.t_s,
-                        xapp: (*xapp).to_string(),
-                        action: action.describe(),
+                        cells: health.len(),
+                        worst_cell: worst.name.clone(),
+                        worst_goodput_mbps: worst.goodput_mbps,
                     });
                 }
+                self.cycle = Some(s);
+            }
+            FabricPhase::RicStep => {
+                // Near-RT RIC loop: deliver this cycle's E2 indications
+                // (cells that are partitioned, or whose indication stream
+                // is dropped by a fault, go stale inside the engine), run
+                // the xApps, and apply the conflict-resolved actions to
+                // the live fleet — so the control response lands before
+                // the next probe batch. The drain itself is pure reads +
+                // resets; with zero xApps the whole block emits nothing
+                // and the run is bitwise identical to a RIC-less one.
+                let Some(mut s) = self.cycle.take() else {
+                    return Ok(());
+                };
+                let ph = s.cyc.start();
+                if let Some(ric) = &mut self.ric {
+                    let mut fresh = self.ran.collect_indications();
+                    let ran = &self.ran;
+                    let dropped = &self.ric_dropped;
+                    fresh.retain(|ind| match ran.cell_name(ind.cell) {
+                        Some(name) => !ran.cell_down(name) && !dropped.contains(name),
+                        None => false,
+                    });
+                    let outcome = ric.step(fresh, self.t_s);
+                    if let Some(o) = &self.obs {
+                        o.ric_actions.add(outcome.actions.len() as u64);
+                        o.ric_held.add(outcome.held as u64);
+                        o.ric_stale_cells.set(outcome.stale_cells.len() as f64);
+                    }
+                    for (xapp, action) in &outcome.actions {
+                        // A rejected action (the RAN refused the knob) is
+                        // dropped; the xApp re-decides from the next
+                        // indication.
+                        if self.ran.apply_ric_action(action).is_ok() {
+                            self.timeline.push(Event::RicAction {
+                                t_s: self.t_s,
+                                xapp: (*xapp).to_string(),
+                                action: action.describe(),
+                            });
+                        }
+                    }
+                }
+                s.cyc.end("fabric.ric.step", ph);
+                self.cycle = Some(s);
+            }
+            FabricPhase::SensePoll => {
+                let Some(mut s) = self.cycle.take() else {
+                    return Ok(());
+                };
+                let ph = s.cyc.start();
+                // Drain the sensor network's own event engine through one
+                // report round, then collect what it buffered.
+                let next = self
+                    .net
+                    .now()
+                    .saturating_add(SimNs::from_secs_f64(xg_sensors::network::REPORT_INTERVAL_S));
+                let _ = self.net.advance_to(next);
+                let raw = self.net.take_reports();
+                // Quality control before anything becomes a CFD boundary
+                // condition (§2's data-calibration concern).
+                let (records, _rejected) = self.qc.filter(&raw);
+                s.cyc.end("fabric.sense.poll", ph);
+                s.records = records;
+                self.cycle = Some(s);
+            }
+            FabricPhase::GatewayShip => {
+                let Some(mut s) = self.cycle.take() else {
+                    return Ok(());
+                };
+                let ph = s.cyc.start();
+                let cycle = self.gateway.ship_cycle(&s.records)?;
+                s.cyc.end("fabric.gateway.ship", ph);
+                self.last_transfer_ms = cycle.latency_ms;
+                s.latency_ms = cycle.latency_ms;
+                if let Some(o) = &self.obs {
+                    o.report_cycles.inc();
+                }
+                self.timeline.push(Event::TelemetryShipped {
+                    t_s: self.t_s,
+                    latency_ms: cycle.latency_ms,
+                    records: s.records.len(),
+                });
+                self.reports_done += 1;
+                self.cycle = Some(s);
+            }
+            FabricPhase::HpcAdvance => {
+                // Advance the HPC side, resubmit lost tasks, absorb
+                // completions.
+                let Some(mut s) = self.cycle.take() else {
+                    return Ok(());
+                };
+                let ph = s.cyc.start();
+                self.hpc.advance_to(self.t_s);
+                self.service_retries();
+                self.service_completions();
+                s.cyc.end("fabric.hpc.advance", ph);
+                self.cycle = Some(s);
+            }
+            FabricPhase::SloObserve => {
+                // Measured SLO evaluation before change detection, so
+                // this cycle's breach can move the ladder this cycle
+                // (within the 300 s duty cycle).
+                let Some(mut s) = self.cycle.take() else {
+                    return Ok(());
+                };
+                let ph = s.cyc.start();
+                self.observe_cycle(s.latency_ms);
+                self.update_degradation(s.records.len());
+                s.cyc.end("fabric.slo.observe", ph);
+                self.cycle = Some(s);
+            }
+            FabricPhase::ChangeDetect => {
+                // 30-minute change-detection duty cycle, gated on
+                // telemetry that actually reached the repository: a
+                // partition defers detection instead of re-reading stale
+                // windows.
+                let Some(mut s) = self.cycle.take() else {
+                    return Ok(());
+                };
+                let ph = s.cyc.start();
+                let repo_len = self.gateway.repo_wind_len();
+                if self
+                    .reports_done
+                    .is_multiple_of(self.config.detect_every_reports)
+                {
+                    if repo_len >= 2 * self.config.detector.window
+                        && repo_len
+                            >= self.wind_len_at_last_detect + self.config.detect_every_reports
+                    {
+                        self.run_change_detection(&s.records, repo_len)?;
+                    } else if self.gateway.backlog() > 0 && self.deferred_check_since.is_none() {
+                        // The duty cycle wanted to run but the partition
+                        // starved the repository: start the deferral
+                        // clock.
+                        self.deferred_check_since = Some(self.t_s);
+                    }
+                }
+                s.cyc.end("fabric.change.detect", ph);
+                self.cycle = Some(s);
+            }
+            FabricPhase::CycleClose => {
+                let Some(s) = self.cycle.take() else {
+                    return Ok(());
+                };
+                self.track_impairment();
+                self.finish_cycle_profiling(s.cyc);
             }
         }
-        cyc.end("fabric.ric.step", ph);
-        let ph = cyc.start();
-        let raw = self.net.poll();
-        // Quality control before anything becomes a CFD boundary
-        // condition (§2's data-calibration concern).
-        let (records, _rejected) = self.qc.filter(&raw);
-        cyc.end("fabric.sense.poll", ph);
-        let ph = cyc.start();
-        let cycle = self.gateway.ship_cycle(&records)?;
-        cyc.end("fabric.gateway.ship", ph);
-        self.last_transfer_ms = cycle.latency_ms;
-        if let Some(o) = &self.obs {
-            o.report_cycles.inc();
-        }
-        self.timeline.push(Event::TelemetryShipped {
-            t_s: self.t_s,
-            latency_ms: cycle.latency_ms,
-            records: records.len(),
-        });
-        self.reports_done += 1;
-        // Advance the HPC side, resubmit lost tasks, absorb completions.
-        let ph = cyc.start();
-        self.hpc.advance_to(self.t_s);
-        self.service_retries();
-        self.service_completions();
-        cyc.end("fabric.hpc.advance", ph);
-        // Measured SLO evaluation first, so this cycle's breach can move
-        // the ladder this cycle (within the 300 s duty cycle).
-        let ph = cyc.start();
-        self.observe_cycle(cycle.latency_ms);
-        self.update_degradation(records.len());
-        cyc.end("fabric.slo.observe", ph);
-        // 30-minute change-detection duty cycle, gated on telemetry that
-        // actually reached the repository: a partition defers detection
-        // instead of re-reading stale windows.
-        let ph = cyc.start();
-        let repo_len = self.gateway.repo_wind_len();
-        if self
-            .reports_done
-            .is_multiple_of(self.config.detect_every_reports)
-        {
-            if repo_len >= 2 * self.config.detector.window
-                && repo_len >= self.wind_len_at_last_detect + self.config.detect_every_reports
-            {
-                self.run_change_detection(&records, repo_len)?;
-            } else if self.gateway.backlog() > 0 && self.deferred_check_since.is_none() {
-                // The duty cycle wanted to run but the partition starved
-                // the repository: start the deferral clock.
-                self.deferred_check_since = Some(self.t_s);
-            }
-        }
-        cyc.end("fabric.change.detect", ph);
-        self.track_impairment();
-        self.finish_cycle_profiling(cyc);
         Ok(())
     }
 
@@ -787,7 +952,8 @@ impl XgFabric {
         self.last_critical.as_ref()
     }
 
-    /// Run `n` report cycles.
+    /// Run `n` report cycles (a compatibility wrapper over
+    /// [`Advance::advance_to`], like [`XgFabric::run_report_cycle`]).
     pub fn run_cycles(&mut self, n: usize) -> Result<(), FabricError> {
         for _ in 0..n {
             self.run_report_cycle()?;
@@ -1551,6 +1717,29 @@ impl XgFabric {
                 });
             }
         }
+    }
+}
+
+impl Advance for XgFabric {
+    type Error = FabricError;
+
+    fn now(&self) -> SimNs {
+        self.events.now()
+    }
+
+    /// Drain every phase event due at or before `t`. Each popped phase
+    /// re-arms itself one report interval ahead *before* running, so a
+    /// handler error (a gateway refusal, a failed detection) leaves the
+    /// schedule intact and the caller can resume by advancing again.
+    fn advance_to(&mut self, t: SimNs) -> std::result::Result<(), FabricError> {
+        let interval = SimNs::from_secs_f64(self.config.report_interval_s);
+        while let Some(ev) = self.events.pop_due(t) {
+            self.events
+                .push(ev.at.saturating_add(interval), ev.source, ev.payload);
+            self.run_phase(ev.payload)?;
+        }
+        self.events.drain_clock_to(t);
+        Ok(())
     }
 }
 

@@ -14,7 +14,7 @@ use std::sync::Arc;
 use xg_net::device::UnitVariation;
 use xg_net::e2::CellIndication;
 use xg_net::fleet::{CellId, FleetUe, RanFleet};
-use xg_net::prelude::{CellConfig, DeviceClass, Duplex, MHz, Modem, NetError, Rat};
+use xg_net::prelude::{Advance, CellConfig, DeviceClass, Duplex, MHz, Modem, NetError, Rat, SimNs};
 use xg_net::sim::UeHandle;
 use xg_net::slice::{SliceConfig, SliceProfile, Snssai};
 use xg_net::traffic::TrafficModel;
@@ -24,6 +24,11 @@ use xg_ric::RicAction;
 /// SNR offset applied to a partitioned cell: far below any MCS floor,
 /// so every UE on it reads ~0 goodput.
 const CELL_DOWN_SNR_DB: f64 = -200.0;
+
+/// Default probe-burst length (TTIs). Long enough to average over HARQ
+/// and fast-fade jitter, short enough that a probe cycle is dominated
+/// by the idle-skip, not the burst.
+const DEFAULT_PROBE_BURST_SLOTS: usize = 32;
 
 /// One scripted traffic-bearing UE attached to a cell at construction
 /// (beyond the backlogged probe UEs): a weather-station cluster on the
@@ -87,8 +92,14 @@ pub struct RanTopology {
     /// Which cell the field gateway camps on: faults on this cell reach
     /// the telemetry path; faults elsewhere stay local to their cell.
     pub gateway_cell: String,
-    /// Simulated seconds each probe batch steps every report cycle.
+    /// Simulated seconds each probe batch advances every report cycle.
     pub probe_seconds: usize,
+    /// TTIs of saturating probe traffic measured at the head of each
+    /// batch. Goodput is sampled over this burst; the rest of the batch
+    /// idle-skips through the event engine, so a nominal cycle costs
+    /// O(burst), not O(`probe_seconds` × slots-per-second). Clamped to
+    /// the batch length.
+    pub probe_burst_slots: usize,
     /// Worker-pool width for batched stepping (1 = serial; results are
     /// identical either way).
     pub workers: usize,
@@ -102,6 +113,7 @@ impl Default for RanTopology {
             cells: vec![RanCellSpec::paper_default("UNL-5G")],
             gateway_cell: "UNL-5G".to_string(),
             probe_seconds: 1,
+            probe_burst_slots: DEFAULT_PROBE_BURST_SLOTS,
             workers: 1,
         }
     }
@@ -153,6 +165,7 @@ pub struct RanProbe {
     cells: Vec<CellState>,
     gateway_cell: usize,
     probe_seconds: usize,
+    burst_slots: usize,
     goodput_hist: Option<Arc<xg_obs::Histogram>>,
 }
 
@@ -213,6 +226,7 @@ impl RanProbe {
             cells,
             gateway_cell,
             probe_seconds: topology.probe_seconds.max(1),
+            burst_slots: topology.probe_burst_slots.max(1),
             goodput_hist: reg.map(|r| r.histogram("fabric.ran.cell_goodput_mbps")),
         })
     }
@@ -274,15 +288,52 @@ impl RanProbe {
             .expect("cell index is in range by construction");
     }
 
-    /// Step every cell one probe batch (sharded across the fleet's
+    /// Advance every cell one probe batch (sharded across the fleet's
     /// worker pool) and report measured per-cell health, in cell order.
+    ///
+    /// The batch is burst-then-skip on the event engine: goodput is
+    /// measured over a short saturating burst (`probe_burst_slots`
+    /// TTIs) at the head of the batch, then the probe UEs quiesce and
+    /// the remaining `probe_seconds` idle-skip in O(1) per cell (plus
+    /// whatever scenario traffic keeps cells genuinely active). Total
+    /// simulated time advanced per cycle is unchanged from the legacy
+    /// full-batch probe, so the `ran.fleet.sim` attribution subtree
+    /// keeps the same per-cycle nanosecond totals.
     pub fn probe(&mut self) -> Vec<CellHealth> {
-        let batches = self.fleet.run_seconds(self.probe_seconds);
-        batches
-            .iter()
-            .map(|batch| {
-                let c = &self.cells[batch.cell.0 as usize];
-                let goodput = batch.mean_goodput_mbps();
+        let start = self.fleet.now();
+        let end = SimNs(start.0 + self.probe_seconds as u64 * 1_000_000_000);
+        let burst_end = SimNs((start.0 + self.burst_slots as u64 * 1_000_000).min(end.0));
+        for (i, c) in self.cells.iter().enumerate() {
+            let cell = self
+                .fleet
+                .cell_mut(CellId(i as u32))
+                // xg-lint: allow(panicking-call, index ranges over self.cells which is built to the fleet's length)
+                .expect("cell index is in range by construction");
+            // Open a fresh measurement window: bits queued during the
+            // previous batch's idle-skip must not count into the burst.
+            cell.reset_windows();
+            for &ue in &c.ues {
+                cell.set_backlogged(ue.ue, true)
+                    // xg-lint: allow(panicking-call, probe UEs were attached at construction and never detach)
+                    .expect("probe UE handle is valid by construction");
+            }
+        }
+        let _ = self.fleet.advance_to(burst_end);
+        let window_s = (burst_end.0 - start.0) as f64 / 1e9;
+        let health: Vec<CellHealth> = (0..self.cells.len())
+            .map(|i| {
+                let samples = self
+                    .fleet
+                    .cell_mut(CellId(i as u32))
+                    // xg-lint: allow(panicking-call, index ranges over self.cells which is built to the fleet's length)
+                    .expect("cell index is in range by construction")
+                    .flush_second_window(window_s);
+                let c = &mut self.cells[i];
+                let goodput = if samples.is_empty() {
+                    0.0
+                } else {
+                    samples.iter().map(|&(_, m)| m).sum::<f64>() / samples.len() as f64
+                };
                 if let Some(g) = &c.goodput_gauge {
                     g.set(goodput);
                 }
@@ -299,7 +350,23 @@ impl RanProbe {
                     down: c.down,
                 }
             })
-            .collect()
+            .collect();
+        // Quiesce the probes: the rest of the batch idle-skips unless
+        // scenario traffic keeps a cell active.
+        for (i, c) in self.cells.iter().enumerate() {
+            let cell = self
+                .fleet
+                .cell_mut(CellId(i as u32))
+                // xg-lint: allow(panicking-call, index ranges over self.cells which is built to the fleet's length)
+                .expect("cell index is in range by construction");
+            for &ue in &c.ues {
+                cell.set_backlogged(ue.ue, false)
+                    // xg-lint: allow(panicking-call, probe UEs were attached at construction and never detach)
+                    .expect("probe UE handle is valid by construction");
+            }
+        }
+        let _ = self.fleet.advance_to(end);
+        health
     }
 
     /// Borrow the underlying fleet (diagnostics, tests).

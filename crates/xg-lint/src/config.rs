@@ -32,6 +32,9 @@ impl Config {
                 "crates/xg-fabric/src/",
                 "crates/xg-cspot/src/",
                 "crates/xg-sensors/src/",
+                // The calendar-queue scheduler every engine drains: event
+                // order must be a pure function of what was scheduled.
+                "crates/xg-sim/src/",
                 // Offline span analytics: two runs of `xg-trace` over the
                 // same dump must render byte-identical reports.
                 "crates/xg-bench/src/trace.rs",
@@ -43,6 +46,7 @@ impl Config {
                 "crates/xg-fabric/src/",
                 "crates/xg-cspot/src/",
                 "crates/xg-sensors/src/",
+                "crates/xg-sim/src/",
                 "crates/xg-obs/src/",
                 "crates/xg-hpc/src/",
             ]),
@@ -106,6 +110,10 @@ mod tests {
         assert!(c.is_deterministic_path("crates/xg-net/src/mac.rs"));
         assert!(!c.is_deterministic_path("crates/xg-bench/src/bin/fig4_single_user.rs"));
         assert!(c.is_deterministic_path("crates/xg-bench/src/trace.rs"));
+        // The event scheduler is the deterministic core's backbone: both
+        // rules in force there.
+        assert!(c.is_deterministic_path("crates/xg-sim/src/queue.rs"));
+        assert!(c.is_panicking_scope("crates/xg-sim/src/queue.rs"));
         assert!(c.is_panicking_scope("crates/xg-obs/src/metrics.rs"));
         // The profiler and critical-path modules ride the xg-obs prefix:
         // in panicking scope, not wall-clock-exempt (they must take time

@@ -14,12 +14,14 @@
 //!   [`cell_seed`]`(fleet_seed, cell_id)` — a SplitMix64-style mix — so a
 //!   cell's trajectory depends only on the fleet seed and its own id,
 //!   never on how many siblings exist or which worker steps it.
-//! * **Batched stepping.** [`RanFleet::run_seconds`] and
-//!   [`RanFleet::step_slots`] hand each worker a whole batch of TTIs per
-//!   cell, so cross-thread synchronization happens once per *batch*
-//!   (one thread-scope join), not once per slot, and per-slot overhead
-//!   (RNG, scheduler setup, obs lookups) stays amortized inside the
-//!   cell's own loop.
+//! * **Batched stepping.** [`Advance::advance_to`] and
+//!   [`RanFleet::measure_seconds`] hand each worker a whole batch of
+//!   TTIs per cell, so cross-thread synchronization happens once per
+//!   *batch* (one thread-scope join), not once per slot, and per-slot
+//!   overhead (RNG, scheduler setup, obs lookups) stays amortized inside
+//!   the cell's own loop. Idle cells skip ahead inside
+//!   [`LinkSimulator`]'s event engine, so a mostly-quiet fleet advances
+//!   in O(active slots), not O(elapsed slots).
 //!
 //! Observability: all cells share the fleet's [`Obs`] handle. The
 //! per-UE/per-TTI instruments are mergeable striped histograms and
@@ -34,6 +36,7 @@ use crate::slice::Snssai;
 use crate::traffic::TrafficModel;
 use std::sync::Arc;
 use xg_obs::Obs;
+use xg_sim::{Advance, SimNs};
 
 /// Index of one cell within a fleet (stable for the fleet's lifetime).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,10 +52,10 @@ pub struct FleetUe {
     pub ue: UeHandle,
 }
 
-/// One cell's output from a batched [`RanFleet::run_seconds`] call:
+/// One cell's output from a batched [`RanFleet::measure_seconds`] call:
 /// per simulated second, the `(handle, Mbps)` samples of every
 /// backlogged UE — exactly what the underlying
-/// [`LinkSimulator::run_second`] returns, batched.
+/// [`LinkSimulator::measure_second`] returns, batched.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellBatch {
     /// The cell that produced these samples.
@@ -187,6 +190,7 @@ impl RanFleetBuilder {
             workers: self.workers,
             obs: fleet_obs,
             handle: self.obs,
+            now_ns: 0,
         })
     }
 }
@@ -205,6 +209,10 @@ pub struct RanFleet {
     workers: usize,
     obs: Option<FleetObs>,
     handle: Obs,
+    /// Fleet-level clock reported by [`Advance::now`]. The deprecated
+    /// batch shims advance it by their legacy widths (whole seconds /
+    /// 1 ms slots) so mixed shim and event callers agree on `now`.
+    now_ns: u64,
 }
 
 /// Profiler path of the wall-clock batch scope (one per stepped batch;
@@ -328,57 +336,65 @@ impl RanFleet {
             .collect()
     }
 
-    /// Simulate `seconds` seconds in every cell, sharded across the
+    /// Measure `seconds` seconds in every cell, sharded across the
     /// worker pool, and return one [`CellBatch`] per cell in cell order.
     ///
-    /// Bitwise identical to [`run_seconds_serial`](Self::run_seconds_serial)
-    /// for the same construction seeds: cells share no mutable state, so
-    /// execution order cannot influence any cell's RNG stream.
-    pub fn run_seconds(&mut self, seconds: usize) -> Vec<CellBatch> {
+    /// This is the measurement companion to [`Advance::advance_to`]: the
+    /// time API moves the fleet clock, this drains calibrated per-second
+    /// goodput windows ([`LinkSimulator::measure_second`] per cell per
+    /// second). Bitwise identical for any worker count: cells share no
+    /// mutable state, so execution order cannot influence any cell's RNG
+    /// stream.
+    pub fn measure_seconds(&mut self, seconds: usize) -> Vec<CellBatch> {
         self.note_batch(seconds);
         let obs = self.handle.clone();
         let prof = obs.profiler();
         let _batch = prof.map(|p| p.scope(PROF_BATCH));
-        self.shard(|id, sim| {
+        let out = self.shard(|id, sim| {
             let _cell = prof.map(|p| p.scope_under(PROF_BATCH, "cell"));
             if let Some(p) = prof {
                 p.record_at(PROF_SIM_CELL, seconds as u64 * 1_000_000_000);
             }
             CellBatch {
                 cell: id,
-                seconds: (0..seconds).map(|_| sim.run_second()).collect(),
+                seconds: (0..seconds).map(|_| sim.measure_second()).collect(),
             }
-        })
+        });
+        self.now_ns += seconds as u64 * 1_000_000_000;
+        out
     }
 
-    /// Serial reference implementation of [`run_seconds`](Self::run_seconds)
-    /// (the determinism oracle; also the fast path for 1-cell fleets).
-    /// Records the same profiler attribution as the sharded path, so the
-    /// merged `ran.fleet.sim` subtree is comparable across both.
+    /// Legacy name for [`measure_seconds`](Self::measure_seconds).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use measure_seconds (or xg_sim::Advance::advance_to for pure time advance) — run_seconds is a shim over the event engine"
+    )]
+    pub fn run_seconds(&mut self, seconds: usize) -> Vec<CellBatch> {
+        self.measure_seconds(seconds)
+    }
+
+    /// Serial execution of [`measure_seconds`](Self::measure_seconds)
+    /// (the determinism oracle; worker count never changes results, only
+    /// wall time).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use set_workers(1) + measure_seconds — worker count never affects results"
+    )]
     pub fn run_seconds_serial(&mut self, seconds: usize) -> Vec<CellBatch> {
-        self.note_batch(seconds);
-        let obs = self.handle.clone();
-        let prof = obs.profiler();
-        let _batch = prof.map(|p| p.scope(PROF_BATCH));
-        self.cells
-            .iter_mut()
-            .enumerate()
-            .map(|(i, sim)| {
-                let _cell = prof.map(|p| p.scope_under(PROF_BATCH, "cell"));
-                if let Some(p) = prof {
-                    p.record_at(PROF_SIM_CELL, seconds as u64 * 1_000_000_000);
-                }
-                CellBatch {
-                    cell: CellId(i as u32),
-                    seconds: (0..seconds).map(|_| sim.run_second()).collect(),
-                }
-            })
-            .collect()
+        let workers = self.workers;
+        self.workers = 1;
+        let out = self.measure_seconds(seconds);
+        self.workers = workers;
+        out
     }
 
     /// Advance every cell by `slots` TTIs without collecting samples
     /// (background load between measurements), sharded like
-    /// [`run_seconds`](Self::run_seconds).
+    /// [`measure_seconds`](Self::measure_seconds).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use xg_sim::Advance::advance_to — step_slots is a shim over the event engine"
+    )]
     pub fn step_slots(&mut self, slots: usize) {
         let obs = self.handle.clone();
         let prof = obs.profiler();
@@ -389,8 +405,9 @@ impl RanFleet {
                 // One TTI is 1 ms of simulated time.
                 p.record_at(PROF_SIM_CELL, slots as u64 * 1_000_000);
             }
-            sim.step_slots(slots)
+            sim.advance_slots(slots as u64, true)
         });
+        self.now_ns += slots as u64 * 1_000_000;
     }
 
     fn note_batch(&self, seconds: usize) {
@@ -444,7 +461,49 @@ impl RanFleet {
     }
 }
 
+impl Advance for RanFleet {
+    type Error = NetError;
+
+    fn now(&self) -> SimNs {
+        SimNs(self.now_ns)
+    }
+
+    /// Advance every cell to `t`, sharded across the worker pool. Each
+    /// cell rounds `t` down to its own TTI grid and idle-skips quiet
+    /// stretches; per-cell simulated time lands under `ran.fleet.sim/cell`
+    /// exactly as the batch shims record it, so the deterministic
+    /// attribution subtree stays bitwise comparable across both APIs.
+    /// Calls at or before `now()` are no-ops.
+    fn advance_to(&mut self, t: SimNs) -> std::result::Result<(), NetError> {
+        if t.0 <= self.now_ns {
+            return Ok(());
+        }
+        if let Some(o) = &self.obs {
+            o.batches.inc();
+        }
+        let obs = self.handle.clone();
+        let prof = obs.profiler();
+        let _batch = prof.map(|p| p.scope(PROF_BATCH));
+        let results = self.shard(|_, sim| {
+            let _cell = prof.map(|p| p.scope_under(PROF_BATCH, "cell"));
+            let before = sim.now().0;
+            let r = sim.advance_to(t);
+            if let Some(p) = prof {
+                p.record_at(PROF_SIM_CELL, sim.now().0 - before);
+            }
+            r
+        });
+        self.now_ns = t.0;
+        results.into_iter().collect()
+    }
+}
+
 #[cfg(test)]
+// The tests below deliberately exercise the deprecated `run_seconds` /
+// `run_seconds_serial` / `step_slots` shims: they pin the legacy batch
+// contract (including its profiler attribution) that the `Advance`
+// engine must keep reproducing bit-for-bit.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::rat::{Duplex, Rat};

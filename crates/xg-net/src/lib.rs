@@ -92,6 +92,7 @@ pub mod prelude {
     pub use crate::slice::{SliceConfig, SliceId, Snssai};
     pub use crate::traffic::TrafficModel;
     pub use crate::units::{MHz, Mbps};
+    pub use xg_sim::{Advance, SimNs};
 }
 
 pub use prelude::*;

@@ -70,42 +70,48 @@ impl MacScheduler {
     /// Returns `(ue, prbs)` pairs. The sum of granted PRBs never exceeds
     /// `quota`, and equals `quota` whenever any UE is backlogged.
     pub fn allocate(&mut self, quota: u32, requests: &[UlRequest]) -> Vec<(u32, u32)> {
-        if requests.is_empty() || quota == 0 {
-            return Vec::new();
-        }
-        let grants = match self.kind {
-            SchedulerKind::RoundRobin => self.allocate_rr(quota, requests),
-            SchedulerKind::ProportionalFair => self.allocate_pf(quota, requests),
-        };
-        self.rr_turn = self.rr_turn.wrapping_add(1);
-        debug_assert!(
-            grants.iter().map(|&(_, p)| p).sum::<u32>() <= quota,
-            "scheduler over-allocated"
-        );
-        grants
+        let mut out = Vec::new();
+        self.allocate_into(quota, requests, &mut out);
+        out
     }
 
-    fn allocate_rr(&self, quota: u32, requests: &[UlRequest]) -> Vec<(u32, u32)> {
+    /// Allocation into a caller-owned buffer (cleared first): the TTI
+    /// hot loop reuses one grants vector across slots instead of
+    /// allocating per (slice, TTI) pair. Identical scheduling state
+    /// transitions to [`allocate`](Self::allocate).
+    pub fn allocate_into(&mut self, quota: u32, requests: &[UlRequest], out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        if requests.is_empty() || quota == 0 {
+            return;
+        }
+        match self.kind {
+            SchedulerKind::RoundRobin => self.allocate_rr_into(quota, requests, out),
+            SchedulerKind::ProportionalFair => self.allocate_pf_into(quota, requests, out),
+        }
+        self.rr_turn = self.rr_turn.wrapping_add(1);
+        debug_assert!(
+            out.iter().map(|&(_, p)| p).sum::<u32>() <= quota,
+            "scheduler over-allocated"
+        );
+    }
+
+    fn allocate_rr_into(&self, quota: u32, requests: &[UlRequest], out: &mut Vec<(u32, u32)>) {
         let n = requests.len() as u32;
         let base = quota / n;
         let remainder = quota % n;
         let offset = (self.rr_turn % n as u64) as u32;
-        requests
-            .iter()
-            .enumerate()
-            .map(|(i, r)| {
-                // Rotate which UEs receive the remainder PRBs.
-                let extra = if ((i as u32 + n - offset) % n) < remainder {
-                    1
-                } else {
-                    0
-                };
-                (r.ue, base + extra)
-            })
-            .collect()
+        out.extend(requests.iter().enumerate().map(|(i, r)| {
+            // Rotate which UEs receive the remainder PRBs.
+            let extra = if ((i as u32 + n - offset) % n) < remainder {
+                1
+            } else {
+                0
+            };
+            (r.ue, base + extra)
+        }));
     }
 
-    fn allocate_pf(&self, quota: u32, requests: &[UlRequest]) -> Vec<(u32, u32)> {
+    fn allocate_pf_into(&self, quota: u32, requests: &[UlRequest], out: &mut Vec<(u32, u32)>) {
         let mut weights: Vec<f64> = requests
             .iter()
             .map(|r| {
@@ -132,11 +138,7 @@ impl MacScheduler {
         for &i in order.iter().take(quota.saturating_sub(assigned) as usize) {
             grants[i] += 1;
         }
-        requests
-            .iter()
-            .zip(grants)
-            .map(|(r, g)| (r.ue, g))
-            .collect()
+        out.extend(requests.iter().zip(grants).map(|(r, g)| (r.ue, g)));
     }
 
     /// Record the bits actually served to a UE this TTI (drives the

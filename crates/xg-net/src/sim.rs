@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 use xg_obs::{Counter, Histogram, Obs};
+use xg_sim::{Advance, SimNs};
 
 /// Opaque handle to an attached UE.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -128,6 +129,15 @@ pub struct LinkSimulator {
     /// E2 indication window accumulator.
     e2: E2Acc,
     obs: Option<RanObs>,
+    /// Slots on which scheduler work actually executed (somebody wanted
+    /// uplink) as opposed to idle-skipped — the O(events) counter the
+    /// event-engine tests gate on.
+    active_slots: u64,
+    /// Scratch buffers reused across TTIs so the hot loop performs no
+    /// per-slot allocations.
+    scratch_members: Vec<u32>,
+    scratch_requests: Vec<UlRequest>,
+    scratch_grants: Vec<(u32, u32)>,
 }
 
 /// Staged construction of a fully configured [`LinkSimulator`]:
@@ -231,6 +241,10 @@ impl LinkSimulator {
             snr_offset_db: 0.0,
             e2,
             obs: None,
+            active_slots: 0,
+            scratch_members: Vec::new(),
+            scratch_requests: Vec::new(),
+            scratch_grants: Vec::new(),
         })
     }
 
@@ -622,22 +636,28 @@ impl LinkSimulator {
         }
         let prb_mhz = self.prb_mhz();
         let re_per_prb = res_per_prb_slot() as f64;
+        // Scratch buffers are moved out for the duration of the slot so
+        // the borrow checker lets the loop mutate `self.ues` alongside.
+        let mut members = std::mem::take(&mut self.scratch_members);
+        let mut requests = std::mem::take(&mut self.scratch_requests);
+        let mut grants = std::mem::take(&mut self.scratch_grants);
         for slice_idx in 0..self.quotas.len() {
             let quota = self.quotas[slice_idx];
             self.e2.slice_capacity[slice_idx] += quota as u64;
             // Gather backlogged UEs of this slice with an efficiency
             // estimate at their expected share (for proportional fair).
-            let members: Vec<u32> = self
-                .ues
-                .iter()
-                .filter(|u| Self::wants_uplink(u) && u.slice.0 as usize == slice_idx)
-                .map(|u| u.id)
-                .collect();
+            members.clear();
+            members.extend(
+                self.ues
+                    .iter()
+                    .filter(|u| Self::wants_uplink(u) && u.slice.0 as usize == slice_idx)
+                    .map(|u| u.id),
+            );
             if members.is_empty() || quota == 0 {
                 continue;
             }
             let share = (quota / members.len() as u32).max(1);
-            let mut requests: Vec<UlRequest> = Vec::with_capacity(members.len());
+            requests.clear();
             for &id in &members {
                 let u = &mut self.ues[id as usize];
                 let tdd_off = match self.cell.duplex {
@@ -661,12 +681,12 @@ impl LinkSimulator {
                     weight: u.pf_weight,
                 });
             }
-            let grants = self.scheds[slice_idx].allocate(quota, &requests);
+            self.scheds[slice_idx].allocate_into(quota, &requests, &mut grants);
             if let Some(o) = &self.obs {
                 let granted: u32 = grants.iter().map(|&(_, prbs)| prbs).sum();
                 o.occupancy.record(granted as f64 / quota as f64);
             }
-            for (ue_id, prbs) in grants {
+            for &(ue_id, prbs) in &grants {
                 if prbs == 0 {
                     continue;
                 }
@@ -702,35 +722,13 @@ impl LinkSimulator {
                 self.scheds[slice_idx].observe(ue_id, bits);
             }
         }
+        self.scratch_members = members;
+        self.scratch_requests = requests;
+        self.scratch_grants = grants;
     }
 
-    /// Advance the simulation by a batch of `slots` TTIs without
-    /// collecting throughput samples — background load between
-    /// measurement windows. Offered traffic is enqueued per elapsed
-    /// second boundary, matching [`run_second`](Self::run_second).
-    pub fn step_slots(&mut self, slots: usize) {
-        let per_second = self.cell.scs.slots_per_second() as usize;
-        for _ in 0..slots {
-            if (self.slot as usize).is_multiple_of(per_second) {
-                let t = self.now_s();
-                let e2 = &mut self.e2;
-                for u in &mut self.ues {
-                    if let Some(bits) = u.traffic.offered_bits(t) {
-                        u.pending_bits += bits;
-                        if let Some(o) = e2.slice_offered.get_mut(u.slice.0 as usize) {
-                            *o += bits;
-                        }
-                    }
-                }
-            }
-            self.step_slot();
-        }
-    }
-
-    /// Simulate one second and return `(handle, Mbps)` for every backlogged
-    /// UE.
-    pub fn run_second(&mut self) -> Vec<(UeHandle, f64)> {
-        // Enqueue each UE's offered traffic for this second.
+    /// Enqueue each UE's offered traffic for the second starting now.
+    fn enqueue_offered(&mut self) {
         let t = self.now_s();
         let e2 = &mut self.e2;
         for u in &mut self.ues {
@@ -741,10 +739,203 @@ impl LinkSimulator {
                 }
             }
         }
-        let slots = self.cell.scs.slots_per_second();
-        for _ in 0..slots {
-            self.step_slot();
+    }
+
+    /// Whether any UE wants uplink in the current slot (the slot is
+    /// *active*: scheduler work, and possibly RNG draws, will happen).
+    fn any_wants_uplink(&self) -> bool {
+        self.ues.iter().any(Self::wants_uplink)
+    }
+
+    /// The next integer second at or after `from_s` at which any UE's
+    /// traffic model enqueues a positive number of bits.
+    fn next_traffic_second(&self, from_s: f64) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for u in &self.ues {
+            if let Some(s) = u.traffic.next_positive_arrival_s(from_s) {
+                best = Some(match best {
+                    Some(b) if b <= s => b,
+                    _ => s,
+                });
+            }
         }
+        best
+    }
+
+    /// Batch bookkeeping for `n` slots during which no UE wants uplink.
+    ///
+    /// An idle pass of [`step_slot`](Self::step_slot) touches additive
+    /// counters only — no RNG draw, no scheduler mutation, no histogram
+    /// record — so the whole run collapses to O(1) arithmetic. This is
+    /// the idle skip that makes a quiet cell O(events) instead of
+    /// O(slots); the stepped-vs-event proptest pins bitwise equivalence.
+    fn skip_idle_slots(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let ul_slots = match &self.cell.duplex {
+            Duplex::Fdd => n,
+            Duplex::Tdd(pattern) => {
+                // Count non-downlink slots in [slot, slot + n) from the
+                // periodic pattern without walking all n of them.
+                let period = pattern.period() as u64;
+                let phase = self.slot % period;
+                let rem = n % period;
+                let mut per_period = 0u64;
+                let mut partial = 0u64;
+                for i in 0..period {
+                    let dir = pattern.slot(((phase + i) % period) as usize);
+                    if !matches!(dir, SlotDir::Downlink) {
+                        per_period += 1;
+                        if i < rem {
+                            partial += 1;
+                        }
+                    }
+                }
+                (n / period) * per_period + partial
+            }
+        };
+        self.slot += n;
+        self.e2.slots += n;
+        if ul_slots == 0 {
+            return;
+        }
+        self.e2.ul_slots += ul_slots;
+        if let Some(o) = &self.obs {
+            o.slots.add(ul_slots);
+        }
+        for slice_idx in 0..self.quotas.len() {
+            self.e2.slice_capacity[slice_idx] += self.quotas[slice_idx] as u64 * ul_slots;
+        }
+    }
+
+    /// The event engine: advance `n` TTIs, executing active slots one by
+    /// one and idle-skipping the rest in O(1). `enqueue` controls whether
+    /// offered traffic is enqueued at elapsed second boundaries (the
+    /// `step_slots` contract); the legacy `run_second` window enqueues
+    /// once up front instead and passes `false`.
+    pub(crate) fn advance_slots(&mut self, n: u64, enqueue: bool) {
+        let per_second = self.cell.scs.slots_per_second() as u64;
+        let end = self.slot + n;
+        while self.slot < end {
+            if enqueue && self.slot % per_second == 0 {
+                self.enqueue_offered();
+            }
+            if self.any_wants_uplink() {
+                self.step_slot();
+                self.active_slots += 1;
+                continue;
+            }
+            // Idle: nothing can create uplink work before the next
+            // positive traffic arrival, and arrivals only land on
+            // enqueued second boundaries. Skip there in one step.
+            let skip_to = if enqueue {
+                let from_s = (self.slot / per_second + 1) as f64;
+                match self.next_traffic_second(from_s) {
+                    Some(s) => ((s as u64) * per_second).clamp(self.slot + 1, end),
+                    None => end,
+                }
+            } else {
+                end
+            };
+            self.skip_idle_slots(skip_to - self.slot);
+        }
+    }
+
+    /// Stepped reference engine: byte-for-byte the pre-event-engine
+    /// behaviour, walking every TTI with no idle skipping. Kept public so
+    /// the bitwise-equality proptest (and anyone auditing the event
+    /// engine) can replay the same window both ways and compare state.
+    pub fn advance_to_stepped(&mut self, t: SimNs) {
+        let target = t.0 / self.slot_ns();
+        let per_second = self.cell.scs.slots_per_second() as u64;
+        while self.slot < target {
+            if self.slot % per_second == 0 {
+                self.enqueue_offered();
+            }
+            let active = self.any_wants_uplink();
+            self.step_slot();
+            if active {
+                self.active_slots += 1;
+            }
+        }
+    }
+
+    /// Nanoseconds per TTI for this cell's numerology (1 ms at 15 kHz
+    /// SCS, 0.5 ms at 30 kHz).
+    pub fn slot_ns(&self) -> u64 {
+        1_000_000_000 / self.cell.scs.slots_per_second() as u64
+    }
+
+    /// TTIs elapsed (stepped or skipped) since construction.
+    pub fn slots_elapsed(&self) -> u64 {
+        self.slot
+    }
+
+    /// Slots on which scheduler work executed — the O(events) measure of
+    /// the event engine (idle-skipped slots don't count).
+    pub fn active_slots(&self) -> u64 {
+        self.active_slots
+    }
+
+    /// Advance the simulation by a batch of `slots` TTIs without
+    /// collecting throughput samples — background load between
+    /// measurement windows. Offered traffic is enqueued per elapsed
+    /// second boundary, matching [`run_second`](Self::run_second).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use xg_sim::Advance::advance_to — step_slots is a shim over the event engine"
+    )]
+    pub fn step_slots(&mut self, slots: usize) {
+        self.advance_slots(slots as u64, true);
+    }
+
+    /// Simulate one second and return `(handle, Mbps)` for every backlogged
+    /// UE.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use measure_second (or xg_sim::Advance::advance_to plus flush_second_window) — run_second is a shim over the event engine"
+    )]
+    pub fn run_second(&mut self) -> Vec<(UeHandle, f64)> {
+        self.run_second_impl()
+    }
+
+    /// One-second measurement drain on the event engine: enqueue this
+    /// second's offered traffic once up front (the legacy `run_second`
+    /// ordering, even when the clock is not second-aligned), advance one
+    /// second of TTIs, then close the window and return `(handle, Mbps)`
+    /// per backlogged UE.
+    ///
+    /// This is the measurement companion to [`Advance::advance_to`]: the
+    /// time API moves the clock, this drains one calibrated sample
+    /// window. The deprecated [`run_second`](Self::run_second) shim
+    /// forwards here.
+    pub fn measure_second(&mut self) -> Vec<(UeHandle, f64)> {
+        self.run_second_impl()
+    }
+
+    pub(crate) fn run_second_impl(&mut self) -> Vec<(UeHandle, f64)> {
+        self.enqueue_offered();
+        let slots = self.cell.scs.slots_per_second() as u64;
+        self.advance_slots(slots, false);
+        self.flush_second_window(1.0)
+    }
+
+    /// Discard every UE's accumulated measurement window without
+    /// sampling: opens a fresh window at the current instant. Callers
+    /// that measure a sub-second burst (the RAN probe) reset first so
+    /// stale bits from earlier idle-skipped stretches don't pollute the
+    /// burst's goodput.
+    pub fn reset_windows(&mut self) {
+        for u in &mut self.ues {
+            u.reset_window();
+        }
+    }
+
+    /// Close the per-UE measurement window: one `(handle, Mbps)` sample
+    /// per backlogged UE over the `window_s` seconds just simulated, with
+    /// the SDR and multi-UE calibration applied, then reset the window.
+    pub fn flush_second_window(&mut self, window_s: f64) -> Vec<(UeHandle, f64)> {
         let n_active = self.ues.iter().filter(|u| u.backlogged).count();
         let sdr_penalty = self.cell.sdr.penalty(
             self.cell.rat,
@@ -760,7 +951,7 @@ impl LinkSimulator {
                 u.reset_window();
                 continue;
             }
-            let mut mbps = u.window_bits / 1e6 * sdr_penalty * overhead;
+            let mut mbps = u.window_bits / 1e6 / window_s.max(1e-9) * sdr_penalty * overhead;
             if let Some(cap) = u.profile.host_cap_mbps {
                 mbps = mbps.min(cap);
             }
@@ -779,7 +970,7 @@ impl LinkSimulator {
     pub fn iperf_uplink(&mut self, ue: UeHandle, seconds: usize) -> IperfRun {
         let mut samples = Vec::with_capacity(seconds);
         for _ in 0..seconds {
-            let results = self.run_second();
+            let results = self.run_second_impl();
             let s = results
                 .iter()
                 .find(|(h, _)| *h == ue)
@@ -807,7 +998,7 @@ impl LinkSimulator {
             .collect();
         let mut per_ue: Vec<Vec<f64>> = vec![Vec::with_capacity(seconds); handles.len()];
         for _ in 0..seconds {
-            let results = self.run_second();
+            let results = self.run_second_impl();
             for (i, h) in handles.iter().enumerate() {
                 let s = results
                     .iter()
@@ -828,7 +1019,31 @@ impl LinkSimulator {
     }
 }
 
+impl Advance for LinkSimulator {
+    type Error = NetError;
+
+    fn now(&self) -> SimNs {
+        SimNs(self.slot * self.slot_ns())
+    }
+
+    /// Advance to `t`, enqueueing offered traffic at every elapsed second
+    /// boundary and idle-skipping slots with no uplink demand. `t` is
+    /// rounded *down* to the TTI grid; calls at or before `now()` are
+    /// no-ops.
+    fn advance_to(&mut self, t: SimNs) -> std::result::Result<(), NetError> {
+        let target = t.0 / self.slot_ns();
+        if target > self.slot {
+            self.advance_slots(target - self.slot, true);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
+// The tests below deliberately exercise the deprecated `step_slots` /
+// `run_second` shims: they pin the legacy contract that `Advance` must
+// keep reproducing bit-for-bit.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::rat::Rat;

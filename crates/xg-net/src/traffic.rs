@@ -82,6 +82,56 @@ impl TrafficModel {
         }
     }
 
+    /// The next integer-second boundary at or after `from_s` (itself an
+    /// integer number of seconds) where [`offered_bits`] returns a
+    /// *positive* number of bits, or `None` if no future boundary ever
+    /// will (full-buffer sources enqueue nothing; zero-rate and
+    /// zero-payload models offer only 0.0-bit no-ops).
+    ///
+    /// This is the idle-skip oracle of the event engine: boundaries this
+    /// function skips offer either nothing or exactly `0.0` bits, and
+    /// adding `0.0` to a non-negative queue is bitwise a no-op, so the
+    /// skipping engine stays bit-identical to the stepped one.
+    ///
+    /// [`offered_bits`]: Self::offered_bits
+    pub fn next_positive_arrival_s(&self, from_s: f64) -> Option<f64> {
+        match *self {
+            TrafficModel::FullBuffer => None,
+            TrafficModel::Periodic {
+                payload_bytes,
+                interval_s,
+            } => {
+                if payload_bytes == 0 {
+                    return None;
+                }
+                let interval = interval_s.max(1e-9);
+                // First report instant at or after `from_s`; the second
+                // containing it is the next boundary whose [s, s+1)
+                // window counts at least one report.
+                let k = (from_s / interval).ceil();
+                Some((k * interval).floor().max(from_s))
+            }
+            TrafficModel::Cbr { rate_mbps } => (rate_mbps > 0.0).then_some(from_s),
+            TrafficModel::BurstCbr {
+                rate_mbps,
+                burst_rate_mbps,
+                burst_start_s,
+                burst_end_s,
+            } => {
+                if rate_mbps > 0.0 {
+                    return Some(from_s);
+                }
+                if burst_rate_mbps <= 0.0 {
+                    return None;
+                }
+                // Zero baseline: only boundaries inside the burst window
+                // offer bits.
+                let s = from_s.max(burst_start_s.ceil());
+                (s < burst_end_s).then_some(s)
+            }
+        }
+    }
+
     /// The CUPS weather-station model: 48-byte records every 300 s.
     pub fn weather_station() -> Self {
         TrafficModel::Periodic {

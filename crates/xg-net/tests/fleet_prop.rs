@@ -53,8 +53,9 @@ proptest! {
     ) {
         let mut parallel = build_fleet(seed, cells, ues, workers);
         let mut serial = build_fleet(seed, cells, ues, workers);
-        let p = parallel.run_seconds(seconds);
-        let s = serial.run_seconds_serial(seconds);
+        serial.set_workers(1);
+        let p = parallel.measure_seconds(seconds);
+        let s = serial.measure_seconds(seconds);
         prop_assert_eq!(bits(&p), bits(&s));
     }
 
@@ -67,8 +68,8 @@ proptest! {
     ) {
         let mut small = build_fleet(seed, 2, 2, 2);
         let mut large = build_fleet(seed, 2 + extra, 2, 2);
-        let ps = small.run_seconds(2);
-        let pl = large.run_seconds(2);
+        let ps = small.measure_seconds(2);
+        let pl = large.measure_seconds(2);
         prop_assert_eq!(bits(&ps), bits(&pl[..2]));
     }
 }

@@ -78,7 +78,7 @@ proptest! {
         let mut sim = LinkSimulator::try_new(cell, seed).unwrap();
         sim.attach_with(DeviceClass::RaspberryPi, Modem::Rm530nGl, Snssai::miot(1), UnitVariation::default()).unwrap();
         sim.attach_with(DeviceClass::RaspberryPi, Modem::Rm530nGl, Snssai::miot(2), UnitVariation::default()).unwrap();
-        let results = sim.run_second();
+        let results = sim.measure_second();
         prop_assert_eq!(results.len(), 2);
         for (_, mbps) in results {
             prop_assert!(mbps > 0.0, "both slices must be served at share {share}");

@@ -472,20 +472,39 @@ impl MetricsRegistry {
         };
         for shard in &self.shards {
             for (name, inst) in shard.read().iter() {
-                match inst {
-                    Instrument::Counter(c) => {
-                        snap.counters.insert(name.clone(), c.get());
-                    }
-                    Instrument::Gauge(g) => {
-                        snap.gauges.insert(name.clone(), g.get());
-                    }
-                    Instrument::Histogram(h) => {
-                        snap.histograms.insert(name.clone(), h.snapshot());
-                    }
-                }
+                Self::snap_one(&mut snap, name, inst);
             }
         }
         snap
+    }
+
+    /// A snapshot restricted to the named instruments (no help texts).
+    /// A consumer that only ever reads a fixed metric set — the SLO
+    /// window diffing the registry every report cycle — pays for those
+    /// instruments alone instead of cloning every live histogram.
+    pub fn snapshot_of(&self, names: &std::collections::BTreeSet<String>) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for name in names {
+            let guard = self.shards[shard_of(name)].read();
+            if let Some(inst) = guard.get(name) {
+                Self::snap_one(&mut snap, name, inst);
+            }
+        }
+        snap
+    }
+
+    fn snap_one(snap: &mut MetricsSnapshot, name: &str, inst: &Instrument) {
+        match inst {
+            Instrument::Counter(c) => {
+                snap.counters.insert(name.to_string(), c.get());
+            }
+            Instrument::Gauge(g) => {
+                snap.gauges.insert(name.to_string(), g.get());
+            }
+            Instrument::Histogram(h) => {
+                snap.histograms.insert(name.to_string(), h.snapshot());
+            }
+        }
     }
 }
 

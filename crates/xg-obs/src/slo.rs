@@ -262,6 +262,13 @@ impl SloWatchdog {
         &self.specs
     }
 
+    /// Every metric name the objectives read — the exact instrument set
+    /// a feeding [`MetricsWindow`](crate::window::MetricsWindow) needs
+    /// to track (pass to its `focus`).
+    pub fn metrics(&self) -> std::collections::BTreeSet<String> {
+        self.specs.iter().map(|s| s.metric.clone()).collect()
+    }
+
     /// Evaluate every objective against `view`, returning the edges that
     /// fired this tick (after hysteresis).
     pub fn evaluate(&mut self, t_s: f64, view: &WindowView) -> Vec<SloEvent> {

@@ -13,7 +13,7 @@
 //! keep the same α relative-error bound as the cumulative ones.
 
 use crate::metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Shape of the sliding window.
 #[derive(Clone, Copy, Debug)]
@@ -149,6 +149,10 @@ pub struct MetricsWindow {
     prev: Option<MetricsSnapshot>,
     ring: VecDeque<IntervalDelta>,
     ticks: u64,
+    /// When set, ticks snapshot only these instruments. A window that
+    /// feeds a fixed consumer (the SLO watchdog) then costs per tick
+    /// what that consumer reads, not what the whole registry holds.
+    focus: Option<BTreeSet<String>>,
 }
 
 impl MetricsWindow {
@@ -159,7 +163,15 @@ impl MetricsWindow {
             prev: None,
             ring: VecDeque::with_capacity(cfg.intervals.max(1)),
             ticks: 0,
+            focus: None,
         }
+    }
+
+    /// Restrict every subsequent tick to the named instruments. Metrics
+    /// outside the set no longer appear in views; call before the first
+    /// tick so the window's history is uniform.
+    pub fn focus(&mut self, names: BTreeSet<String>) {
+        self.focus = Some(names);
     }
 
     /// The configured shape.
@@ -176,7 +188,10 @@ impl MetricsWindow {
     /// against the previous tick's snapshot and push the delta into the
     /// ring (evicting the oldest interval once full).
     pub fn tick(&mut self, registry: &MetricsRegistry, t_s: f64) {
-        let snap = registry.snapshot();
+        let snap = match &self.focus {
+            Some(names) => registry.snapshot_of(names),
+            None => registry.snapshot(),
+        };
         let mut delta = IntervalDelta {
             t_s,
             ..Default::default()

@@ -24,7 +24,8 @@
 //! use xg_sensors::prelude::*;
 //!
 //! let mut net = SensorNetwork::cups_default(CupsFacility::default(), 42);
-//! let reports = net.poll(); // one 5-minute reporting cycle
+//! net.advance_to(SimNs::from_secs(300)).unwrap(); // one 5-minute reporting cycle
+//! let reports = net.take_reports();
 //! assert_eq!(reports.len(), 9);
 //! let bc = net.boundary_conditions(&reports).unwrap();
 //! assert!(bc.interior_wind_ms < bc.wind_speed_ms, "screen attenuates wind");
@@ -34,6 +35,9 @@
 // the same invariant xg-lint's panicking-call rule enforces for expect/panic.
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
+// In-crate code must stay off its own deprecated shims (`poll`): the
+// event engine behind `Advance::advance_to` is the only time authority.
+#![deny(deprecated)]
 
 pub mod breach;
 pub mod facility;
@@ -54,6 +58,7 @@ pub mod prelude {
     pub use crate::station::WeatherStation;
     pub use crate::telemetry::TelemetryRecord;
     pub use crate::weather::WeatherSim;
+    pub use xg_sim::{Advance, SimNs};
 }
 
 pub use prelude::*;

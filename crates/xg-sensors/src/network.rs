@@ -5,6 +5,13 @@
 //! record that parameterizes a CFD run — "instantaneous wind, temperature,
 //! and humidity measurements taken at the screen boundaries (both inside
 //! and outside)" (§2).
+//!
+//! Time is event-driven: the network registers two recurring sources on
+//! an [`xg_sim::EventQueue`] — a 60 s weather tick and a 300 s report
+//! round — and [`Advance::advance_to`] drains whatever falls due. At a
+//! coincident instant (every 300 s) the weather tick executes first
+//! (lower source id), reproducing the legacy "5 weather steps, then
+//! measure" RNG order bit-for-bit.
 
 use crate::facility::CupsFacility;
 use crate::station::{Placement, WeatherStation};
@@ -12,9 +19,29 @@ use crate::telemetry::TelemetryRecord;
 use crate::weather::{WeatherSim, WeatherState};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use xg_sim::{Advance, EventQueue, SimNs};
 
 /// Reporting interval of the commodity weather stations (s).
 pub const REPORT_INTERVAL_S: f64 = 300.0;
+
+/// Weather micro-climate step (s); a report interval is 5 of them.
+const WEATHER_STEP_S: f64 = 60.0;
+
+/// Event-source id of the weather tick (fires before a coincident
+/// report round: lower source wins the (time, source, seq) tie-break).
+const SRC_WEATHER: u32 = 0;
+/// Event-source id of the station report round.
+const SRC_REPORT: u32 = 1;
+
+/// The two recurring events of the station network.
+#[derive(Debug, Clone, Copy)]
+enum SensorEvent {
+    /// Advance the micro-climate by one 60 s step.
+    WeatherTick,
+    /// Measure every station and stash the reports for
+    /// [`SensorNetwork::take_reports`].
+    ReportRound,
+}
 
 /// Boundary conditions for one CFD run, aggregated from station reports.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -49,6 +76,14 @@ pub struct SensorNetwork {
     /// on schedule but repeat their last healthy measurement.
     stuck: BTreeSet<u32>,
     last_reports: BTreeMap<u32, TelemetryRecord>,
+    /// The event calendar driving weather ticks and report rounds.
+    events: EventQueue<SensorEvent>,
+    /// Reports measured by drained report rounds, awaiting
+    /// [`take_reports`](Self::take_reports).
+    pending: Vec<TelemetryRecord>,
+    /// Report rounds completed (drives the deprecated `poll` shim's
+    /// next-report target).
+    reports_done: u64,
 }
 
 impl SensorNetwork {
@@ -99,6 +134,20 @@ impl SensorNetwork {
             .enumerate()
             .map(|(i, p)| WeatherStation::new(i as u32, p, seed))
             .collect();
+        // 1 s buckets × 1024: both recurring periods (60 s, 300 s) stay
+        // inside the wheel, so pushes and pops never touch the overflow
+        // map.
+        let mut events = EventQueue::with_layout(1_000_000_000, 1024);
+        events.push(
+            SimNs::from_secs_f64(WEATHER_STEP_S),
+            SRC_WEATHER,
+            SensorEvent::WeatherTick,
+        );
+        events.push(
+            SimNs::from_secs_f64(REPORT_INTERVAL_S),
+            SRC_REPORT,
+            SensorEvent::ReportRound,
+        );
         SensorNetwork {
             facility,
             stations,
@@ -107,6 +156,9 @@ impl SensorNetwork {
             down: BTreeSet::new(),
             stuck: BTreeSet::new(),
             last_reports: BTreeMap::new(),
+            events,
+            pending: Vec::new(),
+            reports_done: 0,
         }
     }
 
@@ -165,15 +217,32 @@ impl SensorNetwork {
 
     /// Advance the weather to the next reporting instant and collect one
     /// report from every station.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use xg_sim::Advance::advance_to plus take_reports — poll is a shim over the event engine"
+    )]
     pub fn poll(&mut self) -> Vec<TelemetryRecord> {
-        // Weather steps are 60 s; a report interval is 5 of them.
-        let steps = (REPORT_INTERVAL_S / 60.0).round() as usize;
-        let state = self.weather.run_steps(steps);
-        self.last_state = Some(state);
+        let next = SimNs::from_secs_f64((self.reports_done + 1) as f64 * REPORT_INTERVAL_S);
+        let _ = self.advance_to(next);
+        self.take_reports()
+    }
+
+    /// Drain the reports measured by report rounds since the last call
+    /// (in round order, station order within a round). Empty if no round
+    /// fell due since then.
+    pub fn take_reports(&mut self) -> Vec<TelemetryRecord> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// One 300 s report round: measure every station against the current
+    /// weather and stash the surviving reports.
+    fn report_round(&mut self) {
+        let Some(state) = self.last_state else {
+            return;
+        };
         let facility = &self.facility;
         // Every station is measured even when faulted so RNG streams stay
         // identical between faulted and fault-free runs of the same seed.
-        let mut out = Vec::with_capacity(self.stations.len());
         for s in self.stations.iter_mut() {
             let measured = s.measure(&state, facility);
             if self.down.contains(&s.id) {
@@ -191,9 +260,9 @@ impl SensorNetwork {
                 self.last_reports.insert(s.id, measured);
                 measured
             };
-            out.push(report);
+            self.pending.push(report);
         }
-        out
+        self.reports_done += 1;
     }
 
     /// Aggregate a set of simultaneous reports into CFD boundary
@@ -236,7 +305,49 @@ impl SensorNetwork {
     }
 }
 
+impl Advance for SensorNetwork {
+    type Error = std::convert::Infallible;
+
+    fn now(&self) -> SimNs {
+        self.events.now()
+    }
+
+    /// Drain every weather tick and report round due at or before `t`,
+    /// in calendar order, then move the clock to `t`. Reports land in
+    /// the [`take_reports`](Self::take_reports) buffer. A quiet network
+    /// (no events due) advances in O(1) — no per-second stepping.
+    fn advance_to(&mut self, t: SimNs) -> Result<(), Self::Error> {
+        while let Some(ev) = self.events.pop_due(t) {
+            match ev.payload {
+                SensorEvent::WeatherTick => {
+                    self.last_state = Some(self.weather.run_steps(1));
+                    self.events.push(
+                        ev.at.saturating_add(SimNs::from_secs_f64(WEATHER_STEP_S)),
+                        SRC_WEATHER,
+                        SensorEvent::WeatherTick,
+                    );
+                }
+                SensorEvent::ReportRound => {
+                    self.report_round();
+                    self.events.push(
+                        ev.at
+                            .saturating_add(SimNs::from_secs_f64(REPORT_INTERVAL_S)),
+                        SRC_REPORT,
+                        SensorEvent::ReportRound,
+                    );
+                }
+            }
+        }
+        self.events.drain_clock_to(t);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
+// The tests below deliberately exercise the deprecated `poll` shim: they
+// pin the legacy 5-minute polling contract that the event engine must
+// keep reproducing bit-for-bit.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::breach::Breach;
@@ -374,6 +485,43 @@ mod tests {
             diverged |= (r.wind_speed_ms - baseline.wind_speed_ms).abs() > 1e-6;
         }
         assert!(diverged, "repaired station must report live values");
+    }
+
+    #[test]
+    fn advance_to_matches_poll_bitwise() {
+        // One big advance over 4 report intervals must replay the exact
+        // event calendar the poll shim walks one interval at a time:
+        // same reports, bit for bit, in the same order.
+        let mut polled = network(31);
+        let mut evented = network(31);
+        let mut via_poll = Vec::new();
+        for _ in 0..4 {
+            via_poll.extend(polled.poll());
+        }
+        evented
+            .advance_to(SimNs::from_secs_f64(4.0 * REPORT_INTERVAL_S))
+            .unwrap();
+        let via_events = evented.take_reports();
+        assert_eq!(via_poll.len(), via_events.len());
+        for (p, e) in via_poll.iter().zip(&via_events) {
+            assert_eq!(p.station_id, e.station_id);
+            assert_eq!(p.t_s.to_bits(), e.t_s.to_bits());
+            assert_eq!(p.wind_speed_ms.to_bits(), e.wind_speed_ms.to_bits());
+            assert_eq!(p.temp_c.to_bits(), e.temp_c.to_bits());
+        }
+        assert_eq!(evented.now(), SimNs::from_secs(1200));
+    }
+
+    #[test]
+    fn advance_to_mid_interval_buffers_nothing() {
+        let mut net = network(33);
+        // 299 s: four weather ticks due, no report round yet.
+        net.advance_to(SimNs::from_secs(299)).unwrap();
+        assert!(net.take_reports().is_empty());
+        assert!(net.current_state().is_some(), "weather ticks still fire");
+        // The next second crosses the report instant.
+        net.advance_to(SimNs::from_secs(300)).unwrap();
+        assert_eq!(net.take_reports().len(), net.station_count());
     }
 
     #[test]

@@ -54,7 +54,7 @@ fn controller_tracks_demand_shift_end_to_end() {
     // and re-apportion every "window".
     let mut video_rate_heavy = 0.0;
     for _ in 0..6 {
-        let results = sim.run_second();
+        let results = sim.measure_second();
         // Demand signal: video offers 10x what IoT offers.
         slicer.observe(0, 1.0);
         slicer.observe(1, 10.0);
@@ -62,7 +62,7 @@ fn controller_tracks_demand_shift_end_to_end() {
         video_rate_heavy = rate(&results, video);
     }
     let iot_rate_heavy = {
-        let results = sim.run_second();
+        let results = sim.measure_second();
         rate(&results, iot)
     };
     // Video got the lion's share, but the floor kept IoT alive.
@@ -77,9 +77,9 @@ fn controller_tracks_demand_shift_end_to_end() {
         slicer.observe(0, 10.0);
         slicer.observe(1, 0.2);
         sim.set_slices(slicer.recompute().unwrap()).unwrap();
-        sim.run_second();
+        sim.measure_second();
     }
-    let results = sim.run_second();
+    let results = sim.measure_second();
     let iot_rate_burst = rate(&results, iot);
     assert!(
         iot_rate_burst > 3.0 * iot_rate_heavy,
@@ -110,7 +110,7 @@ fn static_slices_do_not_adapt_baseline() {
     let mut first = 0.0;
     let mut last = 0.0;
     for i in 0..8 {
-        let results = sim.run_second();
+        let results = sim.measure_second();
         let r = results
             .iter()
             .find(|(h, _)| *h == iot)

@@ -12,10 +12,16 @@ use xg_obs::{parse_spans_jsonl, spans_to_jsonl, Obs, SpanRecord};
 /// Run `cycles` report cycles and return the run's spans after a full
 /// JSONL round trip — the same path an `xg-trace` invocation over a
 /// dump file exercises.
-fn run_and_dump(seed: u64, probe_seconds: usize, cycles: usize) -> Vec<SpanRecord> {
+fn run_and_dump(
+    seed: u64,
+    probe_seconds: usize,
+    burst_slots: usize,
+    cycles: usize,
+) -> Vec<SpanRecord> {
     let obs = Obs::enabled();
     let ran = RanTopology {
         probe_seconds,
+        probe_burst_slots: burst_slots,
         ..RanTopology::default()
     };
     let mut fab = XgFabric::new(FabricConfig {
@@ -34,12 +40,15 @@ fn run_and_dump(seed: u64, probe_seconds: usize, cycles: usize) -> Vec<SpanRecor
 }
 
 /// The headline acceptance: stall the RAN probe (24 probed sim-seconds
-/// per cycle instead of 1) and the regression-attribution diff must
-/// rank the probe's attribution node as the biggest mover, positive.
+/// per cycle instead of 1, with the measurement burst widened to cover
+/// them — under the event engine, seconds outside the burst window are
+/// idle-skipped and cost nothing) and the regression-attribution diff
+/// must rank the probe's attribution node as the biggest mover,
+/// positive.
 #[test]
 fn trace_diff_attributes_an_injected_ran_probe_stall() {
-    let baseline = run_and_dump(42, 1, 6);
-    let stalled = run_and_dump(42, 24, 6);
+    let baseline = run_and_dump(42, 1, 32, 6);
+    let stalled = run_and_dump(42, 24, 24_000, 6);
     let rows = diff_rows(&baseline, &stalled);
     let top = rows.first().expect("dumps are non-empty");
     assert!(
