@@ -45,7 +45,11 @@
 //!   (enter + timed exit), the cost every profiled hot path pays;
 //! * `critical_path_extract_us` — critical-path extraction over a
 //!   synthetic report-cycle span tree (the per-cycle analysis cost the
-//!   orchestrator pays when observability is on).
+//!   orchestrator pays when observability is on);
+//! * `lint_workspace_ms` — one full two-pass `xg-lint` run over the
+//!   live workspace (walk, parallel per-file semantic analysis,
+//!   cross-file obs-schema and stale-waiver finalize) — the latency the
+//!   CI gate and every pre-commit hook pays end to end.
 //!
 //! Run: `cargo run -p xg-bench --release --bin perf_trajectory`
 //! (writes `results/perf_trajectory.json`), or
@@ -587,6 +591,31 @@ fn bench_critical_extract() -> Summary {
     summarize("critical_path_extract_us", "us", samples)
 }
 
+fn bench_lint_workspace() -> Summary {
+    // The workspace root, two levels above this crate's manifest. The
+    // probe lints the real tree (not a synthetic corpus) so the number
+    // moves when the workspace grows — that drift is the point: it is
+    // the latency the CI gate actually pays.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent().map(PathBuf::from))
+        .expect("crate lives two levels under the workspace root");
+    let cfg = xg_lint::Config::workspace();
+    // One warm-up run so the page cache holds the sources before the
+    // measured window, matching a CI runner that just built the tree.
+    let warm = xg_lint::lint_root(&root, &cfg).expect("workspace lints");
+    std::hint::black_box(warm.findings.len());
+    let rounds = scaled(6).max(2);
+    let mut samples = Vec::with_capacity(rounds);
+    for _ in 0..rounds {
+        let start = Instant::now();
+        let report = xg_lint::lint_root(&root, &cfg).expect("workspace lints");
+        samples.push(start.elapsed().as_secs_f64() * 1_000.0);
+        std::hint::black_box(report.findings.len());
+    }
+    summarize("lint_workspace_ms", "ms", samples)
+}
+
 fn run_probes(seed: u64) -> Vec<Summary> {
     let mut out = Vec::new();
     eprintln!("  histogram record ...");
@@ -617,6 +646,8 @@ fn run_probes(seed: u64) -> Vec<Summary> {
     out.push(bench_profile_overhead());
     eprintln!("  critical path extract ...");
     out.push(bench_critical_extract());
+    eprintln!("  lint workspace ...");
+    out.push(bench_lint_workspace());
     out
 }
 

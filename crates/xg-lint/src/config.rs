@@ -14,6 +14,18 @@ pub struct Config {
     /// Prefixes exempt from `wall-clock`: modules whose whole purpose
     /// is wall-domain measurement.
     pub wall_allowlist: Vec<String>,
+    /// Prefixes where `time-unit` applies: code that mixes `SimNs` with
+    /// suffixed durations and must convert explicitly.
+    pub time_paths: Vec<String>,
+    /// Files allowed to *contain* the deprecated stepped-era APIs: the
+    /// retained bitwise-reference engines. Everywhere else (outside
+    /// tests) a call site is a `deprecated-api` finding.
+    pub deprecated_allow: Vec<String>,
+    /// Prefixes where `event-panic` applies to the whole file, not just
+    /// `impl Advance`/`EventSource` blocks: the event queue itself.
+    pub event_paths: Vec<String>,
+    /// Prefixes where `obs-name` checks emissions against the schema.
+    pub obs_paths: Vec<String>,
     /// Path substrings skipped entirely (lint fixtures, build output).
     pub skip: Vec<String>,
 }
@@ -57,6 +69,34 @@ impl Config {
                 // Bench bins time real work on the wall by design.
                 "crates/xg-bench/src/bin/",
             ]),
+            time_paths: s(&[
+                // Everywhere ns-precision SimNs meets suffixed wall/sim
+                // durations: the deterministic core plus the HPC models
+                // and the obs layer (spans carry `_us` endpoints).
+                "crates/xg-net/src/",
+                "crates/xg-ric/src/",
+                "crates/xg-cfd/src/",
+                "crates/xg-fabric/src/",
+                "crates/xg-cspot/src/",
+                "crates/xg-sensors/src/",
+                "crates/xg-sim/src/",
+                "crates/xg-hpc/src/",
+                "crates/xg-obs/src/",
+                "crates/xg-bench/src/trace.rs",
+            ]),
+            deprecated_allow: s(&[
+                // The stepped engines the shims live in, kept as bitwise
+                // references for the event-driven migration.
+                "crates/xg-net/src/sim.rs",
+                "crates/xg-net/src/fleet.rs",
+                "crates/xg-sensors/src/network.rs",
+            ]),
+            event_paths: s(&[
+                // The calendar queue: every engine drains through it, so
+                // a panic here takes the whole fabric down.
+                "crates/xg-sim/src/",
+            ]),
+            obs_paths: s(&["crates/"]),
             skip: s(&["/tests/fixtures/", "/target/"]),
         }
     }
@@ -67,8 +107,15 @@ impl Config {
         let all = vec![String::new()]; // empty prefix matches any path
         Config {
             deterministic_paths: all.clone(),
-            panicking_paths: all,
+            panicking_paths: all.clone(),
             wall_allowlist: Vec::new(),
+            time_paths: all.clone(),
+            deprecated_allow: Vec::new(),
+            // Impl-scoped event-panic applies everywhere already; the
+            // whole-file escalation stays opt-in so single-rule fixtures
+            // exercise exactly one rule.
+            event_paths: Vec::new(),
+            obs_paths: all,
             skip: Vec::new(),
         }
     }
@@ -95,6 +142,35 @@ impl Config {
     /// Is this file exempt from `wall-clock`?
     pub fn wall_allowlisted(&self, relpath: &str) -> bool {
         self.wall_allowlist
+            .iter()
+            .any(|p| relpath.starts_with(p.as_str()))
+    }
+
+    /// Is `time-unit` in force for this file?
+    pub fn is_time_path(&self, relpath: &str) -> bool {
+        self.time_paths
+            .iter()
+            .any(|p| relpath.starts_with(p.as_str()))
+    }
+
+    /// May this file contain the deprecated stepped-era APIs?
+    pub fn deprecated_allowed(&self, relpath: &str) -> bool {
+        self.deprecated_allow
+            .iter()
+            .any(|p| relpath.starts_with(p.as_str()))
+    }
+
+    /// Does `event-panic` cover this whole file (vs only
+    /// `Advance`/`EventSource` impl blocks)?
+    pub fn is_event_path(&self, relpath: &str) -> bool {
+        self.event_paths
+            .iter()
+            .any(|p| relpath.starts_with(p.as_str()))
+    }
+
+    /// Is `obs-name` in force for this file?
+    pub fn is_obs_path(&self, relpath: &str) -> bool {
+        self.obs_paths
             .iter()
             .any(|p| relpath.starts_with(p.as_str()))
     }
@@ -128,6 +204,29 @@ mod tests {
         assert!(c.wall_allowlisted("crates/xg-bench/src/bin/perf_trajectory.rs"));
         assert!(!c.wall_allowlisted("crates/xg-cfd/src/solver.rs"));
         assert!(c.skipped("crates/xg-lint/tests/fixtures/wall_clock_pos.rs"));
+    }
+
+    #[test]
+    fn v2_rule_scoping() {
+        let c = Config::workspace();
+        // time-unit covers the deterministic core plus xg-hpc and xg-obs.
+        assert!(c.is_time_path("crates/xg-sim/src/queue.rs"));
+        assert!(c.is_time_path("crates/xg-hpc/src/pilot.rs"));
+        assert!(c.is_time_path("crates/xg-obs/src/span.rs"));
+        assert!(!c.is_time_path("crates/xg-lint/src/lib.rs"));
+        // deprecated-api: only the retained reference engines define the
+        // stepped shims.
+        assert!(c.deprecated_allowed("crates/xg-net/src/sim.rs"));
+        assert!(c.deprecated_allowed("crates/xg-sensors/src/network.rs"));
+        assert!(!c.deprecated_allowed("crates/xg-fabric/src/orchestrator.rs"));
+        // event-panic covers all of xg-sim whole-file; elsewhere only
+        // Advance/EventSource impl blocks.
+        assert!(c.is_event_path("crates/xg-sim/src/queue.rs"));
+        assert!(!c.is_event_path("crates/xg-net/src/sim.rs"));
+        // obs-name covers every crate (tests and fixtures excluded by
+        // other means).
+        assert!(c.is_obs_path("crates/xg-fabric/src/orchestrator.rs"));
+        assert!(!c.is_obs_path("examples/demo.rs"));
     }
 
     #[test]

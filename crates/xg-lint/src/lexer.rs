@@ -24,7 +24,20 @@ pub struct Comment {
     pub text: String,
 }
 
-/// Lexer output: scrubbed source lines plus extracted comments.
+/// One string literal's body, with the 1-based line its opening quote
+/// sits on. Bodies are captured verbatim (escapes unprocessed) — the
+/// semantic rules only ever compare plain dotted names, which carry no
+/// escapes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// 1-based source line of the opening quote.
+    pub line: usize,
+    /// Raw body text between the delimiters.
+    pub text: String,
+}
+
+/// Lexer output: scrubbed source lines plus extracted comments and
+/// string-literal bodies.
 #[derive(Debug, Clone)]
 pub struct Scrubbed {
     /// Source lines with comments and literal bodies blanked to spaces.
@@ -32,6 +45,11 @@ pub struct Scrubbed {
     pub lines: Vec<String>,
     /// Every comment in the file, in order.
     pub comments: Vec<Comment>,
+    /// Every string literal body, in source order. The tokenizer pairs
+    /// these back up with the blanked `"…"` tokens positionally: both
+    /// walk the file front to back, so the n-th string token it meets is
+    /// `strings[n]`.
+    pub strings: Vec<StrLit>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +72,9 @@ pub fn scrub(source: &str) -> Scrubbed {
     let mut comments: Vec<Comment> = Vec::new();
     let mut comment_text = String::new();
     let mut comment_line = 0usize;
+    let mut strings: Vec<StrLit> = Vec::new();
+    let mut str_text = String::new();
+    let mut str_line = 0usize;
     let mut line = 1usize;
     let mut state = State::Code;
     let mut i = 0usize;
@@ -76,6 +97,7 @@ pub fn scrub(source: &str) -> Scrubbed {
                     state = State::Code;
                 }
                 State::BlockComment(_) => comment_text.push('\n'),
+                State::Str | State::RawStr(_) => str_text.push('\n'),
                 _ => {}
             }
             lines.push(std::mem::take(&mut cur));
@@ -103,6 +125,7 @@ pub fn scrub(source: &str) -> Scrubbed {
                     '"' => {
                         // Keep the quotes so token boundaries survive.
                         state = State::Str;
+                        str_line = line;
                         cur.push('"');
                         i += 1;
                         continue;
@@ -114,6 +137,7 @@ pub fn scrub(source: &str) -> Scrubbed {
                         } else {
                             State::RawStr(hashes)
                         };
+                        str_line = line;
                         for _ in 0..consumed {
                             cur.push(' ');
                         }
@@ -163,16 +187,24 @@ pub fn scrub(source: &str) -> Scrubbed {
                 if c == '\\' && bytes.get(i + 1) == Some(&b'\n') {
                     // Line-continuation escape: let the newline be handled
                     // by the top of the loop so line structure survives.
+                    str_text.push('\\');
                     cur.push(' ');
                     i += 1;
                 } else if c == '\\' && i + 1 < bytes.len() {
+                    str_text.push('\\');
+                    str_text.push(bytes[i + 1] as char);
                     cur.push_str("  ");
                     i += 2;
                 } else if c == '"' {
                     state = State::Code;
+                    strings.push(StrLit {
+                        line: str_line,
+                        text: std::mem::take(&mut str_text),
+                    });
                     cur.push('"');
                     i += 1;
                 } else {
+                    str_text.push(c);
                     cur.push(' ');
                     i += 1;
                 }
@@ -180,12 +212,17 @@ pub fn scrub(source: &str) -> Scrubbed {
             State::RawStr(hashes) => {
                 if c == '"' && raw_closes(bytes, i, hashes) {
                     state = State::Code;
+                    strings.push(StrLit {
+                        line: str_line,
+                        text: std::mem::take(&mut str_text),
+                    });
                     cur.push('"');
                     for _ in 0..hashes {
                         cur.push(' ');
                     }
                     i += 1 + hashes as usize;
                 } else {
+                    str_text.push(c);
                     cur.push(' ');
                     i += 1;
                 }
@@ -208,8 +245,20 @@ pub fn scrub(source: &str) -> Scrubbed {
     if state == State::LineComment || matches!(state, State::BlockComment(_)) {
         flush_comment!();
     }
+    if matches!(state, State::Str | State::RawStr(_)) {
+        // Unterminated literal (truncated file): keep what we saw so the
+        // positional pairing with string tokens stays in sync.
+        strings.push(StrLit {
+            line: str_line,
+            text: std::mem::take(&mut str_text),
+        });
+    }
     lines.push(cur);
-    Scrubbed { lines, comments }
+    Scrubbed {
+        lines,
+        comments,
+        strings,
+    }
 }
 
 /// Does `r`/`b` at `i` begin a raw or byte string (`r"`, `r#`, `b"`, `br`)?
@@ -332,6 +381,22 @@ mod tests {
         let s = scrub("let c = '\\''; let d = 'H'; let m: HashMap<u8, u8>;\n");
         assert!(s.lines[0].contains("HashMap"));
         assert!(!s.lines[0].contains("'H'"));
+    }
+
+    #[test]
+    fn string_bodies_are_captured_in_order() {
+        let s = scrub("let a = \"alpha.one\"; let b = r#\"beta \"two\"\"#; let c = b\"gamma\";\n");
+        let texts: Vec<&str> = s.strings.iter().map(|l| l.text.as_str()).collect();
+        assert_eq!(texts, ["alpha.one", "beta \"two\"", "gamma"]);
+        assert!(s.strings.iter().all(|l| l.line == 1));
+    }
+
+    #[test]
+    fn escaped_quote_stays_one_literal() {
+        let s = scrub("let a = \"x\\\"y\"; let b = \"z\";\n");
+        assert_eq!(s.strings.len(), 2);
+        assert_eq!(s.strings[0].text, "x\\\"y");
+        assert_eq!(s.strings[1].text, "z");
     }
 
     #[test]

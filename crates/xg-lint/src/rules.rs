@@ -3,9 +3,13 @@
 //! perf baselines record the version they were produced under, and
 //! `perf_trajectory --compare` warns on a mismatch.
 
+use std::collections::BTreeSet;
+
 use crate::config::Config;
 use crate::regions::{parallel_regions, test_regions};
-use crate::waiver::{find_waiver, parse_waivers};
+use crate::schema::{ObsKind, ObsSchema};
+use crate::semantic::{self, ObsEmission};
+use crate::waiver::{find_waiver, parse_waivers, Waiver};
 
 /// The enforced rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -21,6 +25,23 @@ pub enum Rule {
     /// `f32`/`f64` fold/sum/reduce inside a parallel statement without a
     /// documented order guarantee.
     FloatReduce,
+    /// Arithmetic/comparison/assignment mixing differently-suffixed time
+    /// identifiers (`_ns`/`_us`/`_ms`/`_s`), or `SimNs` built from
+    /// non-nanosecond values, without an explicit conversion.
+    TimeUnit,
+    /// New call sites of the frozen stepped-era APIs
+    /// (`step_slots`/`run_seconds`/`run_second`/`poll`) outside the
+    /// retained reference engines and tests.
+    DeprecatedApi,
+    /// A metric/span/profile name emitted through `xg-obs` that is not
+    /// declared in `obs-schema.toml` — or a schema row no code emits.
+    ObsName,
+    /// A waiver comment that suppresses no finding. Not itself waivable:
+    /// the fix is deleting the waiver.
+    StaleWaiver,
+    /// Panic paths (`unwrap`/`expect`/panic- and assert-family macros)
+    /// inside `Advance`/`EventSource` impls or the `xg-sim` queue.
+    EventPanic,
     /// A waiver comment that is malformed, reasonless, or names an
     /// unknown rule. Not itself waivable.
     BadWaiver,
@@ -35,12 +56,18 @@ impl Rule {
             Rule::UnseededRandom => "unseeded-random",
             Rule::PanickingCall => "panicking-call",
             Rule::FloatReduce => "float-reduce",
+            Rule::TimeUnit => "time-unit",
+            Rule::DeprecatedApi => "deprecated-api",
+            Rule::ObsName => "obs-name",
+            Rule::StaleWaiver => "stale-waiver",
+            Rule::EventPanic => "event-panic",
             Rule::BadWaiver => "bad-waiver",
         }
     }
 
-    /// Parse a waiver-comment rule name. `bad-waiver` is absent on
-    /// purpose: a malformed waiver cannot be waived away.
+    /// Parse a waiver-comment rule name. `bad-waiver` and `stale-waiver`
+    /// are absent on purpose: a broken waiver cannot be waived away —
+    /// the only fix is repairing or deleting it.
     pub fn from_name(name: &str) -> Option<Rule> {
         match name {
             "wall-clock" => Some(Rule::WallClock),
@@ -48,6 +75,10 @@ impl Rule {
             "unseeded-random" => Some(Rule::UnseededRandom),
             "panicking-call" => Some(Rule::PanickingCall),
             "float-reduce" => Some(Rule::FloatReduce),
+            "time-unit" => Some(Rule::TimeUnit),
+            "deprecated-api" => Some(Rule::DeprecatedApi),
+            "obs-name" => Some(Rule::ObsName),
+            "event-panic" => Some(Rule::EventPanic),
             _ => None,
         }
     }
@@ -60,6 +91,10 @@ impl Rule {
             Rule::UnseededRandom,
             Rule::PanickingCall,
             Rule::FloatReduce,
+            Rule::TimeUnit,
+            Rule::DeprecatedApi,
+            Rule::ObsName,
+            Rule::EventPanic,
         ]
     }
 
@@ -87,6 +122,31 @@ impl Rule {
             Rule::FloatReduce => {
                 "no f32/f64 fold/sum/reduce inside parallel statements unless \
                  the reduction is order-independent (document it in the waiver)"
+            }
+            Rule::TimeUnit => {
+                "no arithmetic/comparison/assignment mixing _ns/_us/_ms/_s \
+                 identifiers, and no SimNs built from non-ns values or raw \
+                 ns constants, without an explicit conversion"
+            }
+            Rule::DeprecatedApi => {
+                "no new call sites of the frozen stepped-era APIs \
+                 (step_slots/run_seconds/run_second/poll) outside the retained \
+                 reference engines and tests: drive engines via \
+                 xg_sim::Advance::advance_to"
+            }
+            Rule::ObsName => {
+                "every metric/span/profile name passed to xg-obs must be \
+                 declared in obs-schema.toml, and every non-reserved schema \
+                 row must be emitted somewhere"
+            }
+            Rule::StaleWaiver => {
+                "a waiver that suppresses no finding is dead policy: delete \
+                 it (or fix the rule name) so the audit trail stays honest"
+            }
+            Rule::EventPanic => {
+                "no unwrap/expect/panic- or assert-family macros inside \
+                 Advance/EventSource impls or the xg-sim queue: the event \
+                 engine must degrade through typed errors, never abort"
             }
             Rule::BadWaiver => "a waiver comment that is malformed or lacks a reason",
         }
@@ -139,17 +199,45 @@ const FLOAT_REDUCE_PATTERNS: &[&str] = &[
     ".reduce(",
 ];
 
-/// Lint one file's source. `relpath` is workspace-relative with forward
-/// slashes; it decides which rules apply via `cfg`.
-pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+/// Pass-1 output for one file: findings of every file-local rule, plus
+/// the facts the cross-file pass needs (obs emissions, waivers and which
+/// of them already earned their keep).
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// Workspace-relative path with forward slashes.
+    pub relpath: String,
+    /// File-local findings (everything except `obs-name` and
+    /// `stale-waiver`, which need the whole workspace).
+    pub findings: Vec<Finding>,
+    /// Obs emission sites with literal names, outside test code.
+    pub emissions: Vec<ObsEmission>,
+    /// Every well-formed waiver in the file.
+    pub waivers: Vec<Waiver>,
+    /// Lines of waivers that suppressed at least one pass-1 finding.
+    pub used_waivers: BTreeSet<usize>,
+}
+
+/// Pass 1: analyze one file in isolation. `relpath` is
+/// workspace-relative with forward slashes; it decides which rules apply
+/// via `cfg`.
+pub fn analyze_file(relpath: &str, source: &str, cfg: &Config) -> FileAnalysis {
     let scrubbed = crate::lexer::scrub(source);
     let tests = test_regions(&scrubbed);
     let parallel = parallel_regions(&scrubbed);
     let (waivers, bad_waivers) = parse_waivers(&scrubbed.comments);
-    let mut findings = Vec::new();
+    // Integration-test files are test code end to end, without any
+    // `#[cfg(test)]` marker for the region tracker to see.
+    let integration_test = relpath.contains("/tests/") || relpath.starts_with("tests/");
+    let mut a = FileAnalysis {
+        relpath: relpath.to_string(),
+        findings: Vec::new(),
+        emissions: Vec::new(),
+        waivers,
+        used_waivers: BTreeSet::new(),
+    };
 
     for bw in bad_waivers {
-        findings.push(Finding {
+        a.findings.push(Finding {
             file: relpath.to_string(),
             line: bw.line,
             rule: Rule::BadWaiver,
@@ -171,12 +259,10 @@ pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
             for pat in WALL_CLOCK_PATTERNS {
                 if line.contains(pat) {
                     push(
-                        &mut findings,
-                        relpath,
+                        &mut a,
                         lineno,
                         Rule::WallClock,
                         format!("`{pat}` in sim-domain code"),
-                        &waivers,
                     );
                 }
             }
@@ -185,12 +271,10 @@ pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
             for pat in UNORDERED_PATTERNS {
                 if contains_ident(line, pat) {
                     push(
-                        &mut findings,
-                        relpath,
+                        &mut a,
                         lineno,
                         Rule::UnorderedIter,
                         format!("`{pat}` in a deterministic crate (iteration order is unseeded)"),
-                        &waivers,
                     );
                 }
             }
@@ -198,12 +282,10 @@ pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
         for pat in UNSEEDED_PATTERNS {
             if line.contains(pat) {
                 push(
-                    &mut findings,
-                    relpath,
+                    &mut a,
                     lineno,
                     Rule::UnseededRandom,
                     format!("`{pat}` draws entropy outside the run seed"),
-                    &waivers,
                 );
             }
         }
@@ -211,12 +293,10 @@ pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
             for pat in PANICKING_PATTERNS {
                 if line.contains(pat) {
                     push(
-                        &mut findings,
-                        relpath,
+                        &mut a,
                         lineno,
                         Rule::PanickingCall,
                         format!("`{pat}` in non-test library code"),
-                        &waivers,
                     );
                 }
             }
@@ -225,36 +305,162 @@ pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
             for pat in FLOAT_REDUCE_PATTERNS {
                 if line.contains(pat) {
                     push(
-                        &mut findings,
-                        relpath,
+                        &mut a,
                         lineno,
                         Rule::FloatReduce,
                         format!("`{pat}` inside a parallel statement: reduction order must be documented"),
-                        &waivers,
                     );
                 }
             }
         }
     }
+
+    // Semantic (token-tree) rules.
+    let sem = semantic::analyze(&scrubbed);
+
+    if cfg.is_time_path(relpath) && !integration_test {
+        for (line, msg) in semantic::time_unit_findings(&sem) {
+            if !tests.contains(line) {
+                push(&mut a, line, Rule::TimeUnit, msg);
+            }
+        }
+    }
+
+    if !cfg.deprecated_allowed(relpath) && !integration_test {
+        for (line, msg) in semantic::deprecated_findings(&sem) {
+            if !tests.contains(line) {
+                push(&mut a, line, Rule::DeprecatedApi, msg);
+            }
+        }
+    }
+
+    // event-panic: impl-scoped everywhere, whole-file in event paths.
+    // Where `panicking-call` already covers the file, only the
+    // assert-family escalation is new — the rest would double-report.
+    if !integration_test {
+        let whole_file = cfg.is_event_path(relpath);
+        for (line, msg) in semantic::event_panic_findings(&sem, whole_file) {
+            let already_covered = panicking_scope && !msg.starts_with("`assert");
+            if !tests.contains(line) && !already_covered {
+                push(&mut a, line, Rule::EventPanic, msg);
+            }
+        }
+    }
+
+    if cfg.is_obs_path(relpath) && !integration_test {
+        a.emissions = semantic::obs_emissions(&sem, &scrubbed)
+            .into_iter()
+            .filter(|e| !tests.contains(e.line))
+            .collect();
+    }
+
+    a
+}
+
+/// Pass 2: cross-file finalization. Checks every collected obs emission
+/// against the schema (when one is given), reports schema rows nothing
+/// emits, and turns waivers that suppressed nothing into `stale-waiver`
+/// findings. `schema` pairs the parsed schema with the report-relative
+/// path of its file.
+pub fn finalize(
+    mut analyses: Vec<FileAnalysis>,
+    schema: Option<(&ObsSchema, &str)>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    if let Some((schema, schema_path)) = schema {
+        // Forward: every emitted literal name must be declared.
+        let mut emitted: BTreeSet<(ObsKind, String)> = BTreeSet::new();
+        for a in &mut analyses {
+            for e in std::mem::take(&mut a.emissions) {
+                emitted.insert((e.kind, e.name.clone()));
+                if !schema.covers(e.kind, &e.name) {
+                    let waiver = find_waiver(&a.waivers, Rule::ObsName, e.line);
+                    if let Some(w) = waiver {
+                        a.used_waivers.insert(w.line);
+                    }
+                    a.findings.push(Finding {
+                        file: a.relpath.clone(),
+                        line: e.line,
+                        rule: Rule::ObsName,
+                        message: format!(
+                            "`.{}(\"{}\")` emits a name missing from {schema_path} [{}]",
+                            e.method,
+                            e.name,
+                            e.kind.table()
+                        ),
+                        waived: waiver.is_some(),
+                        reason: waiver.map(|w| w.reason.clone()),
+                    });
+                }
+            }
+        }
+        // Reverse: every non-reserved, non-wildcard row must be emitted.
+        for entry in schema.entries() {
+            if entry.wildcard || entry.reserved {
+                continue;
+            }
+            if !emitted.contains(&(entry.kind, entry.name.clone())) {
+                findings.push(Finding {
+                    file: schema_path.to_string(),
+                    line: entry.line,
+                    rule: Rule::ObsName,
+                    message: format!(
+                        "schema row `{}` [{}] is emitted nowhere: delete it or mark it `reserved |`",
+                        entry.name,
+                        entry.kind.table()
+                    ),
+                    waived: false,
+                    reason: None,
+                });
+            }
+        }
+    }
+
+    // Stale waivers: everything that never suppressed a finding.
+    for a in &mut analyses {
+        for w in &a.waivers {
+            if !a.used_waivers.contains(&w.line) {
+                a.findings.push(Finding {
+                    file: a.relpath.clone(),
+                    line: w.line,
+                    rule: Rule::StaleWaiver,
+                    message: format!(
+                        "waiver for `{}` suppresses nothing (reason was: {}) — delete it",
+                        w.rule.name(),
+                        w.reason
+                    ),
+                    waived: false,
+                    reason: None,
+                });
+            }
+        }
+        findings.append(&mut a.findings);
+    }
+
+    findings.sort_by(|x, y| (&x.file, x.line).cmp(&(&y.file, y.line)));
     findings
 }
 
-fn push(
-    findings: &mut Vec<Finding>,
-    relpath: &str,
-    line: usize,
-    rule: Rule,
-    message: String,
-    waivers: &[crate::waiver::Waiver],
-) {
-    let waiver = find_waiver(waivers, rule, line);
-    findings.push(Finding {
-        file: relpath.to_string(),
+/// Lint one file's source through both passes, with no obs schema (the
+/// single-file entry point used by fixture tests and doc examples).
+pub fn lint_source(relpath: &str, source: &str, cfg: &Config) -> Vec<Finding> {
+    finalize(vec![analyze_file(relpath, source, cfg)], None)
+}
+
+fn push(a: &mut FileAnalysis, line: usize, rule: Rule, message: String) {
+    let waiver = find_waiver(&a.waivers, rule, line);
+    if let Some(w) = waiver {
+        a.used_waivers.insert(w.line);
+    }
+    let (waived, reason) = (waiver.is_some(), waiver.map(|w| w.reason.clone()));
+    a.findings.push(Finding {
+        file: a.relpath.clone(),
         line,
         rule,
         message,
-        waived: waiver.is_some(),
-        reason: waiver.map(|w| w.reason.clone()),
+        waived,
+        reason,
     });
 }
 

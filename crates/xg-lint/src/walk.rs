@@ -8,6 +8,13 @@ use std::path::{Path, PathBuf};
 /// appears because only these roots are walked.
 const SCAN_ROOTS: &[&str] = &["crates", "tests", "examples"];
 
+/// Directory names never descended into, at any depth. Build output
+/// (`target`), vendored registry sources (`vendor`), and emitted result
+/// sets (`results`) can all contain `.rs` files that are not workspace
+/// code; relying on the invocation cwd to avoid them is not enough when
+/// `--root` points somewhere unusual.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "results"];
+
 /// Collect workspace-relative paths (forward slashes) of every `.rs`
 /// file under the scan roots, sorted.
 pub fn workspace_files(root: &Path) -> std::io::Result<Vec<String>> {
@@ -37,7 +44,7 @@ fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
                 continue;
             }
             visit(&path, out)?;
@@ -51,6 +58,32 @@ fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn skips_target_vendor_and_results_dirs() {
+        let root = std::env::temp_dir().join(format!("xg-lint-walk-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        for dir in [
+            "crates/a/src",
+            "crates/a/target",
+            "crates/vendor/x",
+            "tests/results",
+        ] {
+            fs::create_dir_all(root.join(dir)).expect("mkdir");
+        }
+        for f in [
+            "crates/a/src/lib.rs",
+            "crates/a/target/generated.rs",
+            "crates/vendor/x/lib.rs",
+            "tests/results/dump.rs",
+            "tests/smoke.rs",
+        ] {
+            fs::write(root.join(f), "// empty\n").expect("write");
+        }
+        let files = workspace_files(&root).expect("walk");
+        assert_eq!(files, vec!["crates/a/src/lib.rs", "tests/smoke.rs"]);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
 
     #[test]
     fn finds_own_sources_sorted() {

@@ -5,16 +5,39 @@
 
 use std::path::Path;
 
-use xg_lint::{lint_source, Config, Finding, Rule};
+use xg_lint::{analyze_file, finalize, lint_source, Config, Finding, ObsSchema, Rule};
 
-/// Lint one fixture under the all-paths-in-scope config.
-fn lint_fixture(name: &str) -> Vec<Finding> {
+fn fixture_source(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
-    let source = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
-    lint_source(&format!("fixtures/{name}"), &source, &Config::everything())
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+/// Lint one fixture under the all-paths-in-scope config.
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    lint_fixture_with(name, &Config::everything())
+}
+
+fn lint_fixture_with(name: &str, cfg: &Config) -> Vec<Finding> {
+    lint_source(&format!("fixtures/{name}"), &fixture_source(name), cfg)
+}
+
+/// Lint one fixture file against one fixture schema, running both
+/// passes exactly as `lint_root` does for the workspace.
+fn lint_fixture_against_schema(name: &str, schema_name: &str) -> Vec<Finding> {
+    let schema = ObsSchema::parse(&fixture_source(schema_name))
+        .unwrap_or_else(|e| panic!("fixture schema {schema_name}: {e}"));
+    let analysis = analyze_file(
+        &format!("fixtures/{name}"),
+        &fixture_source(name),
+        &Config::everything(),
+    );
+    finalize(
+        vec![analysis],
+        Some((&schema, &format!("fixtures/{schema_name}"))),
+    )
 }
 
 fn lines_of(findings: &[Finding], rule: Rule) -> Vec<usize> {
@@ -155,9 +178,163 @@ fn waiver_parsing() {
 
 #[test]
 fn report_json_round_trips_rule_names() {
-    // Every waivable rule's name parses back; bad-waiver is unwaivable.
+    // Every waivable rule's name parses back; bad-waiver and
+    // stale-waiver are unwaivable.
     for rule in Rule::all() {
         assert_eq!(Rule::from_name(rule.name()), Some(*rule));
     }
     assert_eq!(Rule::from_name("bad-waiver"), None);
+    assert_eq!(Rule::from_name("stale-waiver"), None);
+}
+
+// ---------------------------------------------------------------------
+// v2 semantic rules
+// ---------------------------------------------------------------------
+
+#[test]
+fn time_unit_positive() {
+    let f = lint_fixture("time_unit_pos.rs");
+    let lines: std::collections::BTreeSet<usize> =
+        lines_of(&f, Rule::TimeUnit).into_iter().collect();
+    // 6: ms + ns (and d_ns = a_ms); 7: us < ms compare;
+    // 14: SimNs(gap_ms); 18: SimNs(raw 5s-in-ns literal).
+    assert_eq!(
+        lines,
+        [6, 7, 14, 18].into_iter().collect(),
+        "findings: {f:?}"
+    );
+}
+
+#[test]
+fn time_unit_negative() {
+    let f = lint_fixture("time_unit_neg.rs");
+    assert!(
+        lines_of(&f, Rule::TimeUnit).is_empty(),
+        "same-unit math, scaled expressions, and conversion helpers must pass: {f:?}"
+    );
+}
+
+#[test]
+fn deprecated_api_positive() {
+    let f = lint_fixture("deprecated_api_pos.rs");
+    assert_eq!(
+        lines_of(&f, Rule::DeprecatedApi),
+        vec![4, 5, 6, 7],
+        "method, UFCS, and poll call sites: {f:?}"
+    );
+}
+
+#[test]
+fn deprecated_api_negative() {
+    let f = lint_fixture("deprecated_api_neg.rs");
+    assert!(
+        f.is_empty(),
+        "definitions, near-miss names, and test-only calls must pass: {f:?}"
+    );
+}
+
+#[test]
+fn obs_name_positive_forward_and_reverse() {
+    let f = lint_fixture_against_schema("obs_name_pos.rs", "obs_schema_pos.toml");
+    // Forward: the three typo emissions, reported against the .rs file.
+    let forward: Vec<usize> = f
+        .iter()
+        .filter(|x| x.rule == Rule::ObsName && !x.waived && x.file.ends_with(".rs"))
+        .map(|x| x.line)
+        .collect();
+    assert_eq!(
+        forward,
+        vec![6, 8, 10],
+        "undeclared counter/span/profile names: {f:?}"
+    );
+    // Reverse: the dead schema row, reported against the schema file.
+    let dead: Vec<_> = f.iter().filter(|x| x.file.ends_with(".toml")).collect();
+    assert_eq!(dead.len(), 1, "exactly the `fixture.dead` row: {f:?}");
+    assert!(
+        dead[0].message.contains("`fixture.dead`") && dead[0].message.contains("emitted nowhere"),
+        "reverse-check message: {:?}",
+        dead[0]
+    );
+}
+
+#[test]
+fn obs_name_negative_round_trips() {
+    let f = lint_fixture_against_schema("obs_name_neg.rs", "obs_schema_neg.toml");
+    assert!(
+        f.is_empty(),
+        "declared names, wildcard-covered dynamic names, reserved rows, \
+         and test-region emissions must pass: {f:?}"
+    );
+}
+
+#[test]
+fn stale_waiver_positive() {
+    let f = lint_fixture("stale_waiver_pos.rs");
+    assert_eq!(
+        lines_of(&f, Rule::StaleWaiver),
+        vec![3],
+        "the waiver suppressing nothing: {f:?}"
+    );
+    assert!(
+        lines_of(&f, Rule::WallClock).is_empty(),
+        "the live waiver still waives: {f:?}"
+    );
+}
+
+#[test]
+fn stale_waiver_negative() {
+    let f = lint_fixture("stale_waiver_neg.rs");
+    assert!(
+        lines_of(&f, Rule::StaleWaiver).is_empty(),
+        "a waiver with a live finding is not stale: {f:?}"
+    );
+    assert!(lines_of(&f, Rule::WallClock).is_empty());
+}
+
+/// Event-panic fixture config: panicking-call muted so the findings are
+/// pure event-panic, and the whole file treated as event-queue code.
+fn event_cfg() -> Config {
+    let mut cfg = Config::everything();
+    cfg.panicking_paths.clear();
+    cfg.event_paths = vec![String::new()];
+    cfg
+}
+
+#[test]
+fn event_panic_positive_whole_file() {
+    let f = lint_fixture_with("event_panic_pos.rs", &event_cfg());
+    // unwrap + assert! in the Advance impl, panic! in EventSource, and
+    // the expect outside any impl that only queue scope catches.
+    assert_eq!(
+        lines_of(&f, Rule::EventPanic),
+        vec![8, 9, 16, 21],
+        "findings: {f:?}"
+    );
+}
+
+#[test]
+fn event_panic_impl_scoped_under_default_config() {
+    // Under the default config the file is panicking scope, so only the
+    // assert-family escalation inside the Advance impl is new; the
+    // out-of-impl expect stays a plain panicking-call finding.
+    let f = lint_fixture("event_panic_pos.rs");
+    assert_eq!(
+        lines_of(&f, Rule::EventPanic),
+        vec![9],
+        "assert escalation only: {f:?}"
+    );
+    let panics = lines_of(&f, Rule::PanickingCall);
+    assert!(
+        panics.contains(&21),
+        "out-of-impl expect stays panicking-call: {panics:?}"
+    );
+}
+
+#[test]
+fn event_panic_negative() {
+    let f = lint_fixture_with("event_panic_neg.rs", &event_cfg());
+    assert!(
+        lines_of(&f, Rule::EventPanic).is_empty(),
+        "typed errors + test-only asserts must pass: {f:?}"
+    );
 }

@@ -1,0 +1,27 @@
+//! Negative fixture: definitions, near-miss names, and test-only call
+//! sites of the frozen APIs all pass.
+
+pub struct Sim;
+
+impl Sim {
+    pub fn step_slots(&mut self, n: usize) {
+        let _ = n;
+    }
+    pub fn run_seconds_serial(&mut self, s: u64) {
+        let _ = s;
+    }
+}
+
+pub fn drive(sim: &mut Sim) {
+    sim.run_seconds_serial(1);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn legacy_contract_is_pinned_here() {
+        let mut sim = super::Sim;
+        sim.step_slots(1);
+        sim.run_seconds_serial(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Positive fixture: call sites of the frozen stepped-era APIs.
+
+pub fn drive(sim: &mut LinkSimulator, net: &mut SensorNetwork) {
+    sim.step_slots(8_000);
+    sim.run_seconds(1);
+    LinkSimulator::run_second(sim);
+    let _ = net.poll(3);
+}

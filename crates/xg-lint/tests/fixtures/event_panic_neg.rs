@@ -1,0 +1,23 @@
+//! Negative fixture: typed errors inside event impls; asserts live in
+//! test code only.
+
+pub struct Q;
+
+impl Advance for Q {
+    fn advance_to(&mut self, t_ns: u64) -> Result<(), Stall> {
+        let ev = self.heap.pop().ok_or(Stall::Empty)?;
+        if ev.at_ns < t_ns {
+            return Err(Stall::Late);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_are_fine_in_tests() {
+        assert_eq!(1 + 1, 2);
+        Q.advance_to(0).unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+//! Positive fixture: one undeclared name per obs API family, next to
+//! the declared spelling so only `fixture.dead` trips the reverse check.
+
+pub fn wire(reg: &Registry, tr: &Tracer, prof: &Profiler, trace: TraceId) {
+    reg.counter("fixture.gateway.backlog").inc();
+    reg.counter("fixture.gatway.backlog").inc();
+    tr.record_sim_s(trace, None, "fixture.cycle.transfer", 0.0, 1.0, vec![]);
+    tr.record_sim_s(trace, None, "fixture.cycle.typo", 0.0, 1.0, vec![]);
+    prof.scope_under("fixture.step", "child");
+    prof.scope_under("fixture.step", "typo_child");
+}

@@ -1,0 +1,6 @@
+//! Negative fixture: every waiver suppresses a live finding.
+
+pub fn probe() -> std::time::Instant {
+    // xg-lint: allow(wall-clock, wall-domain probe)
+    std::time::Instant::now()
+}

@@ -1,0 +1,9 @@
+//! Positive fixture: a waiver whose finding is long gone.
+
+// xg-lint: allow(wall-clock, stale - the probe this covered was removed)
+pub fn nothing_to_suppress() {}
+
+pub fn used() -> std::time::Instant {
+    // xg-lint: allow(wall-clock, real probe, this waiver is live)
+    std::time::Instant::now()
+}

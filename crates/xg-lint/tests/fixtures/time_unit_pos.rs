@@ -1,0 +1,19 @@
+//! Positive fixture: time-unit mixing without conversions.
+
+pub struct SimNs(pub u64);
+
+pub fn mix(a_ms: u64, b_ns: u64, c_us: u64) -> u64 {
+    let d_ns = a_ms + b_ns;
+    if c_us < a_ms {
+        return d_ns;
+    }
+    d_ns
+}
+
+pub fn build(gap_ms: u64) -> SimNs {
+    SimNs(gap_ms)
+}
+
+pub fn raw() -> SimNs {
+    SimNs(5_000_000_000)
+}

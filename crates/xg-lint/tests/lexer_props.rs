@@ -1,0 +1,116 @@
+//! Adversarial property tests for the surface lexer and tokenizer: the
+//! scrubber must keep line structure byte-exact on arbitrary ASCII soup,
+//! survive nested block comments and raw strings at any hash depth, and
+//! the token tree must never let literal contents (byte strings, char
+//! literals holding braces) bend brace balance.
+
+use proptest::prelude::*;
+
+use xg_lint::lexer::scrub;
+use xg_lint::tokens::{build_tree, tokenize, Node};
+
+/// Count top-level nodes and, recursively, total groups in a tree.
+fn group_count(nodes: &[Node]) -> usize {
+    nodes
+        .iter()
+        .map(|n| match n {
+            Node::Group { children, .. } => 1 + group_count(children),
+            Node::Leaf(_) => 0,
+        })
+        .sum()
+}
+
+proptest! {
+    /// Arbitrary printable-ASCII soup (quotes, hashes, braces, slashes
+    /// included): scrubbing never panics, preserves the line count, and
+    /// keeps every line's byte length — rules report line numbers, so
+    /// the scrubbed view must stay aligned with the source.
+    #[test]
+    fn scrub_preserves_line_structure(src in "[ -~\n]{0,300}") {
+        let s = scrub(&src);
+        let src_lines: Vec<&str> = src.split('\n').collect();
+        prop_assert_eq!(s.lines.len(), src_lines.len());
+        for (got, want) in s.lines.iter().zip(&src_lines) {
+            prop_assert_eq!(got.len(), want.len(), "line length drift");
+        }
+        // The whole pipeline stays panic-free on garbage.
+        let _ = build_tree(tokenize(&s));
+    }
+
+    /// Nested block comments at arbitrary depth: the payload lands in
+    /// `comments`, never in the scrubbed code, and code on both sides of
+    /// the comment survives.
+    #[test]
+    fn nested_block_comments_scrub_clean(
+        depth in 1u32..=8,
+        payload in "[a-z]{4,12}",
+    ) {
+        let open = "/*".repeat(depth as usize);
+        let close = "*/".repeat(depth as usize);
+        let src = format!("let before = 1; {open} zz{payload} {close} let after_ns = 2;");
+        let s = scrub(&src);
+        let code = s.lines.join("\n");
+        prop_assert!(code.contains("let before"), "code before comment lost: {code:?}");
+        prop_assert!(code.contains("let after_ns"), "code after comment lost: {code:?}");
+        prop_assert!(!code.contains(&format!("zz{payload}")), "comment leaked into code");
+        prop_assert_eq!(s.comments.len(), 1);
+        prop_assert!(s.comments[0].text.contains(&format!("zz{payload}")));
+    }
+
+    /// Raw strings at any hash count (including zero): the body is
+    /// captured verbatim, and lexing resumes correctly after the
+    /// matching close so trailing code is still visible to rules.
+    #[test]
+    fn raw_strings_round_trip_any_hash_count(
+        hashes in 0usize..=6,
+        payload in "[a-z. ]{0,24}",
+    ) {
+        let h = "#".repeat(hashes);
+        let src = format!("let x = r{h}\"{payload}\"{h}; let tail_ns = 3;");
+        let s = scrub(&src);
+        prop_assert_eq!(s.strings.len(), 1);
+        prop_assert_eq!(s.strings[0].text.as_str(), payload.as_str());
+        prop_assert!(s.lines.join("\n").contains("let tail_ns"), "lexer overran the close");
+    }
+
+    /// Raw strings with enough hashes can embed `"#` sequences shorter
+    /// than their own delimiter; the lexer must not close early.
+    #[test]
+    fn raw_strings_embed_shorter_delimiters(inner_hashes in 0usize..=4) {
+        let outer = inner_hashes + 1;
+        let h = "#".repeat(outer);
+        let body = format!("a\"{}b", "#".repeat(inner_hashes));
+        let src = format!("let x = r{h}\"{body}\"{h};");
+        let s = scrub(&src);
+        prop_assert_eq!(s.strings.len(), 1);
+        prop_assert_eq!(s.strings[0].text.as_str(), body.as_str());
+    }
+
+    /// Byte strings and char literals holding brace/paren characters:
+    /// literal contents must not change the token tree's shape.
+    #[test]
+    fn literal_braces_never_bend_the_tree(
+        idx in 0usize..6,
+        escaped in any::<bool>(),
+    ) {
+        let brace = ['{', '}', '(', ')', '[', ']'][idx];
+        let ch = if escaped { "\\n".to_string() } else { brace.to_string() };
+        let src = format!(
+            "fn f() {{ let b = b\"{brace}{brace}\"; let c = '{ch}'; [1, 2] }}"
+        );
+        let reference = "fn f() { let b = b\"\"; let c = ' '; [1, 2] }";
+        let tree = build_tree(tokenize(&scrub(&src)));
+        let ref_tree = build_tree(tokenize(&scrub(reference)));
+        prop_assert_eq!(group_count(&tree), group_count(&ref_tree), "literal contents changed the tree shape");
+    }
+
+    /// Lifetimes are not char literals: generic code scrubs to itself,
+    /// with no phantom string or char captures.
+    #[test]
+    fn lifetimes_are_not_char_literals(name in "[a-z]{1,6}") {
+        let src = format!("fn f<'{name}>(x: &'{name} str) -> &'{name} str {{ x }}");
+        let s = scrub(&src);
+        prop_assert_eq!(s.lines.join("\n"), src);
+        prop_assert!(s.strings.is_empty(), "lifetime captured as literal: {:?}", s.strings);
+    }
+}

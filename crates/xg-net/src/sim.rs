@@ -818,7 +818,7 @@ impl LinkSimulator {
         let per_second = self.cell.scs.slots_per_second() as u64;
         let end = self.slot + n;
         while self.slot < end {
-            if enqueue && self.slot % per_second == 0 {
+            if enqueue && self.slot.is_multiple_of(per_second) {
                 self.enqueue_offered();
             }
             if self.any_wants_uplink() {
@@ -850,7 +850,7 @@ impl LinkSimulator {
         let target = t.0 / self.slot_ns();
         let per_second = self.cell.scs.slots_per_second() as u64;
         while self.slot < target {
-            if self.slot % per_second == 0 {
+            if self.slot.is_multiple_of(per_second) {
                 self.enqueue_offered();
             }
             let active = self.any_wants_uplink();

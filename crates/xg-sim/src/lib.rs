@@ -44,9 +44,11 @@ impl SimNs {
     pub const MICRO: SimNs = SimNs(1_000);
 
     /// One millisecond (one 15 kHz-SCS TTI).
+    // xg-lint: allow(time-unit, MILLI is the named const the rule asks for)
     pub const MILLI: SimNs = SimNs(1_000_000);
 
     /// One second.
+    // xg-lint: allow(time-unit, SECOND is the named const the rule asks for)
     pub const SECOND: SimNs = SimNs(1_000_000_000);
 
     /// Whole seconds, exact for integer-second times.
